@@ -1,0 +1,58 @@
+// Command lhbench runs the paper-reproduction experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	lhbench -list             # show available experiments
+//	lhbench -run e1,e5        # run selected experiments
+//	lhbench -run all          # run everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lauberhorn/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range all {
+			fmt.Printf("  %-4s %-50s (%s)\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = all
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e := experiments.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "lhbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("### %s — %s [%s]\n\n", strings.ToUpper(e.ID), e.Title, e.Source)
+		start := time.Now()
+		for _, tb := range e.Run() {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,76 @@
+// Command lhcheck model-checks Lauberhorn's two-control-cache-line
+// protocol (paper §6), optionally with injected bugs to demonstrate
+// counterexample generation.
+//
+// Usage:
+//
+//	lhcheck                          # check the correct protocol
+//	lhcheck -packets 6 -preempts 2   # larger instance
+//	lhcheck -bug notryagain          # inject a bug (notryagain,
+//	                                 # skiprecall, stickyawaiting)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lauberhorn/internal/check"
+)
+
+func main() {
+	model := flag.String("model", "fig4", "protocol model: fig4 (user loop) | handoff (kernel dispatch)")
+	packets := flag.Int("packets", 4, "number of request packets (bounds the state space)")
+	preempts := flag.Int("preempts", 2, "max nondeterministic OS preemption requests")
+	bug := flag.String("bug", "", "inject a bug: fig4: notryagain | skiprecall | stickyawaiting; handoff: losehandoff | retirenorec")
+	maxStates := flag.Int("maxstates", 1<<20, "state exploration cap")
+	flag.Parse()
+
+	var init check.State
+	switch *model {
+	case "fig4":
+		cfg := check.ModelConfig{Packets: *packets, Preempts: *preempts}
+		switch *bug {
+		case "":
+		case "notryagain":
+			cfg.BugNoTryAgain = true
+		case "skiprecall":
+			cfg.BugSkipRecall = true
+		case "stickyawaiting":
+			cfg.BugStickyAwaiting = true
+		default:
+			fmt.Fprintf(os.Stderr, "lhcheck: unknown fig4 bug %q\n", *bug)
+			os.Exit(1)
+		}
+		init = check.NewModel(cfg)
+	case "handoff":
+		cfg := check.HandoffConfig{Packets: *packets, Preempts: *preempts}
+		switch *bug {
+		case "":
+		case "losehandoff":
+			cfg.BugLoseHandoff = true
+		case "retirenorec":
+			cfg.BugRetireBeforeRecall = true
+		default:
+			fmt.Fprintf(os.Stderr, "lhcheck: unknown handoff bug %q\n", *bug)
+			os.Exit(1)
+		}
+		init = check.NewHandoffModel(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "lhcheck: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+
+	res := check.Run(init, check.Options{MaxStates: *maxStates})
+	fmt.Println(res)
+	if res.Violation != nil {
+		fmt.Println()
+		fmt.Println(res.Violation)
+		os.Exit(2)
+	}
+	if !res.AcceptReachable {
+		fmt.Println("liveness: no accepting (all-responses-sent) state is reachable")
+		os.Exit(3)
+	}
+	fmt.Println("all safety invariants hold; no deadlock; quiescence reachable")
+}

@@ -1,0 +1,92 @@
+// Command lhsim runs a single configurable RPC-serving scenario on one of
+// the three stacks and prints latency and core-state summaries.
+//
+// Usage:
+//
+//	lhsim -stack lauberhorn -cores 4 -services 16 -rate 100000 -dur 100ms
+//	lhsim -stack bypass -services 8 -zipf 1.1
+//	lhsim -stack kernel -size 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/experiments"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/workload"
+)
+
+func main() {
+	stack := flag.String("stack", "lauberhorn", "stack: lauberhorn | bypass | kernel | enzian")
+	cores := flag.Int("cores", 4, "server cores")
+	services := flag.Int("services", 1, "number of RPC services")
+	rate := flag.Float64("rate", 100_000, "offered load, requests/second")
+	dur := flag.Duration("dur", 100*time.Millisecond, "measurement window (simulated)")
+	warm := flag.Duration("warm", 20*time.Millisecond, "warm-up window (simulated)")
+	size := flag.Int("size", 40, "request body bytes (0 = cloud-RPC mixture)")
+	service := flag.Duration("service", time.Microsecond, "handler service time")
+	zipf := flag.Float64("zipf", 0, "Zipf skew across services (0 = uniform)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	telemetry := flag.Bool("telemetry", false, "print the Lauberhorn NIC's per-service telemetry")
+	churn := flag.Duration("churn", 0, "rotate the hot service set at this period (0 = stable)")
+	flag.Parse()
+
+	var sz workload.SizeDist = workload.FixedSize{N: *size}
+	if *size == 0 {
+		sz = workload.CloudRPC()
+	}
+	var pop *workload.Zipf
+	if *zipf > 0 {
+		pop = workload.NewZipf(*services, *zipf)
+	}
+	arr := workload.RatePerSec(*rate)
+	st := sim.Time(service.Nanoseconds()) * sim.Nanosecond
+
+	var rig *experiments.Rig
+	switch *stack {
+	case "lauberhorn":
+		rig = experiments.LauberhornRig(*seed, *cores, *services, st, sz, arr, pop)
+	case "bypass":
+		rig = experiments.BypassRig(*seed, *cores, *services, st, sz, arr, pop)
+	case "kernel":
+		rig = experiments.KstackRig(*seed, *cores, *services, st, sz, arr, pop)
+	case "enzian":
+		rig = experiments.KstackEnzianRig(*seed, *cores, *services, st, sz, arr, pop)
+	default:
+		fmt.Fprintf(os.Stderr, "lhsim: unknown stack %q\n", *stack)
+		os.Exit(1)
+	}
+
+	if *churn > 0 {
+		rig.Gen.SetChurn(sim.Time(churn.Nanoseconds()) * sim.Nanosecond)
+	}
+	simWarm := sim.Time(warm.Nanoseconds()) * sim.Nanosecond
+	simDur := sim.Time(dur.Nanoseconds()) * sim.Nanosecond
+	rig.RunMeasured(simWarm, simDur)
+
+	fmt.Printf("stack: %s   cores: %d   services: %d   rate: %.0f rps   window: %v\n",
+		rig.Label, *cores, *services, *rate, dur)
+	fmt.Printf("sent: %d   served: %d\n", rig.MeasuredSent(), rig.MeasuredServed())
+	fmt.Printf("latency: %s\n", rig.Gen.Latency.Summary(float64(sim.Microsecond), "us"))
+	fmt.Printf("cycles/request: %.0f   energy: %.3f J\n", rig.CyclesPerRequest(), rig.Energy())
+	fmt.Println("per-core residency:")
+	for _, c := range rig.Cores {
+		fmt.Printf("  core%d: user=%v kernel=%v spin=%v stall=%v idle=%v\n",
+			c.ID(), c.Residency(cpu.User), c.Residency(cpu.Kernel),
+			c.Residency(cpu.Spin), c.Residency(cpu.Stall), c.Residency(cpu.Idle))
+	}
+	if rig.LH != nil {
+		s := rig.LH.NIC.Stats()
+		fmt.Printf("lauberhorn NIC: fast=%d kernel=%d softnotify=%d tryagain=%d retire=%d\n",
+			s.FastDispatch, s.KernDispatch, s.SoftNotify, s.TryAgains, s.Retires)
+		if *telemetry {
+			fmt.Print(rig.LH.NIC.TelemetryReport())
+		}
+	} else if *telemetry {
+		fmt.Println("(-telemetry is only available on the lauberhorn stack)")
+	}
+}

@@ -1,0 +1,14 @@
+// Package lauberhorn is a simulation-based reproduction of "The NIC
+// should be part of the OS." (Xu & Roscoe, HotOS '25): a deterministic,
+// cycle-approximate model of a server whose smart NIC is a trusted OS
+// component, terminating the cache-coherence protocol, dispatching RPCs
+// directly into stalled CPU loads, and driving scheduling decisions —
+// alongside complete kernel-bypass and in-kernel baseline stacks built on
+// the same substrates.
+//
+// The implementation lives under internal/: see internal/core for the
+// paper's contribution, internal/experiments for the per-figure
+// reproductions, cmd/ for the CLIs, and examples/ for runnable
+// walkthroughs. bench_test.go in this directory regenerates every table
+// and figure via `go test -bench .`.
+package lauberhorn

@@ -1,0 +1,70 @@
+// Quickstart: build a Lauberhorn host, register an echo service, attach a
+// load generator over a simulated 100GbE link, run for 100 simulated
+// milliseconds, and print the latency distribution.
+//
+// This is the smallest end-to-end use of the library: one service, one
+// core, Poisson arrivals. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+func main() {
+	// A simulator: all time below is simulated picoseconds, fully
+	// deterministic for a given seed.
+	s := sim.New(42)
+
+	// The server machine: 1 core, ECI-attached Lauberhorn NIC.
+	serverEP := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}}
+	host := core.NewHost(s, core.DefaultHostConfig(serverEP, 1))
+
+	// An echo service: the handler returns its request and consumes 500ns
+	// of simulated CPU.
+	echo := &rpc.ServiceDesc{
+		ID:   1,
+		Name: "echo",
+		Methods: []rpc.MethodDesc{{
+			ID: 1, Name: "echo", CodeAddr: 0x400000,
+			Handler: func(req []byte) ([]byte, sim.Time) {
+				return req, 500 * sim.Nanosecond
+			},
+		}},
+	}
+	host.RegisterService(echo, 9000, 0)
+	host.Start()
+
+	// The network and a client generator: open-loop Poisson at 50 krps,
+	// 64-byte requests.
+	link := fabric.NewLink(s, fabric.Net100G)
+	clientEP := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}}
+	gen := workload.NewGenerator(s, workload.Config{
+		Client:   clientEP,
+		Server:   serverEP,
+		Targets:  []workload.Target{{Port: 9000, Service: 1, Method: 1, Size: workload.FixedSize{N: 64}}},
+		Arrivals: workload.RatePerSec(50_000),
+	}, link, 0)
+	link.Attach(gen, host.NIC)
+	host.NIC.AttachLink(link, 1)
+
+	// Run 100 simulated milliseconds.
+	gen.Start(100 * sim.Millisecond)
+	s.RunUntil(120 * sim.Millisecond)
+
+	fmt.Println("lauberhorn quickstart")
+	fmt.Printf("  sent:      %d\n", gen.Sent)
+	fmt.Printf("  served:    %d\n", host.Served(1))
+	fmt.Printf("  latency:   %s\n", gen.Latency.Summary(float64(sim.Microsecond), "us"))
+	st := host.NIC.Stats()
+	fmt.Printf("  dispatch:  fast=%d kernel=%d tryagain=%d\n",
+		st.FastDispatch, st.KernDispatch, st.TryAgains)
+}

@@ -1,0 +1,171 @@
+// Package bypass models a kernel-bypass dataplane in the style of IX,
+// Arrakis and Demikernel: each worker owns a NIC receive queue mapped into
+// user space, busy-polls it with interrupts disabled, and runs RPC handlers
+// to completion with no syscalls on the data path.
+//
+// This is the paper's performance baseline — the fastest of the
+// traditional stacks when workers are statically provisioned one-per-core,
+// and the least flexible otherwise: an idle worker still burns a core
+// (Spin power), and when services outnumber cores, workers time-share
+// cores on the kernel's quantum and requests for descheduled services wait
+// out entire time slices (experiment E4).
+package bypass
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// Costs are the user-space per-packet costs of the bypass dataplane.
+// They are deliberately lean: this is a tuned dataplane OS, not sockets.
+type Costs struct {
+	// PollDiscover is the time from a packet landing in the ring to the
+	// poll loop picking it up (average half a poll-iteration).
+	PollDiscover sim.Time
+	// RxProcess is user-space protocol handling per packet (headers
+	// already verified by NIC offloads).
+	RxProcess sim.Time
+	// TxBuild covers building headers + the TX descriptor.
+	TxBuild sim.Time
+}
+
+// DefaultCosts returns the cost set used by the experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		PollDiscover: 40 * sim.Nanosecond,
+		RxProcess:    250 * sim.Nanosecond,
+		TxBuild:      200 * sim.Nanosecond,
+	}
+}
+
+// WorkerConfig describes one bypass worker: a service bound to a NIC
+// queue.
+type WorkerConfig struct {
+	Queue    *nicdma.RxQueue
+	NIC      *nicdma.NIC
+	Local    wire.Endpoint // source endpoint for responses
+	Registry *rpc.Registry
+	Codec    rpc.CostModel
+	Costs    Costs
+	// OnResponse observes responses before transmit (tests/metrics).
+	OnResponse func(m *rpc.Message)
+	// OnServed is called after each request completes, with the request
+	// message and its queue residence time (ring arrival → response
+	// transmitted).
+	OnServed func(m *rpc.Message)
+}
+
+// Stats counts worker activity.
+type Stats struct {
+	Served   uint64
+	BadRPC   uint64
+	NoMethod uint64
+}
+
+// Worker is the state of one bypass poll-loop thread.
+type Worker struct {
+	cfg   WorkerConfig
+	stats Stats
+	ipID  uint16
+}
+
+// NewWorker validates the configuration and returns a worker whose Loop is
+// a thread body for kernel.Spawn/SpawnPinned.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Queue == nil || cfg.NIC == nil || cfg.Registry == nil {
+		panic("bypass: incomplete worker config")
+	}
+	cfg.Queue.DisableIRQ()
+	return &Worker{cfg: cfg}
+}
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// Loop is the run-to-completion poll loop (a thread body).
+func (w *Worker) Loop(tc *kernel.TC) {
+	w.poll(tc)
+}
+
+func (w *Worker) poll(tc *kernel.TC) {
+	// Honour a deferred preemption (we might have been spinning when the
+	// kernel decided to take the core away).
+	if tc.Thread().PreemptPending() {
+		tc.Thread().ClearPreempt()
+		tc.Yield(func(tc2 *kernel.TC) { w.poll(tc2) })
+		return
+	}
+	d := w.cfg.Queue.Poll()
+	if d == nil {
+		// Park on the empty ring, burning Spin power until a packet
+		// lands, then pay the discovery cost. The wait is preemptible:
+		// if the kernel time-slices us out (services > cores), we
+		// re-enter the poll loop when rescheduled.
+		tc.SpinWait(func(complete func()) {
+			w.cfg.Queue.OnArrival(complete)
+		}, func() {
+			tc.Run(w.cfg.Costs.PollDiscover, cpu.Spin, func() { w.poll(tc) })
+		}, func(tc2 *kernel.TC) {
+			w.poll(tc2)
+		})
+		return
+	}
+	w.serve(tc, d)
+}
+
+func (w *Worker) serve(tc *kernel.TC, d *wire.Datagram) {
+	msg, err := rpc.Decode(d.Payload)
+	if err != nil {
+		w.stats.BadRPC++
+		w.poll(tc)
+		return
+	}
+	c := w.cfg
+	work := c.Costs.RxProcess + c.Codec.Unmarshal(len(msg.Body)) + c.Codec.DispatchLookup
+	tc.RunUser(work, func() {
+		svc := c.Registry.Lookup(msg.Service)
+		var m *rpc.MethodDesc
+		if svc != nil {
+			m = svc.Method(msg.Method)
+		}
+		status := uint16(rpc.StatusOK)
+		var body []byte
+		var service sim.Time
+		if m == nil {
+			w.stats.NoMethod++
+			status = rpc.StatusNoSuchMethod
+		} else {
+			body, service = m.Handler(msg.Body)
+		}
+		tc.RunUser(service, func() {
+			resp := rpc.EncodeResponse(msg.Service, msg.Method, msg.ID, status, body)
+			tx := c.Codec.Marshal(len(body)) + c.Costs.TxBuild + c.NIC.DoorbellCost()
+			tc.RunUser(tx, func() {
+				w.ipID++
+				src := c.Local
+				dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
+				frame, err := wire.BuildUDP(src, dst, w.ipID, resp)
+				if err != nil {
+					panic(fmt.Sprintf("bypass: tx: %v", err))
+				}
+				if c.OnResponse != nil {
+					if rm, err := rpc.Decode(resp); err == nil {
+						c.OnResponse(rm)
+					}
+				}
+				c.NIC.Transmit(frame)
+				w.stats.Served++
+				if c.OnServed != nil {
+					c.OnServed(msg)
+				}
+				w.poll(tc)
+			})
+		})
+	})
+}

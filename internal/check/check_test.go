@@ -1,0 +1,128 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtocolCorrect(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 3, Preempts: 1}), Options{})
+	if !res.OK() {
+		t.Fatalf("correct protocol failed checking: %v", res)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if !res.AcceptReachable {
+		t.Fatal("quiescent state unreachable")
+	}
+	if res.StatesExplored < 20 {
+		t.Errorf("suspiciously few states: %d", res.StatesExplored)
+	}
+	t.Logf("correct model: %v", res)
+}
+
+func TestProtocolCorrectLarger(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 5, Preempts: 2}), Options{})
+	if !res.OK() {
+		t.Fatalf("larger model failed: %v", res)
+	}
+	if res.Truncated {
+		t.Fatal("truncated; raise bounds")
+	}
+	t.Logf("larger model: %v", res)
+}
+
+func TestNoTryAgainDeadlocks(t *testing.T) {
+	// Without TryAgain, a preemption request against a stalled core can
+	// never be honoured once traffic stops — the exact wedge §5.1's
+	// 15 ms dummy message exists to prevent.
+	res := Run(NewModel(ModelConfig{Packets: 1, Preempts: 1, BugNoTryAgain: true}), Options{})
+	if res.Violation == nil || res.Violation.Kind != "deadlock" {
+		t.Fatalf("expected deadlock, got %v", res)
+	}
+	if len(res.Violation.Path) == 0 {
+		t.Error("no counterexample trace")
+	}
+	t.Logf("counterexample:\n%s", res.Violation)
+}
+
+func TestSkipRecallLosesResponse(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 2, Preempts: 0, BugSkipRecall: true}), Options{})
+	if res.Violation != nil {
+		// Either verdict is a catch, but the expected one is
+		// unreachable acceptance.
+		t.Logf("violation found: %v", res.Violation)
+		return
+	}
+	if res.AcceptReachable {
+		t.Fatal("lost responses went undetected")
+	}
+}
+
+func TestStickyAwaitingDuplicatesResponse(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 3, Preempts: 0, BugStickyAwaiting: true}), Options{})
+	if res.Violation == nil {
+		t.Fatalf("duplicate transmit undetected: %v", res)
+	}
+	if res.Violation.Kind != "invariant" {
+		t.Errorf("kind %q, want invariant", res.Violation.Kind)
+	}
+	if !strings.Contains(res.Violation.Err.Error(), "duplicate") &&
+		!strings.Contains(res.Violation.Err.Error(), "sent") {
+		t.Errorf("unexpected error: %v", res.Violation.Err)
+	}
+	t.Logf("counterexample:\n%s", res.Violation)
+}
+
+func TestMaxStatesTruncates(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 5, Preempts: 2}), Options{MaxStates: 10})
+	if !res.Truncated {
+		t.Fatal("MaxStates ignored")
+	}
+	if res.StatesExplored > 10 {
+		t.Errorf("explored %d > cap", res.StatesExplored)
+	}
+}
+
+func TestMaxDepthTruncates(t *testing.T) {
+	res := Run(NewModel(ModelConfig{Packets: 5, Preempts: 2}), Options{MaxDepth: 2})
+	if !res.Truncated {
+		t.Fatal("MaxDepth ignored")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	ok := Run(NewModel(ModelConfig{Packets: 1}), Options{})
+	if !strings.Contains(ok.String(), "OK") {
+		t.Errorf("String %q", ok.String())
+	}
+	bad := Run(NewModel(ModelConfig{Packets: 1, Preempts: 1, BugNoTryAgain: true}), Options{})
+	if !strings.Contains(bad.String(), "VIOLATION") {
+		t.Errorf("String %q", bad.String())
+	}
+}
+
+func TestDefaultPackets(t *testing.T) {
+	res := Run(NewModel(ModelConfig{}), Options{})
+	if !res.OK() {
+		t.Fatalf("default config failed: %v", res)
+	}
+}
+
+func TestStateSpaceGrowsWithPackets(t *testing.T) {
+	small := Run(NewModel(ModelConfig{Packets: 2}), Options{})
+	big := Run(NewModel(ModelConfig{Packets: 6}), Options{})
+	if big.StatesExplored <= small.StatesExplored {
+		t.Errorf("state count did not grow: %d vs %d", small.StatesExplored, big.StatesExplored)
+	}
+}
+
+// Determinism: the same model explores the same number of states.
+func TestCheckerDeterministic(t *testing.T) {
+	a := Run(NewModel(ModelConfig{Packets: 4, Preempts: 1}), Options{})
+	b := Run(NewModel(ModelConfig{Packets: 4, Preempts: 1}), Options{})
+	if a.StatesExplored != b.StatesExplored || a.Transitions != b.Transitions {
+		t.Fatalf("nondeterministic exploration: %v vs %v", a, b)
+	}
+}

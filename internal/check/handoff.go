@@ -1,0 +1,288 @@
+package check
+
+import "fmt"
+
+// HandoffConfig parameterizes the second protocol model: the Fig. 5
+// kernel-dispatch handoff. A core's kernel loop stalls on the kernel
+// control line; the NIC answers with a KDispatch naming a service; the
+// core switches processes, serves the request, writes the response into
+// the *service* channel's line 0 (where the NIC registered its awaiting
+// entry at dispatch time), and continues in the service's user loop on
+// line 1. Retires send the core back to the kernel loop.
+//
+// The subtle correctness property is the awaiting handoff across line
+// pairs: the response to a kernel-dispatched request must be recalled
+// exactly once from the service channel, even under preemptions and
+// retires interleaved with arrivals.
+type HandoffConfig struct {
+	// Packets bounds the arrivals.
+	Packets int
+	// Preempts bounds nondeterministic preemption requests.
+	Preempts int
+	// BugLoseHandoff makes the NIC forget to move its awaiting entry to
+	// the service channel on a kernel dispatch: the response is written
+	// but never recalled.
+	BugLoseHandoff bool
+	// BugRetireBeforeRecall lets the NIC answer a service-line load with
+	// Retire *without* first recalling the paired line's response.
+	BugRetireBeforeRecall bool
+}
+
+// Kernel-handoff CPU phases.
+type hPhase uint8
+
+const (
+	hKIssue hPhase = iota // about to load the kernel line
+	hKWait                // stalled on the kernel line
+	hSwitch               // process switch after KDispatch
+	hServe                // handler running (response goes to sline 0)
+	hUIssue               // about to load service line (cur)
+	hUWait                // stalled on service line (cur)
+	hUServe               // handler running for a user-loop dispatch
+	hUTry                 // TryAgain/Retire decision point on service line
+	hKTry                 // TryAgain received on kernel line
+	hYield                // in the kernel after honouring a preempt
+)
+
+func (p hPhase) String() string {
+	return [...]string{"kissue", "kwait", "kswitch", "kserve", "uissue",
+		"uwait", "userve", "utry", "ktry", "yield"}[p]
+}
+
+// hState is a state of the handoff model. One core, one service channel
+// (two lines), one kernel line pair collapsed to a single logical line
+// (its index plays no role in the property).
+type hState struct {
+	cfg *HandoffConfig
+
+	toArrive int
+	queued   int
+
+	cpu hPhase
+	cur int // service line the user loop uses next (0/1)
+
+	// awaiting[i]: NIC expects a response in service line i.
+	awaiting [2]bool
+	// respReady[i]: CPU wrote a response into service line i.
+	respReady [2]bool
+	// retired marks that the NIC answered the last service load with
+	// Retire (used to drive the model back to the kernel loop).
+	preemptP bool
+	budget   int
+
+	served int
+	sent   int
+}
+
+// NewHandoffModel returns the initial state.
+func NewHandoffModel(cfg HandoffConfig) State {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 2
+	}
+	c := cfg
+	return &hState{cfg: &c, toArrive: cfg.Packets, cpu: hKIssue, budget: cfg.Preempts}
+}
+
+// Key implements State.
+func (s *hState) Key() string {
+	return fmt.Sprintf("a%d q%d c%v l%d aw%d%d rr%d%d p%v b%d s%d t%d",
+		s.toArrive, s.queued, s.cpu, s.cur,
+		b(s.awaiting[0]), b(s.awaiting[1]), b(s.respReady[0]), b(s.respReady[1]),
+		s.preemptP, s.budget, s.served, s.sent)
+}
+
+func (s *hState) clone() *hState {
+	c := *s
+	return &c
+}
+
+// recall models the NIC seeing a load on service line `loaded` and
+// recalling the paired line's response if one is awaited.
+func (s *hState) recall(loaded int) {
+	pair := 1 - loaded
+	if s.awaiting[pair] && s.respReady[pair] {
+		s.sent++
+		s.awaiting[pair] = false
+		s.respReady[pair] = false
+	}
+}
+
+// Next implements State.
+func (s *hState) Next() []Transition {
+	var out []Transition
+	add := func(a string, t *hState) { out = append(out, Transition{Action: a, To: t}) }
+
+	// Arrivals.
+	if s.toArrive > 0 {
+		t := s.clone()
+		t.toArrive--
+		switch {
+		case t.cpu == hKWait:
+			// Kernel dispatch: the NIC registers its awaiting entry on
+			// the service channel's line 0 (unless buggy).
+			if !s.cfg.BugLoseHandoff {
+				t.awaiting[0] = true
+			}
+			t.served++
+			t.cur = 0
+			t.cpu = hSwitch
+		case t.cpu == hUWait && !t.respReady[t.cur]:
+			t.awaiting[t.cur] = true
+			t.served++
+			t.cpu = hUServe
+		default:
+			t.queued++
+		}
+		add("packet-arrives", t)
+	}
+
+	// TryAgain timers.
+	if s.cpu == hUWait {
+		t := s.clone()
+		t.cpu = hUTry
+		add("nic-tryagain-user", t)
+	}
+	if s.cpu == hKWait {
+		t := s.clone()
+		t.cpu = hKTry
+		add("nic-tryagain-kernel", t)
+	}
+
+	// Preemption requests.
+	if s.budget > 0 {
+		t := s.clone()
+		t.budget--
+		t.preemptP = true
+		switch t.cpu {
+		case hUWait:
+			t.cpu = hUTry
+			add("os-preempt-kick-user", t)
+		case hKWait:
+			t.cpu = hKTry
+			add("os-preempt-kick-kernel", t)
+		default:
+			add("os-preempt-flag", t)
+		}
+	}
+
+	// CPU steps.
+	switch s.cpu {
+	case hKIssue:
+		t := s.clone()
+		if t.queued > 0 {
+			t.queued--
+			if !s.cfg.BugLoseHandoff {
+				t.awaiting[0] = true
+			}
+			t.served++
+			t.cur = 0
+			t.cpu = hSwitch
+			add("cpu-kload-gets-dispatch", t)
+		} else {
+			t.cpu = hKWait
+			add("cpu-kload-defers", t)
+		}
+	case hSwitch:
+		t := s.clone()
+		t.cpu = hServe
+		add("cpu-switched-process", t)
+	case hServe:
+		// Response written to service line 0; continue on line 1.
+		t := s.clone()
+		t.respReady[0] = true
+		t.cur = 1
+		t.cpu = hUIssue
+		add("cpu-writes-response-sline0", t)
+	case hUIssue:
+		// Load service line cur: recall pair, then dispatch/defer/retire.
+		// The injected bug models a shortcut NIC that only recalls when
+		// it has something to dispatch — leaving a response stranded if
+		// the core is later retired while idle.
+		t := s.clone()
+		if !s.cfg.BugRetireBeforeRecall || t.queued > 0 {
+			t.recall(t.cur)
+		}
+		if t.queued > 0 && !t.respReady[t.cur] && !t.awaiting[t.cur] {
+			t.queued--
+			t.awaiting[t.cur] = true
+			t.served++
+			t.cpu = hUServe
+			add("cpu-uload-gets-dispatch", t)
+		} else {
+			t.cpu = hUWait
+			add("cpu-uload-defers", t)
+		}
+	case hUServe:
+		t := s.clone()
+		t.respReady[t.cur] = true
+		t.cur = 1 - t.cur
+		t.cpu = hUIssue
+		add("cpu-writes-response", t)
+	case hUTry:
+		// TryAgain or Retire on the service line. The NIC recalled the
+		// paired response when the load arrived (at hUIssue) — unless
+		// the injected bug skips that and retires a core with a response
+		// still parked in the channel.
+		if s.preemptP {
+			t := s.clone()
+			t.preemptP = false
+			t.cpu = hYield
+			add("cpu-yields", t)
+		} else {
+			t := s.clone()
+			t.cpu = hUIssue
+			add("cpu-reissues-uload", t)
+			// Retire: back to the kernel loop.
+			r := s.clone()
+			r.cpu = hKIssue
+			add("nic-retires-core", r)
+		}
+	case hKTry:
+		if s.preemptP {
+			t := s.clone()
+			t.preemptP = false
+			t.cpu = hYield
+			add("cpu-yields-kernel", t)
+		} else {
+			t := s.clone()
+			t.cpu = hKIssue
+			add("cpu-reissues-kload", t)
+		}
+	case hYield:
+		t := s.clone()
+		t.cpu = hKIssue
+		add("cpu-rescheduled", t)
+	}
+	return out
+}
+
+// Invariant implements State.
+func (s *hState) Invariant() error {
+	if s.sent > s.served {
+		return fmt.Errorf("sent %d > served %d (duplicate response)", s.sent, s.served)
+	}
+	if s.served > s.cfg.Packets {
+		return fmt.Errorf("served %d > %d packets", s.served, s.cfg.Packets)
+	}
+	for i := 0; i < 2; i++ {
+		if s.respReady[i] && !s.awaiting[i] {
+			return fmt.Errorf("response in service line %d with no awaiting entry (lost handoff)", i)
+		}
+	}
+	// A retired/kernel-side core must not leave a response stranded in
+	// the service channel.
+	if s.cpu == hKIssue || s.cpu == hKWait || s.cpu == hKTry {
+		if s.respReady[0] || s.respReady[1] {
+			return fmt.Errorf("core back in kernel loop with un-recalled response in channel")
+		}
+	}
+	return nil
+}
+
+// Accepting implements State.
+func (s *hState) Accepting() bool {
+	return s.toArrive == 0 && s.queued == 0 &&
+		s.served == s.cfg.Packets && s.sent == s.cfg.Packets &&
+		!s.respReady[0] && !s.respReady[1] && !s.preemptP &&
+		(s.cpu == hKWait || s.cpu == hUWait || s.cpu == hKIssue || s.cpu == hUIssue || s.cpu == hYield)
+}

@@ -1,0 +1,59 @@
+package check
+
+import "testing"
+
+func TestHandoffCorrect(t *testing.T) {
+	res := Run(NewHandoffModel(HandoffConfig{Packets: 3, Preempts: 1}), Options{})
+	if !res.OK() {
+		t.Fatalf("handoff model failed: %v\n%v", res, res.Violation)
+	}
+	if res.StatesExplored < 50 {
+		t.Errorf("suspiciously few states: %d", res.StatesExplored)
+	}
+	t.Logf("handoff correct: %v", res)
+}
+
+func TestHandoffCorrectLarger(t *testing.T) {
+	res := Run(NewHandoffModel(HandoffConfig{Packets: 5, Preempts: 2}), Options{})
+	if !res.OK() {
+		t.Fatalf("larger handoff model failed: %v\n%v", res, res.Violation)
+	}
+	t.Logf("handoff larger: %v", res)
+}
+
+func TestHandoffLoseHandoffCaught(t *testing.T) {
+	res := Run(NewHandoffModel(HandoffConfig{Packets: 2, BugLoseHandoff: true}), Options{})
+	if res.Violation == nil {
+		t.Fatalf("lost handoff undetected: %v", res)
+	}
+	if res.Violation.Kind != "invariant" {
+		t.Errorf("kind %q", res.Violation.Kind)
+	}
+	t.Logf("counterexample:\n%s", res.Violation)
+}
+
+func TestHandoffRetireBeforeRecallCaught(t *testing.T) {
+	res := Run(NewHandoffModel(HandoffConfig{Packets: 2, BugRetireBeforeRecall: true}), Options{})
+	if res.OK() {
+		t.Fatalf("retire-before-recall undetected: %v", res)
+	}
+	t.Logf("verdict: %v", res)
+	if res.Violation != nil {
+		t.Logf("counterexample:\n%s", res.Violation)
+	}
+}
+
+func TestHandoffDefaults(t *testing.T) {
+	res := Run(NewHandoffModel(HandoffConfig{}), Options{})
+	if !res.OK() {
+		t.Fatalf("default handoff failed: %v", res)
+	}
+}
+
+func TestHandoffDeterministic(t *testing.T) {
+	a := Run(NewHandoffModel(HandoffConfig{Packets: 4, Preempts: 1}), Options{})
+	b := Run(NewHandoffModel(HandoffConfig{Packets: 4, Preempts: 1}), Options{})
+	if a.StatesExplored != b.StatesExplored {
+		t.Fatal("nondeterministic handoff exploration")
+	}
+}

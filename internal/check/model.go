@@ -1,0 +1,232 @@
+package check
+
+import "fmt"
+
+// ModelConfig parameterizes the Fig. 4 protocol model: one CPU core
+// running the user-mode receive loop against the Lauberhorn NIC, with
+// nondeterministic packet arrivals, TryAgain timer firings, and preemption
+// requests from the OS.
+//
+// Bug switches turn off the mechanisms the protocol relies on, so tests
+// can confirm the checker catches the failures the paper designs against.
+type ModelConfig struct {
+	// Packets is how many requests arrive over the run (bounds the state
+	// space).
+	Packets int
+	// Preempts bounds how many OS preemption requests may occur.
+	Preempts int
+
+	// BugNoTryAgain disables the 15 ms TryAgain timer: a stalled load can
+	// then never be unblocked without traffic — §5.1's unrecoverable
+	// wedge when the OS wants the core back.
+	BugNoTryAgain bool
+	// BugSkipRecall makes the NIC answer the next load without first
+	// fetching the response from the CPU's cache: the response is lost.
+	BugSkipRecall bool
+	// BugStickyAwaiting makes the NIC forget to clear its "response
+	// expected here" entry after a recall, so a later load of the same
+	// line recalls — and transmits — the response a second time.
+	BugStickyAwaiting bool
+}
+
+// CPU phases of the user-mode loop.
+type cpuPhase uint8
+
+const (
+	phIssue  cpuPhase = iota // about to evict+load ctrl line cur
+	phWait                   // load outstanding (stalled)
+	phHandle                 // dispatch received; handler running
+	phTry                    // TryAgain received; deciding what next
+	phYield                  // entered the kernel after preemption
+)
+
+func (p cpuPhase) String() string {
+	return [...]string{"issue", "wait", "handle", "try", "yield"}[p]
+}
+
+// lhState is one state of the protocol model. All fields are small and
+// value-typed so states can be copied and keyed cheaply.
+type lhState struct {
+	cfg *ModelConfig
+
+	toArrive int // packets not yet arrived
+	queued   int // requests in the NIC queue
+	cpu      cpuPhase
+	cur      int  // control line the CPU is using (0/1)
+	preemptP bool // preemption requested, not yet honoured
+	budget   int  // remaining nondeterministic preempts
+
+	dispatched [2]bool // line holds a dispatched, unanswered request
+	respReady  [2]bool // CPU wrote a response into the line (cache M)
+
+	served int // requests dispatched to the CPU
+	sent   int // responses recalled and transmitted
+}
+
+// NewModel returns the initial state.
+func NewModel(cfg ModelConfig) State {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 2
+	}
+	c := cfg
+	return &lhState{cfg: &c, toArrive: cfg.Packets, cpu: phIssue, budget: cfg.Preempts}
+}
+
+// Key implements State.
+func (s *lhState) Key() string {
+	return fmt.Sprintf("a%d q%d c%v l%d p%v b%d d%v%v r%v%v s%d t%d",
+		s.toArrive, s.queued, s.cpu, s.cur, s.preemptP, s.budget,
+		b(s.dispatched[0]), b(s.dispatched[1]), b(s.respReady[0]), b(s.respReady[1]),
+		s.served, s.sent)
+}
+
+func b(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (s *lhState) clone() *lhState {
+	c := *s
+	return &c
+}
+
+// recallIfNeeded models the NIC observing a load on line `loaded` and
+// first fetching the response out of the paired line (FetchExclusive +
+// transmit).
+func (s *lhState) recallIfNeeded(loaded int) {
+	pair := 1 - loaded
+	if s.respReady[pair] {
+		if !s.cfg.BugSkipRecall {
+			s.sent++
+		}
+		if !s.cfg.BugStickyAwaiting {
+			s.respReady[pair] = false
+		}
+	}
+}
+
+// Next implements State.
+func (s *lhState) Next() []Transition {
+	var out []Transition
+	add := func(action string, t *lhState) {
+		out = append(out, Transition{Action: action, To: t})
+	}
+
+	// Packet arrival: decode and either queue or answer a waiting load.
+	if s.toArrive > 0 {
+		t := s.clone()
+		t.toArrive--
+		if t.cpu == phWait && !t.dispatched[t.cur] && !t.respReady[t.cur] {
+			// Dispatch directly into the stalled load.
+			t.dispatched[t.cur] = true
+			t.served++
+			t.cpu = phHandle
+		} else {
+			t.queued++
+		}
+		add("packet-arrives", t)
+	}
+
+	// TryAgain timer: any stalled load may be answered with a dummy.
+	if s.cpu == phWait && !s.cfg.BugNoTryAgain {
+		t := s.clone()
+		t.cpu = phTry
+		add("nic-tryagain", t)
+	}
+
+	// OS preemption request (IPI); if the CPU is stalled the OS also
+	// kicks the NIC, which immediately TryAgains the load.
+	if s.budget > 0 {
+		t := s.clone()
+		t.budget--
+		t.preemptP = true
+		if t.cpu == phWait {
+			t.cpu = phTry // kicked
+			add("os-preempt-kick", t)
+		} else {
+			add("os-preempt-flag", t)
+		}
+	}
+
+	// CPU steps.
+	switch s.cpu {
+	case phIssue:
+		// Evict + load ctrl line `cur`. The NIC sees the load and first
+		// recalls the paired line's response, then either answers from
+		// the queue or defers.
+		t := s.clone()
+		t.recallIfNeeded(t.cur)
+		if t.queued > 0 && !t.dispatched[t.cur] && !t.respReady[t.cur] {
+			t.queued--
+			t.dispatched[t.cur] = true
+			t.served++
+			t.cpu = phHandle
+			add("cpu-load-gets-dispatch", t)
+		} else {
+			t.cpu = phWait
+			add("cpu-load-defers", t)
+		}
+	case phHandle:
+		// Handler completes; response written into the same line; CPU
+		// moves to the paired line.
+		t := s.clone()
+		t.dispatched[t.cur] = false
+		t.respReady[t.cur] = true
+		t.cur = 1 - t.cur
+		t.cpu = phIssue
+		add("cpu-writes-response", t)
+	case phTry:
+		if s.preemptP {
+			t := s.clone()
+			t.preemptP = false
+			t.cpu = phYield
+			add("cpu-yields", t)
+		} else {
+			t := s.clone()
+			t.cpu = phIssue
+			add("cpu-reissues-load", t)
+		}
+	case phYield:
+		// The kernel eventually reschedules the worker.
+		t := s.clone()
+		t.cpu = phIssue
+		add("cpu-rescheduled", t)
+	}
+
+	return out
+}
+
+// Invariant implements State: safety properties of the protocol.
+func (s *lhState) Invariant() error {
+	for i := 0; i < 2; i++ {
+		if s.dispatched[i] && s.respReady[i] {
+			return fmt.Errorf("line %d holds both a dispatch and a response", i)
+		}
+	}
+	if s.sent > s.served {
+		return fmt.Errorf("sent %d responses for %d dispatched requests (duplicate)", s.sent, s.served)
+	}
+	if s.served > s.cfg.Packets {
+		return fmt.Errorf("served %d of %d packets (duplicate dispatch)", s.served, s.cfg.Packets)
+	}
+	if s.dispatched[0] && s.dispatched[1] {
+		return fmt.Errorf("two requests dispatched concurrently to one core")
+	}
+	if (s.dispatched[0] || s.dispatched[1]) && s.cpu != phHandle {
+		return fmt.Errorf("request dispatched but CPU in phase %v", s.cpu)
+	}
+	return nil
+}
+
+// Accepting implements State: every packet has arrived, been served, and
+// had its response transmitted; the CPU is parked (stalled or issuing)
+// with no outstanding preemption.
+func (s *lhState) Accepting() bool {
+	return s.toArrive == 0 && s.queued == 0 &&
+		s.served == s.cfg.Packets && s.sent == s.cfg.Packets &&
+		!s.respReady[0] && !s.respReady[1] &&
+		!s.preemptP &&
+		(s.cpu == phWait || s.cpu == phIssue || s.cpu == phYield)
+}

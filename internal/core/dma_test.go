@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+// dmaRig builds a 1-core echo host with a configurable DMA threshold.
+func dmaRig(t *testing.T, threshold int) (*sim.Sim, *Host, *testClient) {
+	t.Helper()
+	s := sim.New(31)
+	cfg := DefaultHostConfig(serverEP, 1)
+	cfg.NIC.DMAThreshold = threshold
+	h := NewHost(s, cfg)
+	link := fabric.NewLink(s, fabric.Net100G)
+	client := &testClient{s: s, link: link, sentAt: map[uint64]sim.Time{}, rtts: map[uint64]sim.Time{}}
+	link.Attach(client, h.NIC)
+	h.NIC.AttachLink(link, 1)
+	h.RegisterService(&rpc.ServiceDesc{ID: 1, Name: "echo", Methods: []rpc.MethodDesc{{
+		ID: 1, Name: "echo",
+		Handler: func(req []byte) ([]byte, sim.Time) { return req, 0 },
+	}}}, 9000, 0)
+	h.Start()
+	return s, h, client
+}
+
+func TestDMAFallbackPayloadIntegrity(t *testing.T) {
+	s, _, client := dmaRig(t, 4096)
+	s.RunUntil(sim.Millisecond)
+	payload := make([]byte, 8000)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	client.send(t, 9000, 1, 1, 1, payload)
+	s.RunUntil(30 * sim.Millisecond)
+	if len(client.resps) != 1 {
+		t.Fatalf("%d responses", len(client.resps))
+	}
+	if !bytes.Equal(client.resps[0].Body, payload) {
+		t.Fatal("8KB payload corrupted through DMA path")
+	}
+}
+
+func TestDMAFallbackOnlyAboveThreshold(t *testing.T) {
+	s, h, client := dmaRig(t, 4096)
+	s.RunUntil(sim.Millisecond)
+	client.send(t, 9000, 1, 1, 1, make([]byte, 1000)) // below: aux lines
+	s.RunUntil(10 * sim.Millisecond)
+	client.send(t, 9000, 1, 1, 2, make([]byte, 6000)) // above: DMA
+	s.RunUntil(30 * sim.Millisecond)
+	if len(client.resps) != 2 {
+		t.Fatalf("%d responses", len(client.resps))
+	}
+	_ = h
+}
+
+func TestDMAFallbackFasterForLargeMessages(t *testing.T) {
+	const size = 8000
+	rtt := func(threshold int) sim.Time {
+		s, _, client := dmaRig(t, threshold)
+		s.RunUntil(sim.Millisecond)
+		client.send(t, 9000, 1, 1, 1, make([]byte, size)) // warm
+		s.RunUntil(20 * sim.Millisecond)
+		client.send(t, 9000, 1, 1, 2, make([]byte, size))
+		s.RunUntil(40 * sim.Millisecond)
+		return client.rtts[2]
+	}
+	pure := rtt(0)
+	hybrid := rtt(4096)
+	if hybrid >= pure {
+		t.Fatalf("hybrid %v not faster than cache-line %v at %dB", hybrid, pure, size)
+	}
+}
+
+func TestDMAFallbackSameLatencySmall(t *testing.T) {
+	const size = 300
+	rtt := func(threshold int) sim.Time {
+		s, _, client := dmaRig(t, threshold)
+		s.RunUntil(sim.Millisecond)
+		client.send(t, 9000, 1, 1, 1, make([]byte, size))
+		s.RunUntil(20 * sim.Millisecond)
+		client.send(t, 9000, 1, 1, 2, make([]byte, size))
+		s.RunUntil(40 * sim.Millisecond)
+		return client.rtts[2]
+	}
+	if a, b := rtt(0), rtt(4096); a != b {
+		t.Fatalf("small-message latency differs with fallback enabled: %v vs %v", a, b)
+	}
+}
+
+func TestDMAConfigValidation(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig(serverEP)
+	cfg.DMAThreshold = 1024
+	cfg.DMA = fabric.ECI // no DMA engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for DMA threshold without DMA fabric")
+		}
+	}()
+	NewNIC(s, cfg, 1)
+}
+
+func TestJumboFramesCarryLargeBodies(t *testing.T) {
+	// The wire layer must carry an 8KB RPC in one frame (jumbo MTU).
+	body := make([]byte, 8000)
+	req := rpc.EncodeRequest(1, 1, 1, 0, body)
+	f, err := wire.BuildUDP(
+		wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}, Port: 1},
+		wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}, Port: 2},
+		1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := wire.ParseUDP(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rpc.Decode(d.Payload)
+	if err != nil || len(m.Body) != 8000 {
+		t.Fatalf("decode: %v, body %d", err, len(m.Body))
+	}
+	_ = workload.CloudRPC() // keep import for future size-mix DMA tests
+}

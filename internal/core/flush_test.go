@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/sim"
+)
+
+// TestNoResponseStrandedUnderPreemption provokes the deschedule race the
+// handoff model surfaced: with an unpinned CPU-bound competitor and a
+// short quantum, the worker's preempt-pending flag is regularly raised
+// while it stalls on the response-store upgrade; the subsequent yield
+// must flush the parked response rather than strand it. Every request
+// must still receive its response.
+func TestNoResponseStrandedUnderPreemption(t *testing.T) {
+	s, h, client := lhRig(t, 1, 2*sim.Microsecond)
+	h.K.Costs.Quantum = 30 * sim.Microsecond
+
+	// A CPU-bound competitor that keeps the run queue non-empty so the
+	// quantum timer fires against the worker.
+	var hog func(tc *kernel.TC)
+	hog = func(tc *kernel.TC) {
+		tc.RunUser(20*sim.Microsecond, func() {
+			tc.Yield(func(tc2 *kernel.TC) { hog(tc2) })
+		})
+	}
+	h.K.Spawn(h.K.NewProcess("hog"), "hog", hog)
+
+	s.RunUntil(sim.Millisecond)
+	const n = 60
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		at := s.Now() + sim.Time(i)*40*sim.Microsecond
+		s.At(at, "send", func() { client.send(t, 9000, 1, 1, id, []byte("x")) })
+	}
+	s.RunUntil(sim.Second)
+	if len(client.resps) != n {
+		t.Fatalf("%d/%d responses; responses stranded by preemption", len(client.resps), n)
+	}
+	// The worker really did take the preempt-pending yield path during
+	// the run (the yield is the only syscall a Lauberhorn worker makes).
+	if h.K.Stats().Syscalls == 0 {
+		t.Fatal("preempt-pending yield path never exercised; tighten the quantum")
+	}
+}
+
+// TestFlushChannelIdempotent checks flushing an empty channel is harmless.
+func TestFlushChannelIdempotent(t *testing.T) {
+	s, h, client := lhRig(t, 1, 0)
+	s.RunUntil(sim.Millisecond)
+	h.NIC.FlushChannel(1, 0) // nothing parked
+	client.send(t, 9000, 1, 1, 1, []byte("a"))
+	s.RunUntil(10 * sim.Millisecond)
+	h.NIC.FlushChannel(1, 0)
+	h.NIC.FlushChannel(99, 0) // unknown service
+	s.RunUntil(20 * sim.Millisecond)
+	if len(client.resps) != 1 {
+		t.Fatalf("%d responses", len(client.resps))
+	}
+	// Still serves afterwards.
+	client.send(t, 9000, 1, 1, 2, []byte("b"))
+	s.RunUntil(40 * sim.Millisecond)
+	if len(client.resps) != 2 {
+		t.Fatal("service wedged after flush")
+	}
+}

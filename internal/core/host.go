@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/mesi"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// HostConfig parameterizes a Lauberhorn host: an OS kernel plus the NIC,
+// joined by the coherent fabric.
+type HostConfig struct {
+	Cores   int
+	FreqGHz float64
+	Kernel  kernel.Costs
+	NIC     Config
+
+	// LoopOverhead is the per-iteration software cost of the receive loop
+	// (evict + re-issue the load): a handful of instructions.
+	LoopOverhead sim.Time
+	// DispatchJump is the cost from the fill returning to the first
+	// handler instruction: read code/data pointers out of the line and
+	// jump (§4: "just the arguments and virtual address of the first
+	// instruction").
+	DispatchJump sim.Time
+	// SchedPushCost is the posted-store cost of pushing one scheduling
+	// update to the NIC; it is added to every context switch. Over ECI
+	// this is a single line write; over PCIe it would be an MMIO write
+	// (experiment E8 compares).
+	SchedPushCost sim.Time
+
+	// SoftwareCodec disables the NIC's RPC deserializer ablation-style:
+	// the host pays Codec costs per request as the software stacks do
+	// (experiment E10 "minus NIC decode").
+	SoftwareCodec bool
+	// Codec supplies the software (un)marshal cost model when
+	// SoftwareCodec is set.
+	Codec rpc.CostModel
+}
+
+// DefaultHostConfig returns the configuration used by the experiments.
+func DefaultHostConfig(local wire.Endpoint, cores int) HostConfig {
+	return HostConfig{
+		Cores:         cores,
+		FreqGHz:       2.5,
+		Kernel:        kernel.DefaultCosts(),
+		NIC:           DefaultConfig(local),
+		LoopOverhead:  20 * sim.Nanosecond,
+		DispatchJump:  15 * sim.Nanosecond,
+		SchedPushCost: 60 * sim.Nanosecond,
+		Codec:         rpc.DefaultCostModel(),
+	}
+}
+
+// Host is a machine running Lauberhorn: kernel, NIC, per-core coherent
+// caches, and the per-core worker threads that execute the Fig. 5 loops.
+type Host struct {
+	Sim *sim.Sim
+	K   *kernel.Kernel
+	NIC *NIC
+
+	cfg      HostConfig
+	caches   []*mesi.Cache
+	registry *rpc.Registry
+	procs    map[uint32]*kernel.Process
+	workers  []*kernel.Thread
+
+	// Served counts completed requests per service.
+	served map[uint32]uint64
+	// OnServed observes every served request (svc, rpc ID) just after
+	// the response line is handed to the NIC.
+	OnServed func(svc uint32, rpcID uint64)
+
+	// async overrides methods with suspending handlers (nested RPC).
+	async map[uint64]AsyncHandler
+	// clientChans are the lazily-allocated per-core outbound channels.
+	clientChans    map[int]*ClientChan
+	nextCallSerial uint64
+}
+
+// AsyncHandler is a suspending request handler: it may consume CPU via tc
+// and issue nested outbound RPCs (Host.Call) before invoking respond
+// exactly once. coreID identifies the core the handler runs on (for
+// Host.Call's channel).
+type AsyncHandler func(tc *kernel.TC, coreID int, req []byte, respond func(status uint16, body []byte))
+
+// NewHost builds the host. Call RegisterService for each service, then
+// Start.
+func NewHost(s *sim.Sim, cfg HostConfig) *Host {
+	if cfg.Cores <= 0 {
+		panic("core: host needs cores")
+	}
+	k := kernel.New(s, cfg.Cores, cfg.FreqGHz, cfg.Kernel)
+	// Every context switch also pushes scheduling state to the NIC (§4).
+	k.Costs.ContextSwitch += cfg.SchedPushCost
+	n := NewNIC(s, cfg.NIC, cfg.Cores)
+	h := &Host{
+		Sim:         s,
+		K:           k,
+		NIC:         n,
+		cfg:         cfg,
+		registry:    rpc.NewRegistry(),
+		procs:       make(map[uint32]*kernel.Process),
+		served:      make(map[uint32]uint64),
+		async:       make(map[uint64]AsyncHandler),
+		clientChans: make(map[int]*ClientChan),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.caches = append(h.caches, mesi.NewCache(s, fmt.Sprintf("core%d", i),
+			func(mesi.LineAddr) *mesi.Directory { return n.Directory() }))
+	}
+	k.SchedHook = func(coreID int, running *kernel.Thread) {
+		pid := 0
+		if running != nil {
+			pid = running.Proc().PID
+		}
+		n.SchedUpdate(coreID, pid)
+	}
+	// The NIC reclaims a core when a service backs up with nobody
+	// polling: ask an idle poller above its floor to retire.
+	n.NotifyOS = func(svc uint32) { h.reclaimCore() }
+	n.OnBacklog = func(svc uint32) { h.reclaimCore() }
+	// Non-RPC work must not wait out a TryAgain period behind stalled
+	// workers: when a thread is runnable and every core is parked in a
+	// Lauberhorn wait, kick the idlest one so it yields within
+	// microseconds (§5.2).
+	k.EnqueueHook = func(t *kernel.Thread) { h.kickForRunnable() }
+	return h
+}
+
+// kickForRunnable preempt-kicks one stalled worker (idle service poller
+// preferred, else a kernel-line poller) so a runnable non-RPC thread gets
+// a core promptly. Cores are scanned in ID order for determinism.
+func (h *Host) kickForRunnable() {
+	pick := -1
+	for coreID := 0; coreID < h.cfg.Cores; coreID++ {
+		p, ok := h.NIC.pendingByCore[coreID]
+		if !ok {
+			continue
+		}
+		region, svc, _, _ := splitAddr(p.addr)
+		if region == regionClient {
+			continue // mid-call; not reclaimable
+		}
+		if region == regionService {
+			if ep := h.NIC.endpoints[svc]; ep != nil && len(ep.queue) > 0 {
+				continue // busy service
+			}
+			pick = coreID
+			break // idle user poller: best choice
+		}
+		if pick < 0 {
+			pick = coreID // kernel poller: acceptable fallback
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	t := h.workers[pick]
+	h.K.Preempt(t)
+	h.NIC.Kick(pick)
+}
+
+// Config returns the host configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// Registry returns the host's RPC service registry.
+func (h *Host) Registry() *rpc.Registry { return h.registry }
+
+// Served returns completed requests for a service.
+func (h *Host) Served(svc uint32) uint64 { return h.served[svc] }
+
+// RegisterService installs a service: an OS process, registry entry, and
+// the NIC endpoint (code/data pointers, demux key — the OS state the
+// paper shares with the NIC).
+func (h *Host) RegisterService(desc *rpc.ServiceDesc, port uint16, minWorkers int) *Endpoint {
+	h.registry.Register(desc)
+	proc := h.K.NewProcess(desc.Name)
+	h.procs[desc.ID] = proc
+	return h.NIC.RegisterService(desc, proc.PID, port, minWorkers)
+}
+
+// Start spawns one pinned kernel worker per core, each running the Fig. 5
+// dispatch loop, and enables the NIC's retire policy.
+func (h *Host) Start() {
+	if len(h.workers) > 0 {
+		panic("core: host already started")
+	}
+	h.NIC.RetirePolicy = true
+	for i := 0; i < h.cfg.Cores; i++ {
+		coreID := i
+		t := h.K.SpawnPinned(kernel.KernelProc, fmt.Sprintf("lh-worker%d", coreID), coreID,
+			func(tc *kernel.TC) { h.kernelLoop(tc, coreID, 0) })
+		h.workers = append(h.workers, t)
+	}
+}
+
+// Worker returns the worker thread for a core (valid after Start).
+func (h *Host) Worker(coreID int) *kernel.Thread { return h.workers[coreID] }
+
+// SetAsyncHandler replaces svc/method's plain handler with a suspending
+// one that may issue nested RPCs before responding (§6: nested RPCs with
+// a dedicated reply endpoint).
+func (h *Host) SetAsyncHandler(svc uint32, method uint16, fn AsyncHandler) {
+	if fn == nil {
+		panic("core: nil async handler")
+	}
+	h.async[uint64(svc)<<16|uint64(method)] = fn
+}
+
+// SetSoftwareCodec enables the "minus NIC decode" ablation: the host pays
+// the given software (un)marshal cost model per request, as the
+// traditional stacks do.
+func (h *Host) SetSoftwareCodec(c rpc.CostModel) {
+	h.cfg.SoftwareCodec = true
+	h.cfg.Codec = c
+}
+
+// SetDynamicScheduling toggles NIC-driven core reallocation: the retire
+// policy and backlog-triggered reclamation. Disabling it is the E10
+// "minus NIC-driven scheduling" ablation — cores keep polling whichever
+// service they served first (static binding, as a bypass runtime would),
+// and requests for unpolled services are only picked up when a core
+// happens to pass through the kernel loop.
+func (h *Host) SetDynamicScheduling(on bool) {
+	h.NIC.RetirePolicy = on
+	if on {
+		h.NIC.NotifyOS = func(svc uint32) { h.reclaimCore() }
+		h.NIC.OnBacklog = func(svc uint32) { h.reclaimCore() }
+	} else {
+		h.NIC.NotifyOS = nil
+		h.NIC.OnBacklog = nil
+	}
+}
+
+// Deschedule forcibly reclaims a core whose worker is stalled: IPI plus an
+// immediate TryAgain kick (§5.1's clean descheduling of a blocked
+// process).
+func (h *Host) Deschedule(coreID int) {
+	t := h.workers[coreID]
+	h.K.Preempt(t)
+	h.NIC.Kick(coreID)
+}
+
+// reclaimCore finds a core idling in a user-mode loop (stalled, service
+// queue empty, above its endpoint's worker floor) and retires it so its
+// worker returns to the kernel loop and picks up starved work. Cores are
+// scanned in ID order for determinism.
+func (h *Host) reclaimCore() {
+	for coreID := 0; coreID < h.cfg.Cores; coreID++ {
+		p, ok := h.NIC.pendingByCore[coreID]
+		if !ok || p.kernel {
+			continue
+		}
+		if region, _, _, _ := splitAddr(p.addr); region != regionService {
+			// A client-channel wait (nested call in flight) is not a
+			// reclaimable idle poller.
+			continue
+		}
+		ep := h.NIC.endpoints[p.svc]
+		if len(ep.queue) > 0 {
+			continue // busy service; don't steal
+		}
+		if len(ep.waiters) <= ep.minWorkers {
+			continue
+		}
+		h.NIC.RetireCore(coreID)
+		return
+	}
+}
+
+// ---- the Fig. 5 loops ----
+
+// kernelLoop is the per-core kernel dispatch loop: stall on the kernel
+// control line; on KDispatch, switch into the target process and serve.
+func (h *Host) kernelLoop(tc *kernel.TC, coreID, cur int) {
+	if tc.Thread().PreemptPending() {
+		tc.Thread().ClearPreempt()
+		tc.Yield(func(tc2 *kernel.TC) { h.kernelLoop(tc2, coreID, cur) })
+		return
+	}
+	addr := kernelCtrl(coreID, cur)
+	cache := h.caches[coreID]
+	cache.Evict(addr, nil)
+	var line []byte
+	tc.StallOn(func(complete func()) {
+		cache.Load(addr, func(data []byte) { line = data; complete() })
+	}, func() {
+		p := parseDispatchLine(line)
+		switch p.Marker {
+		case MarkerTryAgain, MarkerRetire:
+			// Nothing to do; re-poll (this is where a conventional
+			// kernel thread would run RCU callbacks, schedule(), etc.).
+			tc.Run(h.cfg.LoopOverhead, cpu.Kernel, func() { h.kernelLoop(tc, coreID, cur^1) })
+		case MarkerKDispatch:
+			// Switch into the service's process and serve the request;
+			// afterwards the core stays in the process's user loop.
+			proc := h.procs[p.Svc]
+			if proc == nil {
+				panic(fmt.Sprintf("core: KDispatch for unknown service %d", p.Svc))
+			}
+			cost := h.K.Costs.AddrSpaceSwitch + h.cfg.SchedPushCost
+			tc.Run(cost, cpu.Kernel, func() {
+				tc.Thread().SetProc(proc)
+				h.NIC.SchedUpdate(coreID, proc.PID)
+				// Response goes to the service channel's line 0 (the NIC
+				// registered that expectation at dispatch); continue in
+				// the user loop on line 1.
+				h.serve(tc, coreID, p, svcCtrl(p.Svc, coreID, 0), func() {
+					h.userLoop(tc, coreID, p.Svc, 1)
+				})
+			})
+		default:
+			panic(fmt.Sprintf("core: unexpected marker %d on kernel line", p.Marker))
+		}
+	})
+}
+
+// userLoop is the per-(service, core) user-mode loop: stall on the service
+// control line; dispatches arrive with essentially zero software overhead.
+func (h *Host) userLoop(tc *kernel.TC, coreID int, svc uint32, cur int) {
+	if tc.Thread().PreemptPending() {
+		// Enter the kernel via a voluntary yield (the §5.2 "process can
+		// voluntarily yield the CPU by executing a system call"). The
+		// kernel first has the NIC flush any response still parked in
+		// this channel — yielding without the flush would strand it in
+		// this core's cache (see NIC.FlushChannel).
+		tc.Thread().ClearPreempt()
+		tc.Syscall(0, func() {
+			h.NIC.FlushChannel(svc, coreID)
+			h.leaveUser(tc, coreID, func() {
+				tc.Yield(func(tc2 *kernel.TC) { h.kernelLoop(tc2, coreID, 0) })
+			})
+		})
+		return
+	}
+	addr := svcCtrl(svc, coreID, cur)
+	cache := h.caches[coreID]
+	cache.Evict(addr, nil)
+	var line []byte
+	tc.StallOn(func(complete func()) {
+		cache.Load(addr, func(data []byte) { line = data; complete() })
+	}, func() {
+		p := parseDispatchLine(line)
+		switch p.Marker {
+		case MarkerTryAgain:
+			tc.Run(h.cfg.LoopOverhead, cpu.User, func() { h.userLoop(tc, coreID, svc, cur) })
+		case MarkerRetire:
+			// The NIC wants this core for a starved service: return to
+			// the kernel loop.
+			h.leaveUser(tc, coreID, func() {
+				tc.Run(h.cfg.LoopOverhead, cpu.Kernel, func() { h.kernelLoop(tc, coreID, 0) })
+			})
+		case MarkerDispatch:
+			h.serve(tc, coreID, p, addr, func() {
+				h.userLoop(tc, coreID, svc, cur^1)
+			})
+		default:
+			panic(fmt.Sprintf("core: unexpected marker %d on service line", p.Marker))
+		}
+	})
+}
+
+// leaveUser switches the worker back to the kernel's identity, charging
+// the crossing plus the scheduler push.
+func (h *Host) leaveUser(tc *kernel.TC, coreID int, then func()) {
+	tc.Run(h.K.Costs.AddrSpaceSwitch/2+h.cfg.SchedPushCost, cpu.Kernel, func() {
+		tc.Thread().SetProc(kernel.KernelProc)
+		h.NIC.SchedUpdate(coreID, 0)
+		then()
+	})
+}
+
+// serve executes one dispatched request: jump to the handler, stream any
+// aux lines, run the handler, write the response line (+ aux), and load
+// the paired line so the NIC can recall and transmit the response.
+func (h *Host) serve(tc *kernel.TC, coreID int, p parsedDispatch, respAddr mesi.LineAddr, then func()) {
+	svcDesc := h.registry.Lookup(p.Svc)
+	if svcDesc == nil {
+		panic(fmt.Sprintf("core: dispatched unknown service %d", p.Svc))
+	}
+	m := svcDesc.Method(p.Method)
+	if m == nil {
+		panic(fmt.Sprintf("core: dispatched unknown method %d", p.Method))
+	}
+	// Reassemble the body: for buffer dispatches it is already in host
+	// memory (the NIC DMA'd it before answering the load); otherwise
+	// inline bytes from the control line plus aux lines (streamed,
+	// pipelined fills).
+	body := p.Inline
+	var auxStall sim.Time
+	switch {
+	case p.Buf:
+		body = h.NIC.DMABody(p.Serial)
+	case p.BodyLen > len(p.Inline):
+		aux := h.NIC.AuxBody(p.Serial)
+		full := make([]byte, 0, p.BodyLen)
+		full = append(full, p.Inline...)
+		full = append(full, aux...)
+		body = full
+		auxStall = sim.Time(h.NIC.AuxLines(p.BodyLen)) * h.cfg.NIC.Fabric.PerLineStream
+	}
+	// Ablation: without the NIC deserializer, the host pays software
+	// unmarshal/marshal like the other stacks.
+	var swDecode, swEncode sim.Time
+	if h.cfg.SoftwareCodec {
+		swDecode = h.cfg.Codec.Unmarshal(len(body)) + h.cfg.Codec.DispatchLookup
+	}
+	// finish writes the response into the channel line (or a DMA buffer)
+	// and resumes the loop.
+	finish := func(status uint16, respBody []byte) {
+		var line []byte
+		var auxCost sim.Time
+		thr := h.cfg.NIC.DMAThreshold
+		if thr > 0 && len(respBody) >= thr {
+			// Large response: leave it in a DMA buffer; the NIC pulls
+			// it. Host cost is just the descriptor write.
+			h.NIC.WriteDMAResponse(p.Serial, respBody)
+			line = responseBufLine(h.NIC.lineSize(), status, p.Serial, len(respBody))
+			auxCost = 50 * sim.Nanosecond
+		} else {
+			var inline int
+			line, inline = responseLine(h.NIC.lineSize(), status, p.Serial, respBody)
+			if inline < len(respBody) {
+				h.NIC.WriteAuxResponse(p.Serial, respBody[inline:])
+				auxCost = sim.Time(h.NIC.AuxLines(len(respBody))) * h.cfg.NIC.Fabric.PerLineStream
+			}
+		}
+		writeResp := func() {
+			tc.StallOn(func(complete func()) {
+				h.caches[coreID].Store(respAddr, line, complete)
+			}, func() {
+				h.served[p.Svc]++
+				if h.OnServed != nil {
+					h.OnServed(p.Svc, p.Serial)
+				}
+				tc.Run(h.cfg.LoopOverhead, cpu.User, then)
+			})
+		}
+		if auxCost > 0 {
+			tc.Run(auxCost, cpu.User, writeResp)
+		} else {
+			writeResp()
+		}
+	}
+	run := func() {
+		tc.Run(h.cfg.DispatchJump+swDecode, cpu.User, func() {
+			// Suspending handler (nested RPC) takes precedence.
+			if fn := h.async[uint64(p.Svc)<<16|uint64(p.Method)]; fn != nil {
+				fn(tc, coreID, body, func(status uint16, respBody []byte) {
+					finish(status, respBody)
+				})
+				return
+			}
+			respBody, service := m.Handler(body)
+			if h.cfg.SoftwareCodec {
+				swEncode = h.cfg.Codec.Marshal(len(respBody))
+			}
+			service += swEncode
+			tc.Run(service, cpu.User, func() { finish(rpc.StatusOK, respBody) })
+		})
+	}
+	if auxStall > 0 {
+		tc.StallOn(func(complete func()) {
+			tc.Sim().After(auxStall, "lh-aux-stream", complete)
+		}, run)
+	} else {
+		run()
+	}
+}

@@ -1,0 +1,291 @@
+// Package core implements Lauberhorn, the paper's contribution: a smart
+// NIC that is a full, trusted component of the OS. The NIC terminates the
+// coherence protocol as home agent for a set of control cache lines
+// (Fig. 4), runs the packet decode pipeline and RPC unmarshalling in
+// "hardware" (Fig. 3), mirrors the kernel's scheduling state, dispatches
+// requests directly into stalled user-mode loads, and drives OS scheduling
+// decisions from observed load (Fig. 5).
+//
+// The package has two halves: the NIC device model (type NIC), and the
+// host runtime (type Host) — the kernel-side integration with per-core
+// worker loops that morph between the kernel dispatch loop and per-service
+// user-mode loops.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lauberhorn/internal/mesi"
+)
+
+// Control-line address scheme. Lauberhorn homes two disjoint regions:
+//
+//	kernel endpoints: one ctrl-line pair per core, used by the kernel
+//	    dispatch loop (Fig. 5 right, "critical kernel task").
+//	service endpoints: one ctrl-line pair per (service, core) — the
+//	    channel a core uses while running that service's user-mode loop.
+//
+// Addresses are synthetic line numbers (not byte addresses); the mesi
+// package treats them opaquely.
+const (
+	regionKernel  = 0x0
+	regionService = 0x1
+	// regionClient holds outbound-RPC channels: the TX path's "similar,
+	// disjoint set of cache lines" (§5.1), also serving as the dedicated
+	// reply endpoints that make nested RPCs cheap (§6).
+	regionClient = 0x2
+)
+
+// lineAddr packs (region, service, core, index) into a mesi.LineAddr.
+func lineAddr(region int, svc uint32, coreID int, idx int) mesi.LineAddr {
+	if idx != 0 && idx != 1 {
+		panic("core: ctrl line index must be 0 or 1")
+	}
+	return mesi.LineAddr(uint64(region)<<56 | uint64(svc)<<24 | uint64(coreID)<<4 | uint64(idx))
+}
+
+// splitAddr unpacks a line address.
+func splitAddr(a mesi.LineAddr) (region int, svc uint32, coreID int, idx int) {
+	v := uint64(a)
+	return int(v >> 56), uint32(v >> 24 & 0xffffffff), int(v >> 4 & 0xfffff), int(v & 0xf)
+}
+
+// kernelCtrl returns kernel ctrl line idx for a core.
+func kernelCtrl(coreID, idx int) mesi.LineAddr { return lineAddr(regionKernel, 0, coreID, idx) }
+
+// svcCtrl returns service ctrl line idx for a (service, core) channel.
+func svcCtrl(svc uint32, coreID, idx int) mesi.LineAddr {
+	return lineAddr(regionService, svc, coreID, idx)
+}
+
+// clientCtrl returns client-channel ctrl line idx for channel chanID on a
+// core.
+func clientCtrl(chanID uint32, coreID, idx int) mesi.LineAddr {
+	return lineAddr(regionClient, chanID, coreID, idx)
+}
+
+// Markers in byte 0 of a control line returned by the NIC or written by
+// the CPU.
+const (
+	// MarkerIdle is an empty line (initial state).
+	MarkerIdle = 0x00
+	// MarkerDispatch delivers an RPC request to a user-mode loop.
+	MarkerDispatch = 0x01
+	// MarkerKDispatch delivers a request to the kernel loop together
+	// with the target service, asking the core to switch processes.
+	MarkerKDispatch = 0x02
+	// MarkerTryAgain unblocks a stalled load with no work (15 ms timeout,
+	// or an explicit kick during descheduling).
+	MarkerTryAgain = 0x03
+	// MarkerRetire asks the polling loop to give up the core (NIC-driven
+	// core reallocation, §5.2).
+	MarkerRetire = 0x04
+	// MarkerResponse is written by the CPU: the RPC response is in this
+	// line (+ aux).
+	MarkerResponse = 0x05
+
+	// MarkerClientReq is written by the CPU into a client channel: an
+	// outbound RPC request for the NIC to transmit.
+	MarkerClientReq = 0x06
+	// MarkerClientResp is the NIC's answer on a client channel: the
+	// response to an outbound RPC.
+	MarkerClientResp = 0x07
+
+	// markerBufFlag, OR-ed into a dispatch or response marker, indicates
+	// that the message body travels via a DMA buffer in host memory
+	// rather than inline + aux cache lines (§6 large-message fallback).
+	markerBufFlag = 0x80
+)
+
+// dispatchHeaderLen is the fixed part of a dispatch line:
+// marker(1) svc(4) method(2) serial(8) code(8) data(8) bodyLen(2).
+const dispatchHeaderLen = 1 + 4 + 2 + 8 + 8 + 8 + 2
+
+// respHeaderLen is the fixed part of a response line:
+// marker(1) status(2) bodyLen(2) serial(8).
+const respHeaderLen = 1 + 2 + 2 + 8
+
+// dispatchLine encodes a request dispatch into a control line of size
+// lineSize. Body bytes beyond the inline capacity travel in aux lines
+// (modelled by the NIC's side table; the timing is charged separately).
+// Returns the line and the number of inline body bytes.
+func dispatchLine(lineSize int, marker byte, svc uint32, method uint16, serial uint64,
+	code, data uint64, body []byte) ([]byte, int) {
+	if lineSize < dispatchHeaderLen {
+		panic("core: line too small for dispatch header")
+	}
+	l := make([]byte, lineSize)
+	l[0] = marker
+	binary.BigEndian.PutUint32(l[1:5], svc)
+	binary.BigEndian.PutUint16(l[5:7], method)
+	binary.BigEndian.PutUint64(l[7:15], serial)
+	binary.BigEndian.PutUint64(l[15:23], code)
+	binary.BigEndian.PutUint64(l[23:31], data)
+	binary.BigEndian.PutUint16(l[31:33], uint16(len(body)))
+	inline := copy(l[dispatchHeaderLen:], body)
+	return l, inline
+}
+
+// parsedDispatch is a decoded dispatch line.
+type parsedDispatch struct {
+	Marker  byte
+	Buf     bool // body is in a DMA buffer, not inline/aux
+	Svc     uint32
+	Method  uint16
+	Serial  uint64
+	Code    uint64
+	Data    uint64
+	BodyLen int
+	Inline  []byte
+}
+
+// parseDispatchLine decodes a control line delivered by the NIC.
+func parseDispatchLine(l []byte) parsedDispatch {
+	if len(l) < dispatchHeaderLen {
+		panic(fmt.Sprintf("core: short control line (%d bytes)", len(l)))
+	}
+	p := parsedDispatch{
+		Marker:  l[0] &^ markerBufFlag,
+		Buf:     l[0]&markerBufFlag != 0,
+		Svc:     binary.BigEndian.Uint32(l[1:5]),
+		Method:  binary.BigEndian.Uint16(l[5:7]),
+		Serial:  binary.BigEndian.Uint64(l[7:15]),
+		Code:    binary.BigEndian.Uint64(l[15:23]),
+		Data:    binary.BigEndian.Uint64(l[23:31]),
+		BodyLen: int(binary.BigEndian.Uint16(l[31:33])),
+	}
+	if !p.Buf {
+		n := p.BodyLen
+		if max := len(l) - dispatchHeaderLen; n > max {
+			n = max
+		}
+		p.Inline = l[dispatchHeaderLen : dispatchHeaderLen+n]
+	}
+	return p
+}
+
+// markerLine builds a line carrying only a marker (TryAgain, Retire).
+func markerLine(lineSize int, marker byte) []byte {
+	l := make([]byte, lineSize)
+	l[0] = marker
+	return l
+}
+
+// responseLine encodes the CPU's RPC response into a control line.
+func responseLine(lineSize int, status uint16, serial uint64, body []byte) ([]byte, int) {
+	l := make([]byte, lineSize)
+	l[0] = MarkerResponse
+	binary.BigEndian.PutUint16(l[1:3], status)
+	binary.BigEndian.PutUint16(l[3:5], uint16(len(body)))
+	binary.BigEndian.PutUint64(l[5:13], serial)
+	inline := copy(l[respHeaderLen:], body)
+	return l, inline
+}
+
+// responseBufLine encodes a response whose body sits in a DMA buffer:
+// only status, length, and serial travel in the line.
+func responseBufLine(lineSize int, status uint16, serial uint64, bodyLen int) []byte {
+	l := make([]byte, lineSize)
+	l[0] = MarkerResponse | markerBufFlag
+	binary.BigEndian.PutUint16(l[1:3], status)
+	binary.BigEndian.PutUint16(l[3:5], uint16(bodyLen))
+	binary.BigEndian.PutUint64(l[5:13], serial)
+	return l
+}
+
+// clientReqHeaderLen is the fixed part of an outbound-request line:
+// marker(1) svc(4) method(2) serial(8) dstIP(4) dstPort(2) bodyLen(2).
+const clientReqHeaderLen = 1 + 4 + 2 + 8 + 4 + 2 + 2
+
+// clientReqLine encodes an outbound RPC request into a control line.
+func clientReqLine(lineSize int, svc uint32, method uint16, serial uint64,
+	dstIP [4]byte, dstPort uint16, body []byte) ([]byte, int) {
+	l := make([]byte, lineSize)
+	l[0] = MarkerClientReq
+	binary.BigEndian.PutUint32(l[1:5], svc)
+	binary.BigEndian.PutUint16(l[5:7], method)
+	binary.BigEndian.PutUint64(l[7:15], serial)
+	copy(l[15:19], dstIP[:])
+	binary.BigEndian.PutUint16(l[19:21], dstPort)
+	binary.BigEndian.PutUint16(l[21:23], uint16(len(body)))
+	inline := copy(l[clientReqHeaderLen:], body)
+	return l, inline
+}
+
+// parsedClientReq is a decoded outbound-request line.
+type parsedClientReq struct {
+	Svc     uint32
+	Method  uint16
+	Serial  uint64
+	DstIP   [4]byte
+	DstPort uint16
+	BodyLen int
+	Inline  []byte
+}
+
+// parseClientReqLine decodes a request line recalled from a CPU cache.
+// ok is false if the line does not hold an outbound request.
+func parseClientReqLine(l []byte) (parsedClientReq, bool) {
+	if len(l) < clientReqHeaderLen || l[0] != MarkerClientReq {
+		return parsedClientReq{}, false
+	}
+	p := parsedClientReq{
+		Svc:     binary.BigEndian.Uint32(l[1:5]),
+		Method:  binary.BigEndian.Uint16(l[5:7]),
+		Serial:  binary.BigEndian.Uint64(l[7:15]),
+		DstPort: binary.BigEndian.Uint16(l[19:21]),
+		BodyLen: int(binary.BigEndian.Uint16(l[21:23])),
+	}
+	copy(p.DstIP[:], l[15:19])
+	n := p.BodyLen
+	if max := len(l) - clientReqHeaderLen; n > max {
+		n = max
+	}
+	p.Inline = l[clientReqHeaderLen : clientReqHeaderLen+n]
+	return p, true
+}
+
+// clientRespLine encodes an inbound RPC response for delivery into a
+// stalled client-channel load: marker(1) status(2) bodyLen(2) serial(8)
+// inline body.
+func clientRespLine(lineSize int, status uint16, serial uint64, body []byte) ([]byte, int) {
+	l := make([]byte, lineSize)
+	l[0] = MarkerClientResp
+	binary.BigEndian.PutUint16(l[1:3], status)
+	binary.BigEndian.PutUint16(l[3:5], uint16(len(body)))
+	binary.BigEndian.PutUint64(l[5:13], serial)
+	inline := copy(l[respHeaderLen:], body)
+	return l, inline
+}
+
+// parsedResponse is a decoded response line.
+type parsedResponse struct {
+	Status  uint16
+	Buf     bool // body is in a DMA buffer
+	BodyLen int
+	Serial  uint64
+	Inline  []byte
+}
+
+// parseResponseLine decodes a response control line recalled from a CPU
+// cache. ok is false if the line does not hold a response.
+func parseResponseLine(l []byte) (parsedResponse, bool) {
+	if len(l) < respHeaderLen || l[0]&^markerBufFlag != MarkerResponse {
+		return parsedResponse{}, false
+	}
+	p := parsedResponse{
+		Buf:     l[0]&markerBufFlag != 0,
+		Status:  binary.BigEndian.Uint16(l[1:3]),
+		BodyLen: int(binary.BigEndian.Uint16(l[3:5])),
+		Serial:  binary.BigEndian.Uint64(l[5:13]),
+	}
+	if !p.Buf {
+		n := p.BodyLen
+		if max := len(l) - respHeaderLen; n > max {
+			n = max
+		}
+		p.Inline = l[respHeaderLen : respHeaderLen+n]
+	}
+	return p, true
+}

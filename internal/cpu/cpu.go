@@ -1,0 +1,156 @@
+// Package cpu models CPU cores as accounting entities: at every simulated
+// instant a core is in exactly one power/activity state, and the model
+// integrates residency per state. The distinction between Spin (burning
+// full power busy-polling, as kernel-bypass stacks do), Stall (blocked on
+// an outstanding cache fill, as Lauberhorn's protocol arranges) and Idle
+// (C-state after the OS parks the core) carries the paper's energy
+// argument, so it is made explicit here rather than inferred later.
+package cpu
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/sim"
+)
+
+// State is a core activity/power state.
+type State uint8
+
+// Core states. User and Kernel both execute instructions at full power but
+// are tracked separately so experiments can report cycles spent in each.
+const (
+	Idle   State = iota // parked, deep C-state
+	User                // executing application code
+	Kernel              // executing OS code (syscalls, IRQs, scheduler)
+	Spin                // busy-poll loop: executing, but doing no useful work
+	Stall               // blocked on an outstanding memory/interconnect access
+	numStates
+)
+
+// NumStates is the number of distinct core states.
+const NumStates = int(numStates)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case User:
+		return "user"
+	case Kernel:
+		return "kernel"
+	case Spin:
+		return "spin"
+	case Stall:
+		return "stall"
+	}
+	return "?"
+}
+
+// PowerModel gives per-core power draw in watts for each state. The
+// defaults approximate a server-class core: active ≈ 3.5 W, spinning only
+// marginally less, a stalled core mostly clock-gated, and a parked core in
+// a deep C-state.
+type PowerModel struct {
+	Watts [NumStates]float64
+}
+
+// DefaultPowerModel returns the power model used by the experiments.
+func DefaultPowerModel() PowerModel {
+	var p PowerModel
+	p.Watts[Idle] = 0.3
+	p.Watts[User] = 3.5
+	p.Watts[Kernel] = 3.5
+	p.Watts[Spin] = 3.2
+	p.Watts[Stall] = 0.9
+	return p
+}
+
+// Core is one hardware thread with residency accounting.
+type Core struct {
+	id    int
+	freq  float64 // GHz
+	sim   *sim.Sim
+	state State
+	since sim.Time
+	resid [NumStates]sim.Time
+	// transition counters
+	transitions uint64
+}
+
+// NewCore creates a core in the Idle state.
+func NewCore(s *sim.Sim, id int, freqGHz float64) *Core {
+	if freqGHz <= 0 {
+		panic("cpu: non-positive frequency")
+	}
+	return &Core{id: id, freq: freqGHz, sim: s, state: Idle, since: s.Now()}
+}
+
+// ID returns the core number.
+func (c *Core) ID() int { return c.id }
+
+// Freq returns the clock frequency in GHz.
+func (c *Core) Freq() float64 { return c.freq }
+
+// State returns the current activity state.
+func (c *Core) State() State { return c.state }
+
+// SetState transitions the core, closing out residency for the old state.
+func (c *Core) SetState(st State) {
+	if st == c.state {
+		return
+	}
+	now := c.sim.Now()
+	c.resid[c.state] += now - c.since
+	c.state = st
+	c.since = now
+	c.transitions++
+}
+
+// Residency returns total time spent in st, including the current stretch.
+func (c *Core) Residency(st State) sim.Time {
+	r := c.resid[st]
+	if c.state == st {
+		r += c.sim.Now() - c.since
+	}
+	return r
+}
+
+// BusyTime returns time spent doing real work (User + Kernel).
+func (c *Core) BusyTime() sim.Time {
+	return c.Residency(User) + c.Residency(Kernel)
+}
+
+// Transitions returns the number of state changes.
+func (c *Core) Transitions() uint64 { return c.transitions }
+
+// Cycles converts a duration on this core to a cycle count.
+func (c *Core) Cycles(d sim.Time) float64 {
+	return d.Nanoseconds() * c.freq
+}
+
+// EnergyJoules integrates the power model over the core's residency so far.
+func (c *Core) EnergyJoules(pm PowerModel) float64 {
+	var j float64
+	for st := 0; st < NumStates; st++ {
+		j += pm.Watts[st] * c.Residency(State(st)).Seconds()
+	}
+	return j
+}
+
+// String summarizes the core.
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d[%v]{user=%v kernel=%v spin=%v stall=%v idle=%v}",
+		c.id, c.state,
+		c.Residency(User), c.Residency(Kernel), c.Residency(Spin),
+		c.Residency(Stall), c.Residency(Idle))
+}
+
+// TotalEnergy sums EnergyJoules over a set of cores.
+func TotalEnergy(cores []*Core, pm PowerModel) float64 {
+	var j float64
+	for _, c := range cores {
+		j += c.EnergyJoules(pm)
+	}
+	return j
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Idle: "idle", User: "user", Kernel: "kernel", Spin: "spin", Stall: "stall"}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if State(99).String() != "?" {
+		t.Error("unknown state")
+	}
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.0)
+	if c.State() != Idle {
+		t.Fatal("new core not idle")
+	}
+
+	s.After(10*sim.Microsecond, "a", func() { c.SetState(User) })
+	s.After(30*sim.Microsecond, "b", func() { c.SetState(Spin) })
+	s.After(60*sim.Microsecond, "c", func() { c.SetState(Stall) })
+	s.After(100*sim.Microsecond, "d", func() { c.SetState(Idle) })
+	s.Run()
+
+	if got := c.Residency(Idle); got != 10*sim.Microsecond {
+		t.Errorf("idle %v, want 10us", got)
+	}
+	if got := c.Residency(User); got != 20*sim.Microsecond {
+		t.Errorf("user %v, want 20us", got)
+	}
+	if got := c.Residency(Spin); got != 30*sim.Microsecond {
+		t.Errorf("spin %v, want 30us", got)
+	}
+	if got := c.Residency(Stall); got != 40*sim.Microsecond {
+		t.Errorf("stall %v, want 40us", got)
+	}
+	if c.Transitions() != 4 {
+		t.Errorf("transitions %d, want 4", c.Transitions())
+	}
+}
+
+func TestResidencyIncludesOpenInterval(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.0)
+	c.SetState(User)
+	s.After(5*sim.Microsecond, "x", func() {})
+	s.Run()
+	if got := c.Residency(User); got != 5*sim.Microsecond {
+		t.Errorf("open-interval residency %v, want 5us", got)
+	}
+}
+
+func TestSetStateSameIsNoop(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.0)
+	c.SetState(Idle)
+	if c.Transitions() != 0 {
+		t.Error("same-state transition counted")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.5)
+	if got := c.Cycles(10 * sim.Nanosecond); got != 25 {
+		t.Errorf("Cycles(10ns) = %v, want 25", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.0)
+	pm := DefaultPowerModel()
+
+	c.SetState(Spin)
+	s.After(sim.Second, "stop", func() { c.SetState(Idle) })
+	s.Run()
+
+	// 1 second of spinning at the spin wattage.
+	want := pm.Watts[Spin]
+	if got := c.EnergyJoules(pm); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy %v J, want %v J", got, want)
+	}
+
+	// Stalling must be much cheaper than spinning for the same duration.
+	s2 := sim.New(1)
+	cSpin := NewCore(s2, 0, 2.0)
+	cStall := NewCore(s2, 1, 2.0)
+	cSpin.SetState(Spin)
+	cStall.SetState(Stall)
+	s2.After(sim.Second, "stop", func() {
+		cSpin.SetState(Idle)
+		cStall.SetState(Idle)
+	})
+	s2.Run()
+	if cStall.EnergyJoules(pm) >= cSpin.EnergyJoules(pm)/2 {
+		t.Error("stalled core should use far less energy than a spinning one")
+	}
+}
+
+func TestTotalEnergy(t *testing.T) {
+	s := sim.New(1)
+	pm := DefaultPowerModel()
+	cores := []*Core{NewCore(s, 0, 2), NewCore(s, 1, 2)}
+	for _, c := range cores {
+		c.SetState(User)
+	}
+	s.After(sim.Second, "stop", func() {
+		for _, c := range cores {
+			c.SetState(Idle)
+		}
+	})
+	s.Run()
+	want := 2 * pm.Watts[User]
+	if got := TotalEnergy(cores, pm); math.Abs(got-want) > 1e-9 {
+		t.Errorf("total energy %v, want %v", got, want)
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 0, 2.0)
+	c.SetState(User)
+	s.After(3*sim.Microsecond, "k", func() { c.SetState(Kernel) })
+	s.After(5*sim.Microsecond, "i", func() { c.SetState(Idle) })
+	s.Run()
+	if got := c.BusyTime(); got != 5*sim.Microsecond {
+		t.Errorf("busy %v, want 5us", got)
+	}
+}
+
+func TestPowerModelOrdering(t *testing.T) {
+	pm := DefaultPowerModel()
+	if !(pm.Watts[Idle] < pm.Watts[Stall] && pm.Watts[Stall] < pm.Watts[Spin] &&
+		pm.Watts[Spin] <= pm.Watts[User]) {
+		t.Errorf("power model ordering implausible: %+v", pm)
+	}
+}
+
+func TestNewCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero frequency")
+		}
+	}()
+	NewCore(sim.New(1), 0, 0)
+}
+
+func TestString(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, 3, 2.0)
+	if !strings.Contains(c.String(), "core3") {
+		t.Errorf("String %q", c.String())
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/workload"
+)
+
+// lauberhornVariant builds a Lauberhorn rig with ablation knobs applied.
+func lauberhornVariant(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf,
+	mutate func(h *core.Host)) *Rig {
+	r := LauberhornRig(seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
+	mutate(r.LH)
+	return r
+}
+
+// E10Ablation isolates the contribution of each Lauberhorn design choice
+// on the E4 dynamic workload: full system, minus NIC-driven scheduling
+// (no retire/kernel dispatch: cold services wait out TryAgain periods),
+// minus the NIC RPC decoder (host pays software codec costs), and on a
+// CXL3 fabric instead of ECI.
+func E10Ablation() *stats.Table {
+	t := stats.NewTable("E10 — ablations (E4 workload: 64 services, 8 cores, Zipf 1.1, 150 krps)",
+		"variant", "p50 (us)", "p99 (us)", "served", "sent", "cycles/req")
+
+	size := workload.CloudRPC()
+	service := sim.Microsecond
+	mk := func(mutate func(h *core.Host)) *Rig {
+		return lauberhornVariant(13, e4Cores, e4Services, service, size,
+			workload.RatePerSec(e4RateRPS), workload.NewZipf(e4Services, 1.1), mutate)
+	}
+	variants := []struct {
+		name   string
+		mutate func(h *core.Host)
+	}{
+		{"full Lauberhorn", func(h *core.Host) {}},
+		{"- NIC-driven scheduling", func(h *core.Host) { h.SetDynamicScheduling(false) }},
+		{"- NIC RPC decode (sw codec)", func(h *core.Host) {
+			cfg := h.Config()
+			cfg.SoftwareCodec = true
+			h.SetSoftwareCodec(cfg.Codec)
+		}},
+	}
+	for _, v := range variants {
+		r := mk(v.mutate)
+		r.RunMeasured(20*sim.Millisecond, 60*sim.Millisecond)
+		lat := r.Gen.Latency
+		t.AddRow(v.name,
+			sim.Time(lat.Percentile(0.5)).Microseconds(),
+			sim.Time(lat.Percentile(0.99)).Microseconds(),
+			r.MeasuredServed(), r.MeasuredSent(), r.CyclesPerRequest())
+	}
+	t.AddNote("without NIC-driven scheduling, cores stay bound to their first service and cold services starve (served << sent);")
+	t.AddNote("removing the NIC decoder moves unmarshal cycles back onto host cores (cycles/req and tail rise)")
+	return t
+}
+
+// E10Fabrics compares the warm fast-path RTT across coherent fabrics
+// (§4: "we anticipate comparable gains with CXL 3.0").
+func E10Fabrics() *stats.Table {
+	t := stats.NewTable("E10b — Lauberhorn fast path across coherent fabrics (64B RPC)",
+		"fabric", "warm RTT (us)", "line fill (ns)")
+	size := workload.FixedSize{N: fig2Body}
+	for _, fb := range []fabric.Params{fabric.ECI, fabric.CXL3} {
+		fb := fb
+		r := func() *Rig {
+			s := sim.New(3)
+			cfg := core.DefaultHostConfig(serverEP, 1)
+			cfg.NIC.Fabric = fb
+			h := core.NewHost(s, cfg)
+			link := fabric.NewLink(s, fabric.Net100G)
+			gen := workload.NewGenerator(s, genConfig(1, size, workload.RatePerSec(100), nil), link, 0)
+			link.Attach(gen, h.NIC)
+			h.NIC.AttachLink(link, 1)
+			h.RegisterService(echoService(1, 0), basePort, 0)
+			h.Start()
+			return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
+				Served: func() uint64 { return h.Served(1) }, Label: fb.Name, LH: h}
+		}()
+		rtt := singleRTT(func() *Rig { return r })
+		t.AddRow(fb.Name, rtt.Microseconds(), fb.LineFill.Nanoseconds())
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sort"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/workload"
+)
+
+// E11SizeDist validates the workload generator against the paper's §1
+// premise ("the great majority of RPC requests and responses are small"
+// [23]): the CDF of the cloud-RPC request-size mixture.
+func E11SizeDist() *stats.Table {
+	t := stats.NewTable("E11 — cloud-RPC request size distribution (generator validation)",
+		"size (B)", "pmf (%)", "cdf (%)")
+	m := workload.CloudRPC()
+	r := sim.NewRNG(17)
+	const n = 200000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r)]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for s := range counts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	cum := 0.0
+	for _, s := range sizes {
+		p := float64(counts[s]) / n * 100
+		cum += p
+		t.AddRow(s, p, cum)
+	}
+	t.AddNote("paper [23]: majority of RPCs are small — here ~%.0f%% are <= 512B", cdfAt(counts, n, 512))
+	return t
+}
+
+func cdfAt(counts map[int]int, n int, limit int) float64 {
+	c := 0
+	for s, k := range counts {
+		if s <= limit {
+			c += k
+		}
+	}
+	return float64(c) / float64(n) * 100
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/workload"
+)
+
+// E13DecodePipeline exercises the optional stages of Lauberhorn's decoder
+// pipeline (Fig. 3: DECRYPT, DECOMPRESS, RPC DECODE): warm RTT for plain,
+// encrypted, and encrypted+compressed requests of 1 KiB, compared against
+// the configured per-byte stage costs. The paper (§6) treats encryption
+// as handled "with fairly standard techniques" on the NIC — this shows
+// the cost lands on the pipeline, not the host CPU.
+func E13DecodePipeline() *stats.Table {
+	t := stats.NewTable("E13 — decoder pipeline stages (1 KiB requests, warm)",
+		"traffic", "RTT (us)", "delta vs plain (us)", "host cycles/req")
+
+	const bodySize = 1024
+	mk := func(flags uint16) *Rig {
+		s := sim.New(23)
+		h := core.NewHost(s, core.DefaultHostConfig(serverEP, 1))
+		link := fabric.NewLink(s, fabric.Net100G)
+		cfg := genConfig(1, workload.FixedSize{N: bodySize}, workload.RatePerSec(100), nil)
+		cfg.Targets[0].Flags = flags
+		gen := workload.NewGenerator(s, cfg, link, 0)
+		link.Attach(gen, h.NIC)
+		h.NIC.AttachLink(link, 1)
+		h.RegisterService(echoService(1, 0), basePort, 0)
+		h.Start()
+		return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
+			Served: func() uint64 { return h.Served(1) }, Label: "lh", LH: h}
+	}
+
+	var plain sim.Time
+	cases := []struct {
+		name  string
+		flags uint16
+	}{
+		{"plain", 0},
+		{"encrypted", rpc.FlagEncrypted},
+		{"encrypted+compressed", rpc.FlagEncrypted | rpc.FlagCompressed},
+	}
+	for i, c := range cases {
+		r := mk(c.flags)
+		rtt := singleRTT(func() *Rig { return r })
+		if i == 0 {
+			plain = rtt
+		}
+		t.AddRow(c.name, rtt.Microseconds(), (rtt - plain).Microseconds(), r.CyclesPerRequest())
+	}
+	nic := core.DefaultConfig(serverEP)
+	t.AddNote("expected deltas at 1KiB: decrypt %v, decompress %v — paid in the NIC pipeline, host cycles unchanged",
+		sim.Time(bodySize)*nic.DecryptPerByte, sim.Time(bodySize)*nic.DecompressPerByte)
+	return t
+}

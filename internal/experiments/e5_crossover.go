@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/stats"
+)
+
+// E5SizeCrossover reproduces §6's observation that "for large messages
+// ... it is best to revert back to DMA-based transfers ... empirically
+// for Enzian this happens at about 4KiB": transfer latency of the
+// cache-line protocol versus a DMA transfer across message sizes on the
+// Enzian fabric (ECI + PCIe DMA on the same device).
+func E5SizeCrossover() *stats.Table {
+	t := stats.NewTable("E5 — cache-line vs DMA transfer latency by message size (Enzian fabric)",
+		"size (B)", "cache-line (us)", "DMA (us)", "winner")
+
+	p := fabric.ECIWithDMA
+	crossover := -1
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		cl := p.StreamLines(n)
+		// DMA cost includes the doorbell the host rings plus the payload
+		// transfer and completion write.
+		dma := p.MMIOWrite + p.DMATransfer(n) + p.DMAWrite
+		winner := "cache-line"
+		if dma < cl {
+			winner = "DMA"
+			if crossover < 0 {
+				crossover = n
+			}
+		}
+		t.AddRow(n, cl.Microseconds(), dma.Microseconds(), winner)
+	}
+	t.AddNote("crossover at %d bytes; paper: ~4 KiB on Enzian", crossover)
+	return t
+}

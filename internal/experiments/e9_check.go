@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"lauberhorn/internal/check"
+	"lauberhorn/internal/stats"
+)
+
+// E9ModelCheck reproduces §6's model-checking claim: exhaustively explore
+// the Fig. 4 protocol under packet/timer/preemption interleavings, verify
+// safety invariants and deadlock freedom, and show that injecting the
+// bugs the protocol guards against produces counterexamples.
+func E9ModelCheck() *stats.Table {
+	t := stats.NewTable("E9 — model checking the control-line protocol (§6)",
+		"configuration", "states", "transitions", "depth", "verdict")
+
+	configs := []struct {
+		name string
+		init check.State
+	}{
+		{"fig4: correct, 2 packets",
+			check.NewModel(check.ModelConfig{Packets: 2, Preempts: 1})},
+		{"fig4: correct, 4 packets + 2 preempts",
+			check.NewModel(check.ModelConfig{Packets: 4, Preempts: 2})},
+		{"fig4: correct, 6 packets + 2 preempts",
+			check.NewModel(check.ModelConfig{Packets: 6, Preempts: 2})},
+		{"fig4 bug: no TryAgain",
+			check.NewModel(check.ModelConfig{Packets: 1, Preempts: 1, BugNoTryAgain: true})},
+		{"fig4 bug: skip response recall",
+			check.NewModel(check.ModelConfig{Packets: 2, BugSkipRecall: true})},
+		{"fig4 bug: sticky awaiting entry",
+			check.NewModel(check.ModelConfig{Packets: 3, BugStickyAwaiting: true})},
+		{"handoff: correct, 3 packets + 1 preempt",
+			check.NewHandoffModel(check.HandoffConfig{Packets: 3, Preempts: 1})},
+		{"handoff: correct, 5 packets + 2 preempts",
+			check.NewHandoffModel(check.HandoffConfig{Packets: 5, Preempts: 2})},
+		{"handoff bug: lose awaiting handoff",
+			check.NewHandoffModel(check.HandoffConfig{Packets: 2, BugLoseHandoff: true})},
+		{"handoff bug: retire before recall",
+			check.NewHandoffModel(check.HandoffConfig{Packets: 2, BugRetireBeforeRecall: true})},
+	}
+	for _, c := range configs {
+		res := check.Run(c.init, check.Options{})
+		verdict := "OK"
+		switch {
+		case res.Violation != nil:
+			verdict = res.Violation.Kind + ": " + res.Violation.Err.Error()
+		case !res.AcceptReachable:
+			verdict = "responses lost (quiescence unreachable)"
+		}
+		t.AddRow(c.name, res.StatesExplored, res.Transitions, res.MaxDepthSeen, verdict)
+	}
+	t.AddNote("fig4 = user-loop protocol; handoff = kernel-dispatch transition (Fig. 5);")
+	t.AddNote("correct configurations verify exhaustively; each injected bug is caught with a counterexample trace")
+	return t
+}

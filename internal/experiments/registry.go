@@ -1,0 +1,60 @@
+package experiments
+
+import "lauberhorn/internal/stats"
+
+// Experiment is one runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	// Source is the paper figure/section the experiment reproduces.
+	Source string
+	Run    func() []*stats.Table
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	one := func(f func() *stats.Table) func() []*stats.Table {
+		return func() []*stats.Table { return []*stats.Table{f()} }
+	}
+	return []Experiment{
+		{ID: "e1", Title: "64B message round-trip latency", Source: "Figure 2",
+			Run: one(E1Fig2)},
+		{ID: "e2", Title: "Receive-path step breakdown", Source: "§2 steps 1-12, §4",
+			Run: one(E2Breakdown)},
+		{ID: "e3", Title: "Latency vs offered load + peak throughput", Source: "§1/§4",
+			Run: func() []*stats.Table { return []*stats.Table{E3LoadLatency(), E3Throughput()} }},
+		{ID: "e4", Title: "Dynamic multi-service mix", Source: "§1/§2/§5.2",
+			Run: one(E4DynamicMix)},
+		{ID: "e5", Title: "Cache-line vs DMA size crossover", Source: "§6 (~4KiB)",
+			Run: one(E5SizeCrossover)},
+		{ID: "e6", Title: "Idle/sparse-load energy and bus traffic", Source: "§4/§5.1",
+			Run: func() []*stats.Table { return []*stats.Table{E6IdleCost(), E6BusTraffic()} }},
+		{ID: "e7", Title: "Descheduling a stalled loop", Source: "§5.1/§5.2",
+			Run: one(E7Deschedule)},
+		{ID: "e8", Title: "Scheduler-state mirroring cost", Source: "§4",
+			Run: func() []*stats.Table { return []*stats.Table{E8SchedUpdate(), E8Simulated()} }},
+		{ID: "e9", Title: "Model checking the control-line protocol", Source: "§6",
+			Run: one(E9ModelCheck)},
+		{ID: "e10", Title: "Ablations and fabric sensitivity", Source: "§4/§5",
+			Run: func() []*stats.Table { return []*stats.Table{E10Ablation(), E10Fabrics()} }},
+		{ID: "e11", Title: "Workload size-distribution validation", Source: "§1 [23]",
+			Run: one(E11SizeDist)},
+		{ID: "e12", Title: "Hybrid cache-line/DMA data path", Source: "§6 (~4KiB fallback)",
+			Run: one(E12HybridDataPath)},
+		{ID: "e13", Title: "Decoder pipeline stages (decrypt/decompress)", Source: "Fig. 3 / §6",
+			Run: one(E13DecodePipeline)},
+		{ID: "e14", Title: "Nested RPC via dedicated reply endpoints", Source: "§6",
+			Run: one(E14NestedRPC)},
+	}
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package experiments reproduces every quantitative figure and claim of
+// the paper as a runnable experiment. Each Ex function builds the three
+// network stacks (Lauberhorn, kernel bypass, traditional kernel) on
+// identical substrates, drives them with the workload generators, and
+// returns a stats.Table whose rows correspond to the series the paper
+// reports. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/bypass"
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/kstack"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+var (
+	serverEP = wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}}
+	clientEP = wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}}
+)
+
+// basePort is the first service UDP port; service i listens on
+// basePort+i.
+const basePort = 9000
+
+// echoService builds service desc i (1-based ID) whose handler echoes the
+// request after serviceTime of CPU work.
+func echoService(id uint32, serviceTime sim.Time) *rpc.ServiceDesc {
+	return &rpc.ServiceDesc{
+		ID:   id,
+		Name: fmt.Sprintf("svc%d", id),
+		Methods: []rpc.MethodDesc{{
+			ID: 1, Name: "call", CodeAddr: 0x400000 + uint64(id)*0x1000,
+			Handler: func(req []byte) ([]byte, sim.Time) { return req, serviceTime },
+		}},
+	}
+}
+
+// targets builds generator targets for n services with the given size
+// distribution.
+func targets(n int, size workload.SizeDist) []workload.Target {
+	out := make([]workload.Target, n)
+	for i := 0; i < n; i++ {
+		out[i] = workload.Target{
+			Port:    basePort + uint16(i),
+			Service: uint32(i + 1),
+			Method:  1,
+			Size:    size,
+		}
+	}
+	return out
+}
+
+// Rig is one server machine plus an attached load generator, with the
+// accessors the experiments need, independent of which stack it runs.
+type Rig struct {
+	S    *sim.Sim
+	Gen  *workload.Generator
+	Link *fabric.Link
+
+	// Cores exposes CPU accounting.
+	Cores []*cpu.Core
+	// K is the server's kernel (nil only for hypothetical rigs).
+	K *kernel.Kernel
+	// Served returns the number of requests completed by the server.
+	Served func() uint64
+	// Label names the stack.
+	Label string
+
+	// LH is non-nil for Lauberhorn rigs.
+	LH *core.Host
+
+	measuredServed uint64
+	measuredSent   uint64
+}
+
+// Energy returns total server CPU energy in joules under the default
+// power model.
+func (r *Rig) Energy() float64 {
+	return cpu.TotalEnergy(r.Cores, cpu.DefaultPowerModel())
+}
+
+// BusyTime sums user+kernel residency across cores.
+func (r *Rig) BusyTime() sim.Time {
+	var t sim.Time
+	for _, c := range r.Cores {
+		t += c.BusyTime()
+	}
+	return t
+}
+
+// CyclesPerRequest returns busy cycles per served request.
+func (r *Rig) CyclesPerRequest() float64 {
+	served := r.Served()
+	if served == 0 {
+		return 0
+	}
+	var cyc float64
+	for _, c := range r.Cores {
+		cyc += c.Cycles(c.BusyTime())
+	}
+	return cyc / float64(served)
+}
+
+// genConfig assembles the generator config for n services.
+func genConfig(n int, size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) workload.Config {
+	return workload.Config{
+		Client:     clientEP,
+		Server:     serverEP,
+		Targets:    targets(n, size),
+		Arrivals:   arrivals,
+		Popularity: pop,
+		Flows:      256,
+	}
+}
+
+// LauberhornRig builds a Lauberhorn server with nCores and nSvcs echo
+// services.
+func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	s := sim.New(seed)
+	h := core.NewHost(s, core.DefaultHostConfig(serverEP, nCores))
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, h.NIC)
+	h.NIC.AttachLink(link, 1)
+	for i := 0; i < nSvcs; i++ {
+		h.RegisterService(echoService(uint32(i+1), serviceTime), basePort+uint16(i), 0)
+	}
+	h.Start()
+	served := func() uint64 {
+		var n uint64
+		for i := 0; i < nSvcs; i++ {
+			n += h.Served(uint32(i + 1))
+		}
+		return n
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
+		Served: served, Label: "Lauberhorn (ECI)", LH: h}
+}
+
+// BypassRig builds a kernel-bypass server: one worker per service, each
+// bound to a port-steered NIC queue, workers pinned round-robin across
+// cores (statically provisioned, as IX/Arrakis deployments are).
+func BypassRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	s := sim.New(seed)
+	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
+	cfg := nicdma.DefaultConfig()
+	cfg.Queues = nSvcs
+	cfg.SteerByPort = true
+	nic := nicdma.New(s, cfg)
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, nic)
+	nic.AttachLink(link, 1)
+
+	reg := rpc.NewRegistry()
+	var workers []*bypass.Worker
+	for i := 0; i < nSvcs; i++ {
+		reg.Register(echoService(uint32(i+1), serviceTime))
+	}
+	local := serverEP
+	for i := 0; i < nSvcs; i++ {
+		// Queue selection must match SteerByPort: port basePort+i maps to
+		// queue (basePort+i) mod nSvcs.
+		q := nic.Queue(int(basePort+uint16(i)) % nSvcs)
+		w := bypass.NewWorker(bypass.WorkerConfig{
+			Queue: q, NIC: nic, Local: local,
+			Registry: reg, Codec: rpc.DefaultCostModel(), Costs: bypass.DefaultCosts(),
+		})
+		workers = append(workers, w)
+		proc := k.NewProcess(fmt.Sprintf("svc%d", i+1))
+		k.SpawnPinned(proc, fmt.Sprintf("bypass%d", i), i%nCores, w.Loop)
+	}
+	served := func() uint64 {
+		var n uint64
+		for _, w := range workers {
+			n += w.Stats().Served
+		}
+		return n
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
+		Served: served, Label: "Kernel bypass"}
+}
+
+// KstackRig builds a traditional kernel-stack server: RSS queues steered
+// to cores, one server thread per service scheduled by the kernel.
+func KstackRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	return kstackRigOn(seed, nCores, nSvcs, serviceTime, size, arrivals, pop,
+		nicdma.DefaultConfig(), "Linux-style kernel")
+}
+
+// KstackEnzianRig is the kernel stack over the Enzian FPGA NIC (the
+// paper's "Enzian DMA" series).
+func KstackEnzianRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	return kstackRigOn(seed, nCores, nSvcs, serviceTime, size, arrivals, pop,
+		nicdma.EnzianConfig(), "Kernel on Enzian PCIe")
+}
+
+func kstackRigOn(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf,
+	nicCfg nicdma.Config, label string) *Rig {
+	s := sim.New(seed)
+	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
+	nicCfg.Queues = nCores
+	nic := nicdma.New(s, nicCfg)
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, nic)
+	nic.AttachLink(link, 1)
+	st := kstack.New(k, nic, serverEP, kstack.DefaultCosts())
+
+	reg := rpc.NewRegistry()
+	var served uint64
+	for i := 0; i < nSvcs; i++ {
+		desc := echoService(uint32(i+1), serviceTime)
+		reg.Register(desc)
+		sock := st.Bind(basePort + uint16(i))
+		proc := k.NewProcess(desc.Name)
+		k.Spawn(proc, fmt.Sprintf("srv%d", i), kstack.ServeLoop(kstack.ServerConfig{
+			Socket: sock, Registry: reg, Codec: rpc.DefaultCostModel(),
+			OnResponse: func(m *rpc.Message) { served++ },
+		}))
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
+		Served: func() uint64 { return served }, Label: label}
+}
+
+// RunMeasured warms the rig for warm, resets latency statistics, runs the
+// generator for measure, then drains.
+func (r *Rig) RunMeasured(warm, measure sim.Time) {
+	r.Gen.Start(0)
+	r.S.RunUntil(warm)
+	servedAtReset := r.Served()
+	sentAtReset := r.Gen.Sent
+	r.Gen.Latency.Reset()
+	for _, h := range r.Gen.PerTarget {
+		h.Reset()
+	}
+	r.S.RunUntil(warm + measure)
+	r.Gen.Stop()
+	// Drain responses in flight (bounded).
+	r.S.RunUntil(warm + measure + 20*sim.Millisecond)
+	r.measuredServed = r.Served() - servedAtReset
+	r.measuredSent = r.Gen.Sent - sentAtReset
+}
+
+// MeasuredServed returns requests served inside the measurement window of
+// the last RunMeasured.
+func (r *Rig) MeasuredServed() uint64 { return r.measuredServed }
+
+// MeasuredSent returns requests sent inside the measurement window.
+func (r *Rig) MeasuredSent() uint64 { return r.measuredSent }

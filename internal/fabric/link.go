@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/sim"
+)
+
+// NetParams describes an Ethernet link between two hosts (through one
+// switch, as in a rack-scale RPC deployment).
+type NetParams struct {
+	Name string
+	// Bandwidth in bytes per nanosecond (12.5 = 100 Gb/s).
+	Bandwidth float64
+	// PropDelay is one-way propagation (cabling) delay.
+	PropDelay sim.Time
+	// SwitchDelay is the store-and-forward/switching delay per hop.
+	SwitchDelay sim.Time
+}
+
+// Net100G is a 100 Gb/s link through a single cut-through switch, typical
+// of the rack-scale setting the paper targets.
+var Net100G = NetParams{
+	Name:        "100GbE",
+	Bandwidth:   12.5,
+	PropDelay:   400 * sim.Nanosecond,
+	SwitchDelay: 250 * sim.Nanosecond,
+}
+
+// OneWay returns the end-to-end one-way latency for a frame of n bytes:
+// serialization plus propagation plus switching.
+func (n NetParams) OneWay(bytes int) sim.Time {
+	return sim.PerByte(bytes, n.Bandwidth) + n.PropDelay + n.SwitchDelay
+}
+
+// FramePort is anything that can accept a delivered Ethernet frame — both
+// NIC models implement it.
+type FramePort interface {
+	// DeliverFrame hands a received frame to the NIC at the current
+	// simulated time. The NIC owns the slice.
+	DeliverFrame(frame []byte)
+}
+
+// Link is a full-duplex point-to-point Ethernet link between two ports.
+// Each direction serializes frames FIFO at the link bandwidth; a frame
+// arrives PropDelay+SwitchDelay after its last byte leaves the sender.
+type Link struct {
+	sim    *sim.Sim
+	params NetParams
+	ports  [2]FramePort
+	// txIdle[i] is when direction i->other becomes free to start
+	// serializing the next frame.
+	txIdle [2]sim.Time
+	// counters
+	frames [2]uint64
+	bytes  [2]uint64
+}
+
+// NewLink creates a link with the given parameters; attach ports with
+// Attach before sending.
+func NewLink(s *sim.Sim, params NetParams) *Link {
+	if params.Bandwidth <= 0 {
+		panic("fabric: link bandwidth must be positive")
+	}
+	return &Link{sim: s, params: params}
+}
+
+// Attach connects the two endpoints. Index 0 and 1 identify the sides for
+// Send.
+func (l *Link) Attach(a, b FramePort) {
+	if a == nil || b == nil {
+		panic("fabric: nil port")
+	}
+	l.ports[0], l.ports[1] = a, b
+}
+
+// Params returns the link parameters.
+func (l *Link) Params() NetParams { return l.params }
+
+// ReplacePort swaps the endpoint on one side — e.g. to substitute a
+// different load generator after a rig is built. Frames already in flight
+// are delivered to the port attached at their original send time.
+func (l *Link) ReplacePort(side int, p FramePort) {
+	if side != 0 && side != 1 {
+		panic(fmt.Sprintf("fabric: bad link side %d", side))
+	}
+	if p == nil {
+		panic("fabric: nil port")
+	}
+	l.ports[side] = p
+}
+
+// Send transmits a frame from the given side (0 or 1) to the other side.
+// The frame is delivered to the peer port after serialization, propagation
+// and switching delays; back-to-back sends queue behind each other.
+func (l *Link) Send(from int, frame []byte) {
+	if from != 0 && from != 1 {
+		panic(fmt.Sprintf("fabric: bad link side %d", from))
+	}
+	peer := l.ports[1-from]
+	if peer == nil {
+		panic("fabric: link not attached")
+	}
+	now := l.sim.Now()
+	start := now
+	if l.txIdle[from] > start {
+		start = l.txIdle[from] // wait for the wire
+	}
+	ser := sim.PerByte(len(frame), l.params.Bandwidth)
+	txEnd := start + ser
+	l.txIdle[from] = txEnd
+	l.frames[from]++
+	l.bytes[from] += uint64(len(frame))
+	arrive := txEnd + l.params.PropDelay + l.params.SwitchDelay
+	l.sim.At(arrive, "link-deliver", func() { peer.DeliverFrame(frame) })
+}
+
+// Stats reports frames and bytes sent from the given side.
+func (l *Link) Stats(from int) (frames, bytes uint64) {
+	return l.frames[from], l.bytes[from]
+}

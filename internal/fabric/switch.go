@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// Switch is an N-port learning Ethernet switch, used for topologies with
+// more than two hosts (e.g. the nested-RPC experiment's client → frontend
+// → backend chain). Each host attaches through an ordinary Link whose far
+// side is one switch port; the switch learns source MACs and forwards (or
+// floods) by destination MAC. Forwarding latency is carried by the
+// attached links (SwitchDelay is already part of Link delivery), so the
+// switch itself forwards instantly.
+type Switch struct {
+	sim   *sim.Sim
+	ports []*SwitchPort
+	fdb   map[wire.MAC]int // learned MAC -> port index
+
+	// Flooded counts frames sent out all ports for unknown destinations.
+	Flooded uint64
+	// Forwarded counts unicast-forwarded frames.
+	Forwarded uint64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(s *sim.Sim) *Switch {
+	return &Switch{sim: s, fdb: make(map[wire.MAC]int)}
+}
+
+// SwitchPort is one port: it implements FramePort for the link attached
+// to it.
+type SwitchPort struct {
+	sw   *Switch
+	idx  int
+	link *Link
+	side int
+}
+
+// DeliverFrame implements FramePort: a frame arrived from this port's
+// link.
+func (p *SwitchPort) DeliverFrame(frame []byte) {
+	p.sw.ingress(p.idx, frame)
+}
+
+// AttachPort connects a link side to a new switch port and returns the
+// port. The caller attaches the port as that link's endpoint:
+//
+//	link := fabric.NewLink(s, params)
+//	port := sw.AttachPort(link, 1)
+//	link.Attach(hostNIC, port) // host on side 0, switch on side 1
+func (sw *Switch) AttachPort(l *Link, side int) *SwitchPort {
+	if l == nil {
+		panic("fabric: nil link")
+	}
+	p := &SwitchPort{sw: sw, idx: len(sw.ports), link: l, side: side}
+	sw.ports = append(sw.ports, p)
+	return p
+}
+
+// NumPorts returns the number of attached ports.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// ingress learns the source MAC and forwards by destination.
+func (sw *Switch) ingress(fromPort int, frame []byte) {
+	if len(frame) < wire.EthernetHeaderLen {
+		return
+	}
+	var dst, src wire.MAC
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+	sw.fdb[src] = fromPort
+
+	if out, ok := sw.fdb[dst]; ok && dst != wire.BroadcastMAC {
+		if out == fromPort {
+			return // destination is behind the ingress port; drop
+		}
+		sw.Forwarded++
+		sw.ports[out].link.Send(sw.ports[out].side, frame)
+		return
+	}
+	// Unknown destination (or broadcast): flood.
+	sw.Flooded++
+	for i, p := range sw.ports {
+		if i == fromPort {
+			continue
+		}
+		p.link.Send(p.side, frame)
+	}
+}
+
+// String summarizes the switch.
+func (sw *Switch) String() string {
+	return fmt.Sprintf("switch{ports=%d learned=%d fwd=%d flood=%d}",
+		len(sw.ports), len(sw.fdb), sw.Forwarded, sw.Flooded)
+}

@@ -1,0 +1,153 @@
+package fabric
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+type portRecorder struct {
+	name   string
+	frames [][]byte
+}
+
+func (p *portRecorder) DeliverFrame(f []byte) { p.frames = append(p.frames, f) }
+
+func macN(n byte) wire.MAC { return wire.MAC{2, 0, 0, 0, 0, n} }
+
+func frameTo(dst, src wire.MAC) []byte {
+	f := make([]byte, wire.MinFrameLen)
+	copy(f[0:6], dst[:])
+	copy(f[6:12], src[:])
+	return f
+}
+
+// swRig builds a 3-host star: hosts a, b, c on ports 0, 1, 2.
+func swRig(t *testing.T) (*sim.Sim, *Switch, [3]*portRecorder, [3]*Link) {
+	t.Helper()
+	s := sim.New(1)
+	sw := NewSwitch(s)
+	var hosts [3]*portRecorder
+	var links [3]*Link
+	for i := 0; i < 3; i++ {
+		hosts[i] = &portRecorder{name: string(rune('a' + i))}
+		links[i] = NewLink(s, Net100G)
+		port := sw.AttachPort(links[i], 1)
+		links[i].Attach(hosts[i], port)
+	}
+	return s, sw, hosts, links
+}
+
+func TestSwitchFloodsUnknown(t *testing.T) {
+	s, sw, hosts, links := swRig(t)
+	links[0].Send(0, frameTo(macN(2), macN(1))) // a -> b, b unknown yet
+	s.Run()
+	if len(hosts[1].frames) != 1 || len(hosts[2].frames) != 1 {
+		t.Fatalf("flood delivery: b=%d c=%d", len(hosts[1].frames), len(hosts[2].frames))
+	}
+	if len(hosts[0].frames) != 0 {
+		t.Fatal("flooded back out the ingress port")
+	}
+	if sw.Flooded != 1 {
+		t.Errorf("flooded %d", sw.Flooded)
+	}
+}
+
+func TestSwitchLearnsAndForwards(t *testing.T) {
+	s, sw, hosts, links := swRig(t)
+	// b speaks first so the switch learns b's port.
+	links[1].Send(0, frameTo(macN(1), macN(2)))
+	s.Run()
+	// Now a -> b must be unicast.
+	links[0].Send(0, frameTo(macN(2), macN(1)))
+	s.Run()
+	if len(hosts[1].frames) != 1 {
+		t.Fatalf("b got %d frames", len(hosts[1].frames))
+	}
+	for _, f := range hosts[2].frames {
+		var dst wire.MAC
+		copy(dst[:], f[0:6])
+		if dst == macN(2) {
+			t.Fatal("c received a unicast not addressed to it")
+		}
+	}
+	if sw.Forwarded != 1 {
+		t.Errorf("forwarded %d", sw.Forwarded)
+	}
+}
+
+func TestSwitchHairpinDropped(t *testing.T) {
+	s, sw, hosts, links := swRig(t)
+	// Learn a on port 0, then send a frame to a from a's own port.
+	links[0].Send(0, frameTo(macN(9), macN(1)))
+	s.Run()
+	links[0].Send(0, frameTo(macN(1), macN(1)))
+	s.Run()
+	for i, h := range hosts {
+		if i == 0 {
+			continue
+		}
+		for _, f := range h.frames {
+			var dst wire.MAC
+			copy(dst[:], f[0:6])
+			if dst == macN(1) {
+				t.Fatal("hairpin frame escaped")
+			}
+		}
+	}
+	_ = sw
+}
+
+func TestSwitchBroadcastFloods(t *testing.T) {
+	s, _, hosts, links := swRig(t)
+	links[0].Send(0, frameTo(wire.BroadcastMAC, macN(1)))
+	s.Run()
+	if len(hosts[1].frames) != 1 || len(hosts[2].frames) != 1 {
+		t.Fatal("broadcast not flooded")
+	}
+}
+
+func TestSwitchRuntFrameIgnored(t *testing.T) {
+	s, sw, _, _ := swRig(t)
+	sw.ingress(0, []byte{1, 2, 3})
+	s.Run()
+	if sw.Forwarded != 0 || sw.Flooded != 0 {
+		t.Fatal("runt frame forwarded")
+	}
+}
+
+func TestSwitchThreeWayExchange(t *testing.T) {
+	s, sw, hosts, links := swRig(t)
+	// Everyone announces, then unicast in all directions.
+	for i := 0; i < 3; i++ {
+		links[i].Send(0, frameTo(wire.BroadcastMAC, macN(byte(i+1))))
+	}
+	s.Run()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				links[i].Send(0, frameTo(macN(byte(j+1)), macN(byte(i+1))))
+			}
+		}
+	}
+	s.Run()
+	// Each host: 2 broadcasts + 2 unicasts.
+	for i, h := range hosts {
+		if len(h.frames) != 4 {
+			t.Errorf("host %d got %d frames, want 4", i, len(h.frames))
+		}
+	}
+	if sw.Forwarded != 6 {
+		t.Errorf("forwarded %d, want 6", sw.Forwarded)
+	}
+}
+
+func TestSwitchNilLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSwitch(sim.New(1)).AttachPort(nil, 0)
+}

@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"testing"
+
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/sim"
+)
+
+func TestSpinWaitCompletes(t *testing.T) {
+	s, k := newK(1)
+	var done sim.Time
+	k.Spawn(nil, "t", func(tc *TC) {
+		tc.SpinWait(func(complete func()) {
+			s.After(5*sim.Microsecond, "dev", complete)
+		}, func() {
+			done = tc.Now()
+			tc.Exit()
+		}, func(tc2 *TC) { t.Fatal("reentered without preemption") })
+	})
+	s.Run()
+	want := k.Costs.ContextSwitch + 5*sim.Microsecond
+	if done != want {
+		t.Fatalf("completed at %v, want %v", done, want)
+	}
+	if got := k.CPU(0).Residency(cpu.Spin); got != 5*sim.Microsecond {
+		t.Errorf("spin residency %v", got)
+	}
+}
+
+func TestSpinWaitSynchronousCompletion(t *testing.T) {
+	s, k := newK(1)
+	hit := false
+	k.Spawn(nil, "t", func(tc *TC) {
+		tc.SpinWait(func(complete func()) { complete() },
+			func() { hit = true; tc.Exit() },
+			func(tc2 *TC) { t.Fatal("reenter") })
+	})
+	s.Run()
+	if !hit {
+		t.Fatal("synchronous completion lost")
+	}
+	if k.CPU(0).Residency(cpu.Spin) != 0 {
+		t.Error("sync completion accrued spin time")
+	}
+}
+
+func TestSpinWaitPreemptedAndReentered(t *testing.T) {
+	s, k := newK(1)
+	k.Costs.Quantum = 50 * sim.Microsecond
+	reentered := 0
+	var stale func()
+	k.Spawn(nil, "spinner", func(tc *TC) {
+		var loop func(tc2 *TC)
+		loop = func(tc2 *TC) {
+			tc2.SpinWait(func(complete func()) {
+				if stale == nil {
+					stale = complete // never fired on time; wait cancelled
+				}
+			}, func() {
+				t.Fatal("completion after cancellation must not run then")
+			}, func(tc3 *TC) {
+				reentered++
+				if reentered >= 2 {
+					tc3.Exit()
+					return
+				}
+				loop(tc3)
+			})
+		}
+		loop(tc)
+	})
+	// A competitor so the quantum preempts the spinner.
+	k.Spawn(nil, "worker", func(tc *TC) {
+		var work func(tc2 *TC)
+		n := 0
+		work = func(tc2 *TC) {
+			tc2.RunUser(40*sim.Microsecond, func() {
+				n++
+				if n >= 6 {
+					tc2.Exit()
+					return
+				}
+				tc2.Yield(work)
+			})
+		}
+		work(tc)
+	})
+	s.RunUntil(2 * sim.Second)
+	if reentered < 2 {
+		t.Fatalf("spinner reentered %d times; preemptible wait broken", reentered)
+	}
+	// The stale completion must be ignored, not crash.
+	if stale != nil {
+		stale()
+	}
+	s.RunUntil(3 * sim.Second)
+}
+
+func TestSpinWaitNilReenterPanics(t *testing.T) {
+	s, k := newK(1)
+	panicked := false
+	k.Spawn(nil, "t", func(tc *TC) {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			tc.SpinWait(func(func()) {}, func() {}, nil)
+		}()
+		tc.Exit()
+	})
+	s.Run()
+	if !panicked {
+		t.Fatal("nil reenter accepted")
+	}
+}
+
+func TestSpinWaitDoubleSyncCompletePanics(t *testing.T) {
+	s, k := newK(1)
+	panicked := false
+	k.Spawn(nil, "t", func(tc *TC) {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			tc.SpinWait(func(complete func()) { complete(); complete() },
+				func() {}, func(*TC) {})
+		}()
+		tc.Exit()
+	})
+	s.Run()
+	if !panicked {
+		t.Fatal("double synchronous completion accepted")
+	}
+}
+
+func TestIPIRunsHandlerOnCore(t *testing.T) {
+	s, k := newK(2)
+	ran := false
+	k.Spawn(nil, "busy", func(tc *TC) {
+		tc.RunUser(100*sim.Microsecond, tc.Exit)
+	})
+	s.At(10*sim.Microsecond, "ipi", func() {
+		k.IPI(0, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("IPI handler never ran")
+	}
+	if k.Stats().IPIs == 0 {
+		t.Error("IPI not counted")
+	}
+}
+
+func TestWaitQueueMultipleWaiters(t *testing.T) {
+	s, k := newK(2)
+	q := k.NewWaitQueue("mq")
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(nil, "w", func(tc *TC) {
+			q.Pop(tc, func(tc2 *TC, item any) {
+				got = append(got, item.(int)*10+i)
+				tc2.Exit()
+			})
+		})
+	}
+	s.RunUntil(10 * sim.Millisecond)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d items", len(got))
+	}
+	// Items delivered to waiters FIFO: waiter 0 gets item 1, etc.
+	for i, v := range got {
+		if v/10 != i+1 {
+			t.Fatalf("delivery order %v", got)
+		}
+	}
+}
+
+func TestExitReleasesCoreToNext(t *testing.T) {
+	s, k := newK(1)
+	order := []string{}
+	k.Spawn(nil, "a", func(tc *TC) {
+		order = append(order, "a")
+		tc.Exit()
+	})
+	k.Spawn(nil, "b", func(tc *TC) {
+		order = append(order, "b")
+		tc.Exit()
+	})
+	k.Spawn(nil, "c", func(tc *TC) {
+		order = append(order, "c")
+		tc.Exit()
+	})
+	s.Run()
+	if len(order) != 3 {
+		t.Fatalf("ran %d threads", len(order))
+	}
+}
+
+func TestRunTotalAccumulatesAcrossPreemption(t *testing.T) {
+	s, k := newK(1)
+	k.Costs.Quantum = 30 * sim.Microsecond
+	th := k.Spawn(nil, "long", func(tc *TC) {
+		tc.RunUser(100*sim.Microsecond, tc.Exit)
+	})
+	k.Spawn(nil, "other", func(tc *TC) {
+		tc.RunUser(10*sim.Microsecond, tc.Exit)
+	})
+	s.Run()
+	if th.RunTotal() != 100*sim.Microsecond {
+		t.Fatalf("RunTotal %v, want 100us despite preemption", th.RunTotal())
+	}
+}

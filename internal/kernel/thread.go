@@ -1,0 +1,317 @@
+package kernel
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/sim"
+)
+
+// TC is the thread context handed to thread bodies; all continuation-
+// passing thread operations go through it. A TC is only valid while its
+// thread is Running.
+type TC struct {
+	k *Kernel
+	t *Thread
+}
+
+// Kernel returns the owning kernel.
+func (tc *TC) Kernel() *Kernel { return tc.k }
+
+// Thread returns the thread.
+func (tc *TC) Thread() *Thread { return tc.t }
+
+// Sim returns the simulator.
+func (tc *TC) Sim() *sim.Sim { return tc.k.Sim }
+
+// Now returns the current simulated time.
+func (tc *TC) Now() sim.Time { return tc.k.Sim.Now() }
+
+func (tc *TC) mustBeRunning(op string) {
+	if tc.t.state != Running || tc.t.core == nil {
+		panic(fmt.Sprintf("kernel: %s on non-running %v", op, tc.t))
+	}
+}
+
+// Run consumes d of CPU time in the given mode, then continues with then.
+// The slice may be interrupted (IRQ) or preempted (quantum/IPI); the
+// remaining time is preserved in either case.
+func (tc *TC) Run(d sim.Time, mode cpu.State, then func()) {
+	tc.mustBeRunning("Run")
+	if d < 0 {
+		panic("kernel: negative Run duration")
+	}
+	t := tc.t
+	c := t.core
+	if d == 0 {
+		c.cpu.SetState(mode)
+		then()
+		return
+	}
+	c.cpu.SetState(mode)
+	t.sliceStart = tc.k.Sim.Now()
+	t.sliceDur = d
+	t.sliceMode = mode
+	t.sliceThen = then
+	t.sliceEv = tc.k.Sim.After(d, "thread-run", func() {
+		t.sliceEv = nil
+		t.sliceThen = nil
+		t.runTotal += d
+		then()
+	})
+}
+
+// RunUser is shorthand for Run in user mode.
+func (tc *TC) RunUser(d sim.Time, then func()) { tc.Run(d, cpu.User, then) }
+
+// RunKernel is shorthand for Run in kernel mode.
+func (tc *TC) RunKernel(d sim.Time, then func()) { tc.Run(d, cpu.Kernel, then) }
+
+// Syscall charges entry + work + exit around fn, modelling a system call.
+func (tc *TC) Syscall(work sim.Time, then func()) {
+	tc.mustBeRunning("Syscall")
+	tc.k.stats.Syscalls++
+	tc.Run(tc.k.Costs.SyscallEntry+work+tc.k.Costs.SyscallExit, cpu.Kernel, then)
+}
+
+// Block deschedules the thread until Wake; it then resumes with then after
+// being re-dispatched (context-switch costs apply). The core picks up the
+// next runnable thread or idles.
+func (tc *TC) Block(then func(tc2 *TC)) {
+	tc.mustBeRunning("Block")
+	t := tc.t
+	c := t.core
+	t.state = Blocked
+	t.core = nil
+	t.resume = then
+	c.current = nil
+	next := tc.k.dequeueFor(c)
+	if next != nil {
+		tc.k.dispatch(c, next, t)
+	} else {
+		tc.k.idle(c)
+	}
+}
+
+// Yield voluntarily releases the core, re-queueing the thread at the tail
+// of the run queue.
+func (tc *TC) Yield(then func(tc2 *TC)) {
+	tc.mustBeRunning("Yield")
+	t := tc.t
+	c := t.core
+	t.state = Runnable
+	t.core = nil
+	t.resume = then
+	tc.k.runq = append(tc.k.runq, t)
+	c.current = nil
+	next := tc.k.dequeueFor(c)
+	if next != nil {
+		tc.k.dispatch(c, next, t)
+	} else {
+		tc.k.idle(c)
+	}
+	tc.k.armContendedQuanta()
+}
+
+// Exit terminates the thread and releases its core.
+func (tc *TC) Exit() {
+	tc.mustBeRunning("Exit")
+	t := tc.t
+	c := t.core
+	t.state = Exited
+	t.core = nil
+	c.current = nil
+	next := tc.k.dequeueFor(c)
+	if next != nil {
+		tc.k.dispatch(c, next, t)
+	} else {
+		tc.k.idle(c)
+	}
+}
+
+// StallOn issues an asynchronous interconnect operation and stalls the
+// core until it completes. issue receives a complete callback that the
+// device model must invoke exactly once (possibly synchronously for a
+// cache hit); the thread then continues with then.
+//
+// While stalled the thread still owns its core, but the core draws Stall
+// power rather than Spin power — this is the paper's "the core is stalled
+// (rather than spinning)". Interrupts targeting the core are deferred
+// until the stall resolves, and preemption requests set PreemptPending for
+// the continuation to honour.
+func (tc *TC) StallOn(issue func(complete func()), then func()) {
+	tc.waitOn(cpu.Stall, issue, then)
+}
+
+// SpinOn is StallOn's busy-polling sibling: the thread waits for the
+// asynchronous completion while its core burns Spin power, as a
+// kernel-bypass poll loop does. Scheduling-wise the two are identical (the
+// thread keeps its core and defers preemption); only the power state — and
+// therefore the energy experiments — differ. For a *preemptible* poll loop
+// use SpinWait instead.
+func (tc *TC) SpinOn(issue func(complete func()), then func()) {
+	tc.waitOn(cpu.Spin, issue, then)
+}
+
+// SpinWait parks the thread in a preemptible busy-poll wait. issue
+// registers an asynchronous completion (e.g. RxQueue.OnArrival); while
+// waiting, the core burns Spin power but remains an ordinary preemption
+// target — a spinning process takes timer interrupts, unlike one stalled
+// on a cache fill. If the scheduler takes the core away mid-wait, the
+// registration is abandoned (a late completion is ignored) and reenter
+// runs when the thread is next scheduled, so the caller re-polls from
+// scratch.
+func (tc *TC) SpinWait(issue func(complete func()), then func(), reenter func(tc2 *TC)) {
+	tc.mustBeRunning("SpinWait")
+	if reenter == nil {
+		panic("kernel: SpinWait needs a reentry continuation")
+	}
+	t := tc.t
+	c := t.core
+	completed := false
+	sync := true
+	t.spinToken++
+	token := t.spinToken
+	issue(func() {
+		if sync {
+			if completed {
+				panic("kernel: SpinWait completion invoked twice")
+			}
+			completed = true
+			then()
+			return
+		}
+		if t.spinToken != token || !t.spinWaiting {
+			return // stale: the wait was cancelled by preemption
+		}
+		t.spinWaiting = false
+		t.spinReenter = nil
+		c.cpu.SetState(t.sliceMode)
+		then()
+	})
+	if completed {
+		return
+	}
+	sync = false
+	t.spinWaiting = true
+	t.spinReenter = reenter
+	c.cpu.SetState(cpu.Spin)
+}
+
+func (tc *TC) waitOn(mode cpu.State, issue func(complete func()), then func()) {
+	tc.mustBeRunning("StallOn")
+	t := tc.t
+	c := t.core
+	completed := false
+	sync := true
+	issue(func() {
+		if completed {
+			panic("kernel: StallOn completion invoked twice")
+		}
+		completed = true
+		if sync {
+			// Completed synchronously (hit) — no stall occurred.
+			then()
+			return
+		}
+		if c.current != t {
+			panic(fmt.Sprintf("kernel: %v unstalled after losing its core", t))
+		}
+		t.stalled = false
+		c.cpu.SetState(t.sliceMode)
+		// Deliver interrupts that arrived during the stall, then
+		// continue.
+		pending := t.pendingIRQ
+		t.pendingIRQ = nil
+		for _, irq := range pending {
+			irq()
+		}
+		then()
+	})
+	if completed {
+		return
+	}
+	sync = false
+	t.stalled = true
+	c.cpu.SetState(mode)
+}
+
+// Stalls the calling thread for exactly d (a pure delay in the Stall
+// state), used to model blocking hardware waits in tests.
+func (tc *TC) StallFor(d sim.Time, then func()) {
+	tc.StallOn(func(complete func()) {
+		tc.k.Sim.After(d, "stall-for", complete)
+	}, then)
+}
+
+// WaitQueue is a kernel wait object carrying opaque items — the model for
+// socket receive queues. Push delivers an item to a waiting thread or
+// queues it; Pop takes an item or blocks the caller.
+type WaitQueue struct {
+	k       *Kernel
+	name    string
+	items   []any
+	waiters []waiter
+	// MaxDepth, when positive, bounds the queue; Push beyond it drops the
+	// item and counts it (socket buffer overflow).
+	MaxDepth int
+	Dropped  uint64
+	maxSeen  int
+}
+
+type waiter struct {
+	t    *Thread
+	then func(tc *TC, item any)
+}
+
+// NewWaitQueue creates a wait queue.
+func (k *Kernel) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{k: k, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *WaitQueue) Len() int { return len(q.items) }
+
+// MaxSeen returns the high-water mark of queued items.
+func (q *WaitQueue) MaxSeen() int { return q.maxSeen }
+
+// Push delivers an item: wakes the first waiter, or queues the item.
+// Returns false if the queue overflowed and the item was dropped.
+func (q *WaitQueue) Push(item any) bool {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		t := w.t
+		then := w.then
+		t.resume = func(tc *TC) { then(tc, item) }
+		if t.state != Blocked {
+			panic(fmt.Sprintf("kernel: waitqueue waiter %v not blocked", t))
+		}
+		q.k.Wake(t)
+		return true
+	}
+	if q.MaxDepth > 0 && len(q.items) >= q.MaxDepth {
+		q.Dropped++
+		return false
+	}
+	q.items = append(q.items, item)
+	if len(q.items) > q.maxSeen {
+		q.maxSeen = len(q.items)
+	}
+	return true
+}
+
+// Pop takes the next item, blocking the thread when the queue is empty.
+func (q *WaitQueue) Pop(tc *TC, then func(tc2 *TC, item any)) {
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		then(tc, item)
+		return
+	}
+	t := tc.t
+	q.waiters = append(q.waiters, waiter{t: t, then: then})
+	tc.Block(func(*TC) {
+		panic("kernel: waitqueue waiter resumed without item")
+	})
+}

@@ -1,0 +1,218 @@
+// Package kstack models the traditional in-kernel network receive path of
+// the paper's Figure 1 and Figure 5 (left): NIC interrupt → softirq
+// protocol processing → socket lookup and enqueue → thread wakeup →
+// context switch → recv syscall → software unmarshal → handler.
+//
+// It is the "Linux" series in the experiments: the most flexible of the
+// three stacks (any thread on any core, no pinning, no spinning) and the
+// one with the most software on the critical path.
+package kstack
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// Costs are the per-stage software costs of the kernel receive/transmit
+// paths, roughly matching published Linux breakdowns (see EXPERIMENTS.md).
+type Costs struct {
+	// SoftirqPerPacket covers NAPI poll, skb setup, IP/UDP protocol
+	// processing for one packet.
+	SoftirqPerPacket sim.Time
+	// SocketLookup is the demultiplex to a socket.
+	SocketLookup sim.Time
+	// SocketEnqueue covers queueing the skb and the wakeup call.
+	SocketEnqueue sim.Time
+	// RecvCopy is the per-byte user-copy cost on recvmsg.
+	RecvCopyPerByte sim.Time
+	// RecvFixed is the fixed recvmsg work beyond the generic syscall cost.
+	RecvFixed sim.Time
+	// SendFixed/SendCopyPerByte likewise for sendmsg, including building
+	// headers and the TX descriptor.
+	SendFixed       sim.Time
+	SendCopyPerByte sim.Time
+}
+
+// DefaultCosts returns the cost set used by the experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		SoftirqPerPacket: 1500 * sim.Nanosecond,
+		SocketLookup:     250 * sim.Nanosecond,
+		SocketEnqueue:    300 * sim.Nanosecond,
+		RecvCopyPerByte:  sim.Time(100), // 0.1 ns/B ≈ 10 GB/s copy
+		RecvFixed:        500 * sim.Nanosecond,
+		SendFixed:        900 * sim.Nanosecond,
+		SendCopyPerByte:  sim.Time(100),
+	}
+}
+
+// Socket is a bound UDP socket with a kernel wait queue.
+type Socket struct {
+	Port  uint16
+	queue *kernel.WaitQueue
+	stack *Stack
+}
+
+// Stack is one host's kernel network stack instance.
+type Stack struct {
+	K     *kernel.Kernel
+	NIC   *nicdma.NIC
+	Costs Costs
+
+	Local wire.Endpoint
+
+	sockets map[uint16]*Socket
+	ipID    uint16
+
+	// statistics
+	SoftirqPackets uint64
+	NoSocketDrops  uint64
+}
+
+// New builds a stack over a kernel and a NIC, wiring every NIC queue's
+// interrupt to a softirq handler. Queue i's IRQ is steered to core
+// i mod NumCores.
+func New(k *kernel.Kernel, nic *nicdma.NIC, local wire.Endpoint, costs Costs) *Stack {
+	st := &Stack{K: k, NIC: nic, Costs: costs, Local: local, sockets: make(map[uint16]*Socket)}
+	for i := 0; i < nic.NumQueues(); i++ {
+		q := nic.Queue(i)
+		core := i % k.NumCores()
+		q.OnIRQ = func(q *nicdma.RxQueue) { st.softirq(core, q) }
+		q.EnableIRQ()
+	}
+	return st
+}
+
+// Bind creates a socket on the given UDP port.
+func (st *Stack) Bind(port uint16) *Socket {
+	if _, dup := st.sockets[port]; dup {
+		panic(fmt.Sprintf("kstack: port %d already bound", port))
+	}
+	s := &Socket{Port: port, queue: st.K.NewWaitQueue(fmt.Sprintf("sock:%d", port)), stack: st}
+	s.queue.MaxDepth = 1024
+	st.sockets[port] = s
+	return s
+}
+
+// softirq drains the RX queue in interrupt context on the given core,
+// charging per-packet protocol costs, then re-enables the queue's IRQ
+// (NAPI).
+func (st *Stack) softirq(core int, q *nicdma.RxQueue) {
+	// Collect what is currently in the ring; packets arriving during the
+	// softirq will re-raise the (re-enabled) interrupt.
+	var pkts []*wire.Datagram
+	for {
+		d := q.Poll()
+		if d == nil {
+			break
+		}
+		pkts = append(pkts, d)
+	}
+	cost := sim.Time(len(pkts)) * (st.Costs.SoftirqPerPacket + st.Costs.SocketLookup + st.Costs.SocketEnqueue)
+	st.K.IRQ(core, cost, func() {
+		for _, d := range pkts {
+			st.SoftirqPackets++
+			sock, ok := st.sockets[d.UDP.DstPort]
+			if !ok {
+				st.NoSocketDrops++
+				continue
+			}
+			sock.queue.Push(d)
+		}
+		q.EnableIRQ()
+	})
+}
+
+// Recv blocks the calling thread until a datagram arrives on the socket,
+// then charges recvmsg syscall + copy costs and continues with the
+// datagram.
+func (s *Socket) Recv(tc *kernel.TC, then func(tc *kernel.TC, d *wire.Datagram)) {
+	s.queue.Pop(tc, func(tc *kernel.TC, item any) {
+		d := item.(*wire.Datagram)
+		cost := s.stack.Costs.RecvFixed + sim.Time(len(d.Payload))*s.stack.Costs.RecvCopyPerByte
+		tc.Syscall(cost, func() { then(tc, d) })
+	})
+}
+
+// Send transmits payload to dst as a UDP datagram: sendmsg syscall costs
+// (header build + copy + descriptor + doorbell) on the calling thread,
+// then the NIC-side transmit.
+func (s *Socket) Send(tc *kernel.TC, dst wire.Endpoint, payload []byte, then func(tc *kernel.TC)) {
+	st := s.stack
+	st.ipID++
+	src := st.Local
+	src.Port = s.Port
+	frame, err := wire.BuildUDP(src, dst, st.ipID, payload)
+	if err != nil {
+		panic(fmt.Sprintf("kstack: send: %v", err))
+	}
+	cost := st.Costs.SendFixed + sim.Time(len(payload))*st.Costs.SendCopyPerByte + st.NIC.DoorbellCost()
+	tc.Syscall(cost, func() {
+		st.NIC.Transmit(frame)
+		then(tc)
+	})
+}
+
+// ServerConfig describes an RPC server thread serving one socket.
+type ServerConfig struct {
+	Socket   *Socket
+	Registry *rpc.Registry
+	Codec    rpc.CostModel
+	// OnResponse, when non-nil, observes every response just before
+	// transmit (used by tests).
+	OnResponse func(m *rpc.Message)
+}
+
+// ServeLoop is a thread body: receive → decode (software) → dispatch →
+// handler → encode → send, forever. Spawn it with kernel.Spawn on a
+// process representing the service.
+func ServeLoop(cfg ServerConfig) func(tc *kernel.TC) {
+	var loop func(tc *kernel.TC)
+	loop = func(tc *kernel.TC) {
+		cfg.Socket.Recv(tc, func(tc *kernel.TC, d *wire.Datagram) {
+			msg, err := rpc.Decode(d.Payload)
+			if err != nil {
+				// Malformed RPC: drop and continue serving.
+				loop(tc)
+				return
+			}
+			// Software unmarshal + dispatch lookup, in user mode.
+			decodeCost := cfg.Codec.Unmarshal(len(msg.Body)) + cfg.Codec.DispatchLookup
+			tc.RunUser(decodeCost, func() {
+				svc := cfg.Registry.Lookup(msg.Service)
+				var m *rpc.MethodDesc
+				if svc != nil {
+					m = svc.Method(msg.Method)
+				}
+				status := uint16(rpc.StatusOK)
+				var respBody []byte
+				var service sim.Time
+				if m == nil {
+					status = rpc.StatusNoSuchMethod
+				} else {
+					respBody, service = m.Handler(msg.Body)
+				}
+				tc.RunUser(service, func() {
+					resp := rpc.EncodeResponse(msg.Service, msg.Method, msg.ID, status, respBody)
+					respMsg, _ := rpc.Decode(resp)
+					if cfg.OnResponse != nil {
+						cfg.OnResponse(respMsg)
+					}
+					encodeCost := cfg.Codec.Marshal(len(respBody))
+					tc.RunUser(encodeCost, func() {
+						dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
+						cfg.Socket.Send(tc, dst, resp, func(tc *kernel.TC) {
+							loop(tc)
+						})
+					})
+				})
+			})
+		})
+	}
+	return loop
+}

@@ -1,0 +1,566 @@
+// Package mesi implements a directory-based cache-coherence protocol over a
+// configurable peripheral interconnect (internal/fabric). It is the
+// substrate for Lauberhorn's control-cache-line protocol (paper Fig. 4):
+// the NIC acts as the *home agent* for a set of lines and may defer the
+// data response to a CPU load — the "stalled load" that replaces both
+// interrupts and busy-polling.
+//
+// The protocol is MSI with a serializing home: each line's directory entry
+// admits one transaction at a time and queues the rest, which is how real
+// directory controllers resolve races. Deferred fills hold the line busy;
+// a watchdog models the interconnect's protocol timeout (the "unrecoverable
+// bus error" of §5.1) if the home defers too long, which is exactly why
+// Lauberhorn must emit TryAgain messages.
+package mesi
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+)
+
+// LineAddr identifies one cache line in the coherent address space.
+type LineAddr uint64
+
+// State is a cache-side MSI state.
+type State uint8
+
+// Cache line states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String returns the single-letter protocol name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Backing supplies and receives line data for a directory's address range.
+// A DRAM home responds to ReadLine immediately; a device home (the
+// Lauberhorn NIC) may capture the respond function and invoke it at any
+// later simulated time — that is the deferred fill.
+type Backing interface {
+	// ReadLine is called when the home must produce the line's data for a
+	// fill and no cache holds it Modified. respond must be called exactly
+	// once, with a slice of the fabric's line size, at the current or a
+	// later simulated time. excl marks a read-for-ownership (the
+	// requester intends to write); device homes must answer those
+	// immediately — only plain loads may be deferred.
+	ReadLine(addr LineAddr, excl bool, respond func(data []byte))
+	// WriteLine is called when dirty data returns to the home (writeback
+	// or recall).
+	WriteLine(addr LineAddr, data []byte)
+}
+
+// MemBacking is a trivial in-memory Backing that responds immediately —
+// used for DRAM-homed lines and in tests.
+type MemBacking struct {
+	LineSize int
+	data     map[LineAddr][]byte
+}
+
+// NewMemBacking returns a zero-filled memory backing.
+func NewMemBacking(lineSize int) *MemBacking {
+	return &MemBacking{LineSize: lineSize, data: make(map[LineAddr][]byte)}
+}
+
+// ReadLine responds immediately with the stored (or zero) data.
+func (m *MemBacking) ReadLine(addr LineAddr, excl bool, respond func([]byte)) {
+	respond(m.Get(addr))
+}
+
+// WriteLine stores the data.
+func (m *MemBacking) WriteLine(addr LineAddr, data []byte) {
+	c := make([]byte, m.LineSize)
+	copy(c, data)
+	m.data[addr] = c
+}
+
+// Get returns the current stored value (zeroes if never written).
+func (m *MemBacking) Get(addr LineAddr) []byte {
+	if d, ok := m.data[addr]; ok {
+		c := make([]byte, len(d))
+		copy(c, d)
+		return c
+	}
+	return make([]byte, m.LineSize)
+}
+
+// Stats counts protocol activity; experiment E6 uses it to measure bus
+// traffic.
+type Stats struct {
+	Fills         stats64
+	DeferredFills stats64
+	Recalls       stats64
+	Writebacks    stats64
+	Invalidations stats64
+	Upgrades      stats64
+}
+
+type stats64 uint64
+
+// Inc adds one.
+func (s *stats64) Inc() { *s++ }
+
+// Value returns the count.
+func (s stats64) Value() uint64 { return uint64(s) }
+
+// Directory is the home agent for a region of lines. It serializes
+// transactions per line and moves data between the backing store and the
+// attached caches with fabric-parameterized latencies.
+type Directory struct {
+	sim     *sim.Sim
+	params  fabric.Params
+	backing Backing
+	lines   map[LineAddr]*dirLine
+	stats   Stats
+
+	// DeferTimeout bounds how long a fill may stay deferred before the
+	// interconnect declares a protocol timeout. BusError is then invoked
+	// (default: panic). Lauberhorn's 15 ms TryAgain exists precisely to
+	// stay below this bound.
+	DeferTimeout sim.Time
+	BusError     func(addr LineAddr)
+}
+
+type txnKind uint8
+
+const (
+	txnGetS txnKind = iota
+	txnGetM
+	txnRecall
+	txnWriteback
+)
+
+type txn struct {
+	kind  txnKind
+	cache *Cache
+	data  []byte // for writeback
+	done  func(data []byte)
+}
+
+type dirLine struct {
+	owner   *Cache
+	sharers map[*Cache]struct{}
+	busy    bool
+	queue   []txn
+	// watchdog pending while a fill is deferred
+	watchdog *sim.Event
+}
+
+// NewDirectory creates a home agent over the given backing store. The
+// fabric must support coherence.
+func NewDirectory(s *sim.Sim, p fabric.Params, backing Backing) *Directory {
+	if !p.HasCoherence {
+		panic(fmt.Sprintf("mesi: fabric %s has no coherence support", p.Name))
+	}
+	if backing == nil {
+		panic("mesi: nil backing")
+	}
+	return &Directory{
+		sim:          s,
+		params:       p,
+		backing:      backing,
+		lines:        make(map[LineAddr]*dirLine),
+		DeferTimeout: 50 * sim.Millisecond,
+		BusError: func(addr LineAddr) {
+			panic(fmt.Sprintf("mesi: protocol timeout (bus error) on deferred fill of line %#x", uint64(addr)))
+		},
+	}
+}
+
+// Params returns the directory's fabric parameters.
+func (d *Directory) Params() fabric.Params { return d.params }
+
+// Stats returns a snapshot of the protocol counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// LineSize returns the coherence granule in bytes.
+func (d *Directory) LineSize() int { return d.params.CacheLineSize }
+
+func (d *Directory) line(addr LineAddr) *dirLine {
+	l, ok := d.lines[addr]
+	if !ok {
+		l = &dirLine{sharers: make(map[*Cache]struct{})}
+		d.lines[addr] = l
+	}
+	return l
+}
+
+// halfFill is one direction of a fill round trip.
+func (d *Directory) halfFill() sim.Time { return d.params.LineFill / 2 }
+
+// enqueue admits a transaction to a line, serializing behind any in-flight
+// transaction.
+func (d *Directory) enqueue(addr LineAddr, t txn) {
+	l := d.line(addr)
+	if l.busy {
+		l.queue = append(l.queue, t)
+		return
+	}
+	l.busy = true
+	d.execute(addr, l, t)
+}
+
+// finish completes the current transaction and starts the next queued one.
+func (d *Directory) finish(addr LineAddr, l *dirLine) {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	d.execute(addr, l, next)
+}
+
+func (d *Directory) execute(addr LineAddr, l *dirLine, t txn) {
+	switch t.kind {
+	case txnGetS:
+		d.doGetS(addr, l, t)
+	case txnGetM:
+		d.doGetM(addr, l, t)
+	case txnRecall:
+		d.doRecall(addr, l, t)
+	case txnWriteback:
+		d.doWriteback(addr, l, t)
+	default:
+		panic("mesi: unknown txn kind")
+	}
+}
+
+// doGetS satisfies a read miss.
+func (d *Directory) doGetS(addr LineAddr, l *dirLine, t txn) {
+	d.stats.Fills.Inc()
+	if l.owner != nil && l.owner != t.cache {
+		// Dirty in another cache: recall to home (owner→home hop), write
+		// through to backing, then forward to requester (home→req hop).
+		owner := l.owner
+		d.sim.After(d.halfFill(), "mesi-fwd-gets", func() {
+			data := owner.surrender(addr, Shared)
+			d.backing.WriteLine(addr, data)
+			l.owner = nil
+			l.sharers[owner] = struct{}{}
+			d.deliver(addr, l, t, data, Shared)
+		})
+		return
+	}
+	// Clean (or requester already owns it): ask the backing. The backing
+	// may defer; arm the watchdog.
+	deferredAt := d.sim.Now()
+	responded := false
+	l.watchdog = d.sim.After(d.DeferTimeout, "mesi-watchdog", func() {
+		if !responded {
+			d.BusError(addr)
+		}
+	})
+	d.backing.ReadLine(addr, false, func(data []byte) {
+		if responded {
+			panic("mesi: backing responded twice")
+		}
+		responded = true
+		if l.watchdog != nil {
+			d.sim.Cancel(l.watchdog)
+			l.watchdog = nil
+		}
+		if d.sim.Now() > deferredAt {
+			d.stats.DeferredFills.Inc()
+		}
+		d.deliver(addr, l, t, data, Shared)
+	})
+}
+
+// doGetM satisfies a write miss / upgrade: invalidate everyone else, grant
+// Modified.
+func (d *Directory) doGetM(addr LineAddr, l *dirLine, t txn) {
+	d.stats.Upgrades.Inc()
+	invalidate := func(then func(dirty []byte)) {
+		// Invalidate owner or sharers (one fabric hop, overlapped).
+		if l.owner != nil && l.owner != t.cache {
+			owner := l.owner
+			d.sim.After(d.halfFill(), "mesi-inv-owner", func() {
+				data := owner.surrender(addr, Invalid)
+				d.stats.Invalidations.Inc()
+				l.owner = nil
+				then(data)
+			})
+			return
+		}
+		n := 0
+		for c := range l.sharers {
+			if c != t.cache {
+				c.surrender(addr, Invalid)
+				d.stats.Invalidations.Inc()
+				n++
+			}
+		}
+		for c := range l.sharers {
+			delete(l.sharers, c)
+		}
+		if n > 0 {
+			d.sim.After(d.halfFill(), "mesi-inv-acks", func() { then(nil) })
+		} else {
+			then(nil)
+		}
+	}
+	invalidate(func(dirty []byte) {
+		if dirty != nil {
+			d.backing.WriteLine(addr, dirty)
+			d.deliver(addr, l, t, dirty, Modified)
+			return
+		}
+		if t.cache.state(addr) == Shared {
+			// Upgrade in place: cache has current data already.
+			l.owner = t.cache
+			delete(l.sharers, t.cache)
+			t.cache.grant(addr, nil, Modified)
+			cb := t.done
+			d.sim.After(d.params.LineWriteback, "mesi-upgrade-ack", func() {
+				cb(nil)
+				d.finish(addr, l)
+			})
+			return
+		}
+		d.backing.ReadLine(addr, true, func(data []byte) {
+			d.deliver(addr, l, t, data, Modified)
+		})
+	})
+}
+
+// deliver sends fill data to the requesting cache and completes the
+// transaction.
+func (d *Directory) deliver(addr LineAddr, l *dirLine, t txn, data []byte, st State) {
+	cp := make([]byte, d.LineSize())
+	copy(cp, data)
+	d.sim.After(d.halfFill(), "mesi-data", func() {
+		if st == Modified {
+			l.owner = t.cache
+			delete(l.sharers, t.cache)
+		} else {
+			l.sharers[t.cache] = struct{}{}
+		}
+		t.cache.grant(addr, cp, st)
+		if t.done != nil {
+			t.done(cp)
+		}
+		d.finish(addr, l)
+	})
+}
+
+// doRecall implements the device-initiated FetchExclusive of Fig. 4: pull
+// the line out of every cache (collecting dirty data) and return it to the
+// home.
+func (d *Directory) doRecall(addr LineAddr, l *dirLine, t txn) {
+	d.stats.Recalls.Inc()
+	complete := func(data []byte) {
+		if data != nil {
+			d.backing.WriteLine(addr, data)
+		}
+		d.sim.After(d.params.FetchExclusive, "mesi-recall-data", func() {
+			var out []byte
+			if data != nil {
+				out = data
+			} else {
+				// Line was clean at home.
+				mb, ok := d.backing.(*MemBacking)
+				if ok {
+					out = mb.Get(addr)
+				}
+			}
+			if t.done != nil {
+				t.done(out)
+			}
+			d.finish(addr, l)
+		})
+	}
+	if l.owner != nil {
+		owner := l.owner
+		data := owner.surrender(addr, Invalid)
+		d.stats.Invalidations.Inc()
+		l.owner = nil
+		complete(data)
+		return
+	}
+	for c := range l.sharers {
+		c.surrender(addr, Invalid)
+		d.stats.Invalidations.Inc()
+	}
+	for c := range l.sharers {
+		delete(l.sharers, c)
+	}
+	complete(nil)
+}
+
+// doWriteback handles a voluntary eviction of a dirty line.
+func (d *Directory) doWriteback(addr LineAddr, l *dirLine, t txn) {
+	d.stats.Writebacks.Inc()
+	if l.owner == t.cache {
+		l.owner = nil
+	}
+	d.backing.WriteLine(addr, t.data)
+	d.sim.After(d.params.LineWriteback, "mesi-wb-ack", func() {
+		if t.done != nil {
+			t.done(nil)
+		}
+		d.finish(addr, l)
+	})
+}
+
+// Recall is the device-side FetchExclusive: the home pulls the line's
+// current data out of the caches. done receives the data (nil if the
+// backing is not a MemBacking and no cache was dirty).
+func (d *Directory) Recall(addr LineAddr, done func(data []byte)) {
+	d.enqueue(addr, txn{kind: txnRecall, done: done})
+}
+
+// Cache is one CPU core's coherent cache for lines homed at a set of
+// directories. Capacity is unbounded (the lines of interest are few);
+// evictions are explicit.
+type Cache struct {
+	name   string
+	sim    *sim.Sim
+	state_ map[LineAddr]State
+	data   map[LineAddr][]byte
+	dirs   map[LineAddr]*Directory
+	home   func(LineAddr) *Directory
+}
+
+// NewCache creates a cache whose home lookup function routes each line to
+// its directory.
+func NewCache(s *sim.Sim, name string, home func(LineAddr) *Directory) *Cache {
+	if home == nil {
+		panic("mesi: nil home lookup")
+	}
+	return &Cache{
+		name:   name,
+		sim:    s,
+		state_: make(map[LineAddr]State),
+		data:   make(map[LineAddr][]byte),
+		dirs:   make(map[LineAddr]*Directory),
+		home:   home,
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+func (c *Cache) dir(addr LineAddr) *Directory {
+	if d, ok := c.dirs[addr]; ok {
+		return d
+	}
+	d := c.home(addr)
+	if d == nil {
+		panic(fmt.Sprintf("mesi: no home for line %#x", uint64(addr)))
+	}
+	c.dirs[addr] = d
+	return d
+}
+
+// State reports the cache's current state for the line.
+func (c *Cache) State(addr LineAddr) State { return c.state_[addr] }
+
+func (c *Cache) state(addr LineAddr) State { return c.state_[addr] }
+
+// Data returns the cached copy (nil if Invalid).
+func (c *Cache) Data(addr LineAddr) []byte {
+	if c.state_[addr] == Invalid {
+		return nil
+	}
+	return c.data[addr]
+}
+
+// grant installs fill data (nil data means upgrade-in-place).
+func (c *Cache) grant(addr LineAddr, data []byte, st State) {
+	c.state_[addr] = st
+	if data != nil {
+		c.data[addr] = data
+	}
+}
+
+// surrender downgrades the line to st and returns the (possibly dirty)
+// data.
+func (c *Cache) surrender(addr LineAddr, st State) []byte {
+	data := c.data[addr]
+	c.state_[addr] = st
+	if st == Invalid {
+		delete(c.data, addr)
+	}
+	return data
+}
+
+// Load performs a coherent read. On a hit, done runs immediately (L1 hit
+// cost is inside the CPU cycle budget, not the fabric's). On a miss, a GetS
+// is issued to the home; done runs when the fill arrives — possibly much
+// later if the home defers (Lauberhorn's stalled load).
+func (c *Cache) Load(addr LineAddr, done func(data []byte)) {
+	if st := c.state_[addr]; st == Shared || st == Modified {
+		done(c.data[addr])
+		return
+	}
+	d := c.dir(addr)
+	d.sim.After(d.halfFill(), "mesi-gets", func() {
+		d.enqueue(addr, txn{kind: txnGetS, cache: c, done: done})
+	})
+}
+
+// Store performs a coherent full-line write: obtains Modified (invalidating
+// other copies) and installs data. done runs when ownership is granted.
+func (c *Cache) Store(addr LineAddr, data []byte, done func()) {
+	d := c.dir(addr)
+	write := func() {
+		cp := make([]byte, d.LineSize())
+		copy(cp, data)
+		c.data[addr] = cp
+		c.state_[addr] = Modified
+		if done != nil {
+			done()
+		}
+	}
+	if c.state_[addr] == Modified {
+		write()
+		return
+	}
+	d.sim.After(d.halfFill(), "mesi-getm", func() {
+		d.enqueue(addr, txn{kind: txnGetM, cache: c, done: func([]byte) { write() }})
+	})
+}
+
+// Evict voluntarily drops the line, writing back dirty data. done runs when
+// the home acknowledges.
+func (c *Cache) Evict(addr LineAddr, done func()) {
+	st := c.state_[addr]
+	if st == Invalid {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	d := c.dir(addr)
+	if st == Shared {
+		// Silent drop; the directory's sharer set is allowed to be stale
+		// (it will send a harmless invalidation later).
+		c.surrender(addr, Invalid)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	data := c.surrender(addr, Invalid)
+	d.sim.After(d.halfFill(), "mesi-putm", func() {
+		d.enqueue(addr, txn{kind: txnWriteback, cache: c, data: data, done: func([]byte) {
+			if done != nil {
+				done()
+			}
+		}})
+	})
+}

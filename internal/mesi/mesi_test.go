@@ -1,0 +1,445 @@
+package mesi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+)
+
+// rig builds a simulator, one DRAM-backed directory and n caches.
+func rig(n int) (*sim.Sim, *Directory, *MemBacking, []*Cache) {
+	s := sim.New(1)
+	mb := NewMemBacking(fabric.ECI.CacheLineSize)
+	d := NewDirectory(s, fabric.ECI, mb)
+	caches := make([]*Cache, n)
+	for i := range caches {
+		caches[i] = NewCache(s, "c", func(LineAddr) *Directory { return d })
+	}
+	return s, d, mb, caches
+}
+
+func line(b byte) []byte {
+	d := make([]byte, fabric.ECI.CacheLineSize)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("state names wrong")
+	}
+	if State(9).String() != "?" {
+		t.Fatal("unknown state name")
+	}
+}
+
+func TestLoadMissFillsShared(t *testing.T) {
+	s, d, mb, cs := rig(1)
+	mb.WriteLine(5, line(0xaa))
+	var got []byte
+	start := s.Now()
+	cs[0].Load(5, func(data []byte) { got = data })
+	s.Run()
+	if got == nil || got[0] != 0xaa {
+		t.Fatalf("fill data %v", got)
+	}
+	if cs[0].State(5) != Shared {
+		t.Fatalf("state %v, want S", cs[0].State(5))
+	}
+	// A fill costs one LineFill round trip.
+	if elapsed := s.Now() - start; elapsed != d.Params().LineFill {
+		t.Errorf("fill took %v, want %v", elapsed, d.Params().LineFill)
+	}
+	if d.Stats().Fills.Value() != 1 {
+		t.Errorf("fills %d", d.Stats().Fills.Value())
+	}
+}
+
+func TestLoadHitIsImmediate(t *testing.T) {
+	s, _, _, cs := rig(1)
+	cs[0].Load(5, func([]byte) {})
+	s.Run()
+	before := s.Now()
+	hit := false
+	cs[0].Load(5, func([]byte) { hit = true })
+	if !hit {
+		t.Fatal("hit did not complete synchronously")
+	}
+	if s.Now() != before {
+		t.Fatal("hit advanced time")
+	}
+}
+
+func TestStoreThenLoadOtherCache(t *testing.T) {
+	s, _, mb, cs := rig(2)
+	done := false
+	cs[0].Store(9, line(0x7), func() { done = true })
+	s.Run()
+	if !done || cs[0].State(9) != Modified {
+		t.Fatalf("store did not complete: state %v", cs[0].State(9))
+	}
+	var got []byte
+	cs[1].Load(9, func(data []byte) { got = data })
+	s.Run()
+	if got == nil || got[0] != 0x7 {
+		t.Fatalf("second cache read %v", got)
+	}
+	// Dirty data must have been written through to the home.
+	if mb.Get(9)[0] != 0x7 {
+		t.Fatal("home missed the writeback")
+	}
+	if cs[0].State(9) != Shared || cs[1].State(9) != Shared {
+		t.Fatalf("states %v/%v, want S/S", cs[0].State(9), cs[1].State(9))
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	s, d, _, cs := rig(3)
+	for _, c := range cs {
+		c.Load(4, func([]byte) {})
+	}
+	s.Run()
+	cs[0].Store(4, line(1), nil)
+	s.Run()
+	if cs[0].State(4) != Modified {
+		t.Fatalf("writer state %v", cs[0].State(4))
+	}
+	if cs[1].State(4) != Invalid || cs[2].State(4) != Invalid {
+		t.Fatal("sharers not invalidated")
+	}
+	if d.Stats().Invalidations.Value() != 2 {
+		t.Errorf("invalidations %d, want 2", d.Stats().Invalidations.Value())
+	}
+}
+
+func TestStoreHitModified(t *testing.T) {
+	s, _, _, cs := rig(1)
+	cs[0].Store(3, line(1), nil)
+	s.Run()
+	before := s.Now()
+	done := false
+	cs[0].Store(3, line(2), func() { done = true })
+	if !done || s.Now() != before {
+		t.Fatal("store to Modified line not immediate")
+	}
+	if cs[0].Data(3)[0] != 2 {
+		t.Fatal("data not updated")
+	}
+}
+
+func TestWriterTakeover(t *testing.T) {
+	s, _, _, cs := rig(2)
+	cs[0].Store(8, line(1), nil)
+	s.Run()
+	cs[1].Store(8, line(2), nil)
+	s.Run()
+	if cs[0].State(8) != Invalid || cs[1].State(8) != Modified {
+		t.Fatalf("states %v/%v", cs[0].State(8), cs[1].State(8))
+	}
+	if cs[1].Data(8)[0] != 2 {
+		t.Fatal("new owner data wrong")
+	}
+}
+
+func TestEvictWritesBack(t *testing.T) {
+	s, d, mb, cs := rig(1)
+	cs[0].Store(2, line(0x55), nil)
+	s.Run()
+	done := false
+	cs[0].Evict(2, func() { done = true })
+	s.Run()
+	if !done || cs[0].State(2) != Invalid {
+		t.Fatal("evict incomplete")
+	}
+	if mb.Get(2)[0] != 0x55 {
+		t.Fatal("writeback lost")
+	}
+	if d.Stats().Writebacks.Value() != 1 {
+		t.Errorf("writebacks %d", d.Stats().Writebacks.Value())
+	}
+	// Evicting an Invalid line is a cheap no-op.
+	ok := false
+	cs[0].Evict(2, func() { ok = true })
+	if !ok {
+		t.Fatal("evict of invalid line not immediate")
+	}
+}
+
+func TestEvictSharedSilent(t *testing.T) {
+	s, d, _, cs := rig(1)
+	cs[0].Load(2, func([]byte) {})
+	s.Run()
+	wb := d.Stats().Writebacks.Value()
+	cs[0].Evict(2, nil)
+	s.Run()
+	if cs[0].State(2) != Invalid {
+		t.Fatal("shared evict did not drop line")
+	}
+	if d.Stats().Writebacks.Value() != wb {
+		t.Fatal("shared evict should not write back")
+	}
+}
+
+func TestRecallPullsDirtyData(t *testing.T) {
+	s, d, mb, cs := rig(1)
+	cs[0].Store(6, line(0x99), nil)
+	s.Run()
+	var got []byte
+	d.Recall(6, func(data []byte) { got = data })
+	s.Run()
+	if got == nil || got[0] != 0x99 {
+		t.Fatalf("recall data %v", got)
+	}
+	if cs[0].State(6) != Invalid {
+		t.Fatal("recall did not invalidate owner")
+	}
+	if mb.Get(6)[0] != 0x99 {
+		t.Fatal("recall did not write through")
+	}
+	if d.Stats().Recalls.Value() != 1 {
+		t.Errorf("recalls %d", d.Stats().Recalls.Value())
+	}
+}
+
+func TestRecallCleanLine(t *testing.T) {
+	s, d, mb, cs := rig(2)
+	mb.WriteLine(6, line(0x11))
+	cs[0].Load(6, func([]byte) {})
+	cs[1].Load(6, func([]byte) {})
+	s.Run()
+	var got []byte
+	d.Recall(6, func(data []byte) { got = data })
+	s.Run()
+	if got == nil || got[0] != 0x11 {
+		t.Fatalf("recall of clean line got %v", got)
+	}
+	if cs[0].State(6) != Invalid || cs[1].State(6) != Invalid {
+		t.Fatal("sharers not invalidated by recall")
+	}
+}
+
+// deferBacking defers the first ReadLine until released.
+type deferBacking struct {
+	*MemBacking
+	pending []func([]byte)
+	defers  int
+}
+
+func (b *deferBacking) ReadLine(addr LineAddr, excl bool, respond func([]byte)) {
+	if !excl && b.defers > 0 {
+		b.defers--
+		b.pending = append(b.pending, respond)
+		return
+	}
+	b.MemBacking.ReadLine(addr, excl, respond)
+}
+
+func TestDeferredFill(t *testing.T) {
+	s := sim.New(1)
+	b := &deferBacking{MemBacking: NewMemBacking(128), defers: 1}
+	d := NewDirectory(s, fabric.ECI, b)
+	c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+
+	var fillAt sim.Time
+	c.Load(1, func([]byte) { fillAt = s.Now() })
+	s.RunUntil(10 * sim.Microsecond)
+	if fillAt != 0 {
+		t.Fatal("fill completed despite deferral")
+	}
+	// Release the fill at t=10us.
+	if len(b.pending) != 1 {
+		t.Fatalf("%d pending fills", len(b.pending))
+	}
+	b.pending[0](line(0xee))
+	s.Run()
+	if fillAt == 0 {
+		t.Fatal("fill never completed")
+	}
+	if fillAt < 10*sim.Microsecond {
+		t.Fatalf("fill at %v, want after release", fillAt)
+	}
+	if d.Stats().DeferredFills.Value() != 1 {
+		t.Errorf("deferred fills %d", d.Stats().DeferredFills.Value())
+	}
+	if c.Data(1)[0] != 0xee {
+		t.Fatal("deferred data wrong")
+	}
+}
+
+func TestDeferredFillQueuesOtherRequests(t *testing.T) {
+	s := sim.New(1)
+	b := &deferBacking{MemBacking: NewMemBacking(128), defers: 1}
+	d := NewDirectory(s, fabric.ECI, b)
+	c1 := NewCache(s, "c1", func(LineAddr) *Directory { return d })
+	c2 := NewCache(s, "c2", func(LineAddr) *Directory { return d })
+
+	order := []string{}
+	c1.Load(1, func([]byte) { order = append(order, "c1") })
+	s.RunUntil(sim.Microsecond)
+	c2.Load(1, func([]byte) { order = append(order, "c2") })
+	s.RunUntil(5 * sim.Microsecond)
+	if len(order) != 0 {
+		t.Fatal("loads completed while deferred")
+	}
+	b.pending[0](line(1))
+	s.Run()
+	if len(order) != 2 || order[0] != "c1" || order[1] != "c2" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestWatchdogBusError(t *testing.T) {
+	s := sim.New(1)
+	b := &deferBacking{MemBacking: NewMemBacking(128), defers: 1}
+	d := NewDirectory(s, fabric.ECI, b)
+	d.DeferTimeout = 1 * sim.Millisecond
+	fired := false
+	d.BusError = func(addr LineAddr) { fired = true }
+	c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+	c.Load(1, func([]byte) {})
+	s.RunUntil(2 * sim.Millisecond)
+	if !fired {
+		t.Fatal("watchdog did not fire on over-long deferral")
+	}
+}
+
+func TestWatchdogCancelledByTimelyResponse(t *testing.T) {
+	s, d, _, cs := rig(1)
+	d.DeferTimeout = 1 * sim.Millisecond
+	d.BusError = func(addr LineAddr) { t.Fatal("spurious bus error") }
+	cs[0].Load(1, func([]byte) {})
+	s.RunUntil(10 * sim.Millisecond)
+}
+
+func TestSerializationSameLine(t *testing.T) {
+	// Two stores to the same line from different caches must serialize;
+	// final state must be a single Modified owner.
+	s, _, _, cs := rig(2)
+	cs[0].Store(7, line(1), nil)
+	cs[1].Store(7, line(2), nil)
+	s.Run()
+	m := 0
+	for _, c := range cs {
+		if c.State(7) == Modified {
+			m++
+		}
+	}
+	if m != 1 {
+		t.Fatalf("%d Modified copies", m)
+	}
+}
+
+func TestNoHomePanics(t *testing.T) {
+	s := sim.New(1)
+	c := NewCache(s, "c", func(LineAddr) *Directory { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing home")
+		}
+	}()
+	c.Load(1, func([]byte) {})
+	s.Run()
+}
+
+func TestNonCoherentFabricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for DMA-only fabric")
+		}
+	}()
+	NewDirectory(sim.New(1), fabric.PCIeX86, NewMemBacking(64))
+}
+
+// Property: single-writer-multiple-reader invariant holds after any random
+// sequence of loads/stores, and every read observes the most recent write
+// to its line.
+func TestSWMRProperty(t *testing.T) {
+	type op struct {
+		Cache byte
+		Line  byte
+		Store bool
+		Val   byte
+	}
+	f := func(ops []op, seed uint64) bool {
+		s := sim.New(seed)
+		mb := NewMemBacking(fabric.ECI.CacheLineSize)
+		d := NewDirectory(s, fabric.ECI, mb)
+		const nc = 3
+		caches := make([]*Cache, nc)
+		for i := range caches {
+			caches[i] = NewCache(s, "c", func(LineAddr) *Directory { return d })
+		}
+		lastWrite := map[LineAddr]byte{}
+		violation := false
+		for _, o := range ops {
+			c := caches[int(o.Cache)%nc]
+			addr := LineAddr(o.Line % 4)
+			if o.Store {
+				v := o.Val
+				c.Store(addr, line(v), nil)
+				s.Run()
+				lastWrite[addr] = v
+			} else {
+				c.Load(addr, func(data []byte) {
+					if data[0] != lastWrite[addr] {
+						violation = true
+					}
+				})
+				s.Run()
+			}
+			// SWMR check after quiescence.
+			for a := LineAddr(0); a < 4; a++ {
+				mCount, sCount := 0, 0
+				for _, cc := range caches {
+					switch cc.State(a) {
+					case Modified:
+						mCount++
+					case Shared:
+						sCount++
+					}
+				}
+				if mCount > 1 || (mCount == 1 && sCount > 0) {
+					violation = true
+				}
+			}
+		}
+		return !violation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written via Store and recalled by the home round-trips.
+func TestRecallDataProperty(t *testing.T) {
+	f := func(vals []byte) bool {
+		s := sim.New(7)
+		mb := NewMemBacking(fabric.ECI.CacheLineSize)
+		d := NewDirectory(s, fabric.ECI, mb)
+		c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+		ok := true
+		for i, v := range vals {
+			if i >= 8 {
+				break
+			}
+			addr := LineAddr(i)
+			c.Store(addr, line(v), nil)
+			s.Run()
+			d.Recall(addr, func(data []byte) {
+				if !bytes.Equal(data[:1], []byte{v}) {
+					ok = false
+				}
+			})
+			s.Run()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package mesi
+
+import (
+	"testing"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+)
+
+// TestMultipleDirectories checks the home-routing function: lines split
+// across two homes (e.g. DRAM and a device) behave independently.
+func TestMultipleDirectories(t *testing.T) {
+	s := sim.New(1)
+	dram := NewMemBacking(128)
+	dev := NewMemBacking(128)
+	dDram := NewDirectory(s, fabric.ECI, dram)
+	dDev := NewDirectory(s, fabric.ECI, dev)
+	// Lines >= 0x1000 are device-homed.
+	home := func(a LineAddr) *Directory {
+		if a >= 0x1000 {
+			return dDev
+		}
+		return dDram
+	}
+	c := NewCache(s, "c", home)
+
+	c.Store(0x10, line(1), nil)
+	c.Store(0x1010, line(2), nil)
+	s.Run()
+	dDram.Recall(0x10, nil)
+	dDev.Recall(0x1010, nil)
+	s.Run()
+	if dram.Get(0x10)[0] != 1 {
+		t.Error("DRAM home missed its line")
+	}
+	if dev.Get(0x1010)[0] != 2 {
+		t.Error("device home missed its line")
+	}
+	if dDram.Stats().Recalls.Value() != 1 || dDev.Stats().Recalls.Value() != 1 {
+		t.Error("recalls misrouted")
+	}
+}
+
+// TestCXLLatencyScaling: the same protocol over CXL3 completes fills
+// faster than over ECI, proportionally to LineFill.
+func TestCXLLatencyScaling(t *testing.T) {
+	fill := func(p fabric.Params) sim.Time {
+		s := sim.New(1)
+		d := NewDirectory(s, p, NewMemBacking(p.CacheLineSize))
+		c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+		var at sim.Time
+		c.Load(1, func([]byte) { at = s.Now() })
+		s.Run()
+		return at
+	}
+	eci, cxl := fill(fabric.ECI), fill(fabric.CXL3)
+	if eci != fabric.ECI.LineFill || cxl != fabric.CXL3.LineFill {
+		t.Fatalf("fill times %v/%v, want %v/%v", eci, cxl, fabric.ECI.LineFill, fabric.CXL3.LineFill)
+	}
+}
+
+// TestRecallDuringDeferredFillQueues: a Recall issued while a fill is
+// deferred must wait for the deferral to resolve (home serialization).
+func TestRecallDuringDeferredFillQueues(t *testing.T) {
+	s := sim.New(1)
+	b := &deferBacking{MemBacking: NewMemBacking(128), defers: 1}
+	d := NewDirectory(s, fabric.ECI, b)
+	c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+
+	c.Load(1, func([]byte) {})
+	s.RunUntil(sim.Microsecond)
+	recalled := false
+	d.Recall(1, func([]byte) { recalled = true })
+	s.RunUntil(10 * sim.Microsecond)
+	if recalled {
+		t.Fatal("recall jumped the deferred fill")
+	}
+	b.pending[0](line(1))
+	s.Run()
+	if !recalled {
+		t.Fatal("recall never completed after deferral resolved")
+	}
+}
+
+// TestStoreToDeviceHomedLineNotDeferred: exclusive fills must not defer
+// even when the backing defers shared fills (the NIC invariant).
+func TestStoreToDeviceHomedLineNotDeferred(t *testing.T) {
+	s := sim.New(1)
+	b := &deferBacking{MemBacking: NewMemBacking(128), defers: 10}
+	d := NewDirectory(s, fabric.ECI, b)
+	c := NewCache(s, "c", func(LineAddr) *Directory { return d })
+	done := false
+	c.Store(5, line(9), func() { done = true })
+	s.RunUntil(100 * sim.Microsecond)
+	if !done {
+		t.Fatal("store deferred; exclusive fills must complete immediately")
+	}
+}

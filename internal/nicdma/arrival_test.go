@@ -1,0 +1,85 @@
+package nicdma
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+func TestOnArrivalImmediateWhenNonEmpty(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	n.DeliverFrame(frame(t, []byte("x"), 1))
+	s.Run()
+	fired := false
+	n.Queue(0).OnArrival(func() { fired = true })
+	if !fired {
+		t.Fatal("OnArrival with queued frame must fire synchronously")
+	}
+}
+
+func TestOnArrivalFiresOnDMACompletion(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	var firedAt sim.Time
+	n.Queue(0).OnArrival(func() { firedAt = s.Now() })
+	n.DeliverFrame(frame(t, []byte("x"), 1))
+	s.Run()
+	if firedAt == 0 {
+		t.Fatal("OnArrival never fired")
+	}
+	// Must fire only after NIC processing + DMA (packet visible in host
+	// memory).
+	cfg := n.Config()
+	min := cfg.NICProcess + cfg.Fabric.DMAWrite
+	if firedAt < min {
+		t.Fatalf("fired at %v, before DMA completion (%v)", firedAt, min)
+	}
+}
+
+func TestOnArrivalOneShot(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	count := 0
+	n.Queue(0).OnArrival(func() { count++ })
+	n.DeliverFrame(frame(t, []byte("a"), 1))
+	n.DeliverFrame(frame(t, []byte("b"), 1))
+	s.Run()
+	if count != 1 {
+		t.Fatalf("one-shot waiter fired %d times", count)
+	}
+}
+
+func TestOnArrivalMultipleWaiters(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	a, b := false, false
+	n.Queue(0).OnArrival(func() { a = true })
+	n.Queue(0).OnArrival(func() { b = true })
+	n.DeliverFrame(frame(t, []byte("x"), 1))
+	s.Run()
+	if !a || !b {
+		t.Fatalf("waiters fired: a=%v b=%v", a, b)
+	}
+}
+
+func TestSteerByPort(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.Queues = 4
+	cfg.SteerByPort = true
+	n := New(s, cfg)
+	// dst port 2222 % 4 == 2.
+	n.DeliverFrame(frame(t, []byte("x"), 7))
+	s.Run()
+	want := 2222 % 4
+	for i := 0; i < 4; i++ {
+		if i == want {
+			if n.Queue(i).Len() != 1 {
+				t.Fatalf("queue %d empty; steering broken", i)
+			}
+		} else if n.Queue(i).Len() != 0 {
+			t.Fatalf("queue %d has frames", i)
+		}
+	}
+}

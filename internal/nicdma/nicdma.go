@@ -1,0 +1,289 @@
+// Package nicdma models the traditional descriptor-ring DMA NIC of the
+// paper's Figure 1: incoming packets are demultiplexed by RSS onto receive
+// queues, DMA'd into host memory along with completion descriptors, and
+// signalled with (moderated) interrupts — or polled, which is how
+// kernel-bypass dataplanes drive the very same hardware.
+//
+// The model charges every hardware interaction with the latencies of the
+// configured fabric (PCIe x86, PCIe Enzian, ...): payload DMA, completion
+// writes, descriptor fetches, doorbells, and interrupt delivery.
+package nicdma
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// Config parameterizes a NIC instance.
+type Config struct {
+	// Fabric supplies DMA/MMIO/IRQ latencies; it must have HasDMA.
+	Fabric fabric.Params
+	// Queues is the number of RSS receive queues.
+	Queues int
+	// NICProcess is the on-NIC packet processing time (header parse, RSS
+	// hash, checksum verify) per packet.
+	NICProcess sim.Time
+	// IRQCoalesce holds off interrupts after one fires, batching packets
+	// (interrupt moderation). Zero disables moderation.
+	IRQCoalesce sim.Time
+	// RingSize bounds each RX ring; packets arriving to a full ring are
+	// dropped (as real NICs do).
+	RingSize int
+	// SteerByPort selects the RX queue by destination UDP port modulo the
+	// queue count instead of RSS flow hashing — the "flow director"-style
+	// exact steering kernel-bypass deployments use to bind one service to
+	// one queue.
+	SteerByPort bool
+}
+
+// DefaultConfig returns an x86-class NIC configuration.
+func DefaultConfig() Config {
+	return Config{
+		Fabric:      fabric.PCIeX86,
+		Queues:      1,
+		NICProcess:  300 * sim.Nanosecond,
+		IRQCoalesce: 0,
+		RingSize:    1024,
+	}
+}
+
+// EnzianConfig returns the Enzian FPGA NIC configuration: the slower
+// fabric clock makes per-packet processing several times costlier.
+func EnzianConfig() Config {
+	return Config{
+		Fabric:      fabric.PCIeEnzian,
+		Queues:      1,
+		NICProcess:  3000 * sim.Nanosecond, // ~250 MHz FPGA packet pipeline
+		IRQCoalesce: 0,
+		RingSize:    1024,
+	}
+}
+
+// Stats counts NIC activity.
+type Stats struct {
+	RxFrames    uint64
+	RxBadFrames uint64
+	RxDropped   uint64
+	TxFrames    uint64
+	IRQs        uint64
+}
+
+// RxQueue is one receive ring, after DMA: entries are frames already
+// resident in host memory.
+type RxQueue struct {
+	id  int
+	nic *NIC
+
+	ring []*wire.Datagram
+
+	irqArmed  bool // driver wants interrupts
+	irqMasked bool // NAPI-style: masked until driver re-enables
+	lastIRQ   sim.Time
+
+	// OnIRQ is the driver hook, invoked when the queue raises an
+	// interrupt (after fabric IRQ latency). It runs in "hardware" context:
+	// implementations should bounce into kernel.IRQ.
+	OnIRQ func(q *RxQueue)
+
+	// arrivalWaiters are one-shot callbacks from pollers parked on an
+	// empty ring (see OnArrival).
+	arrivalWaiters []func()
+}
+
+// OnArrival registers a one-shot callback invoked as soon as a frame is
+// available: immediately if the ring is non-empty, otherwise at the next
+// DMA completion. Poll loops use it to avoid simulating every individual
+// empty poll iteration; the caller models the poll-discovery cost itself.
+func (q *RxQueue) OnArrival(fn func()) {
+	if len(q.ring) > 0 {
+		fn()
+		return
+	}
+	q.arrivalWaiters = append(q.arrivalWaiters, fn)
+}
+
+func (q *RxQueue) notifyArrival() {
+	if len(q.arrivalWaiters) == 0 {
+		return
+	}
+	ws := q.arrivalWaiters
+	q.arrivalWaiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// ID returns the queue index.
+func (q *RxQueue) ID() int { return q.id }
+
+// Len returns the number of frames waiting in the ring.
+func (q *RxQueue) Len() int { return len(q.ring) }
+
+// Poll removes and returns the next received datagram, or nil. The caller
+// models its own polling cost; Poll itself is free (the ring is in host
+// memory).
+func (q *RxQueue) Poll() *wire.Datagram {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	d := q.ring[0]
+	q.ring = q.ring[1:]
+	return d
+}
+
+// EnableIRQ arms (or re-arms, NAPI-style) interrupts for the queue. If
+// packets are already pending, an interrupt fires immediately.
+func (q *RxQueue) EnableIRQ() {
+	q.irqArmed = true
+	q.irqMasked = false
+	if len(q.ring) > 0 {
+		q.raiseIRQ()
+	}
+}
+
+// DisableIRQ switches the queue to pure polling (bypass mode).
+func (q *RxQueue) DisableIRQ() {
+	q.irqArmed = false
+	q.irqMasked = false
+}
+
+func (q *RxQueue) raiseIRQ() {
+	if !q.irqArmed || q.irqMasked || q.OnIRQ == nil {
+		return
+	}
+	n := q.nic
+	if n.cfg.IRQCoalesce > 0 && n.sim.Now()-q.lastIRQ < n.cfg.IRQCoalesce && q.lastIRQ > 0 {
+		// Within the moderation window: defer to the window's end.
+		fireAt := q.lastIRQ + n.cfg.IRQCoalesce
+		q.irqMasked = true
+		n.sim.At(fireAt, "nicdma-coalesced-irq", func() {
+			q.irqMasked = false
+			if len(q.ring) > 0 {
+				q.raiseIRQ()
+			}
+		})
+		return
+	}
+	q.irqMasked = true // masked until driver EnableIRQ (NAPI)
+	q.lastIRQ = n.sim.Now()
+	n.stats.IRQs++
+	n.sim.After(n.cfg.Fabric.IRQLatency, "nicdma-irq", func() { q.OnIRQ(q) })
+}
+
+// NIC is the device model. It implements fabric.FramePort for the receive
+// direction.
+type NIC struct {
+	sim   *sim.Sim
+	cfg   Config
+	link  *fabric.Link
+	side  int
+	qs    []*RxQueue
+	stats Stats
+	// txBusy serializes the DMA engine for transmit descriptor fetches.
+	txBusy sim.Time
+}
+
+// New creates a NIC attached to nothing; call AttachLink before
+// transmitting.
+func New(s *sim.Sim, cfg Config) *NIC {
+	if !cfg.Fabric.HasDMA {
+		panic(fmt.Sprintf("nicdma: fabric %s has no DMA", cfg.Fabric.Name))
+	}
+	if cfg.Queues <= 0 {
+		panic("nicdma: need at least one queue")
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	n := &NIC{sim: s, cfg: cfg}
+	for i := 0; i < cfg.Queues; i++ {
+		n.qs = append(n.qs, &RxQueue{id: i, nic: n})
+	}
+	return n
+}
+
+// AttachLink connects the NIC to a network link as the given side.
+func (n *NIC) AttachLink(l *fabric.Link, side int) {
+	n.link = l
+	n.side = side
+}
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Queue returns RX queue i.
+func (n *NIC) Queue(i int) *RxQueue { return n.qs[i] }
+
+// NumQueues returns the number of RX queues.
+func (n *NIC) NumQueues() int { return len(n.qs) }
+
+// Stats returns a snapshot of the counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// DeliverFrame implements fabric.FramePort: a frame has arrived from the
+// wire. The NIC parses it (for RSS and checksum offload), selects a queue,
+// DMAs payload + completion, and possibly raises an interrupt.
+func (n *NIC) DeliverFrame(frame []byte) {
+	n.sim.After(n.cfg.NICProcess, "nicdma-rx-process", func() {
+		d, err := wire.ParseUDP(frame)
+		if err != nil {
+			n.stats.RxBadFrames++
+			return
+		}
+		var q *RxQueue
+		if n.cfg.SteerByPort {
+			q = n.qs[int(d.UDP.DstPort)%len(n.qs)]
+		} else {
+			q = n.qs[int(d.Flow.Hash())%len(n.qs)]
+		}
+		if len(q.ring) >= n.cfg.RingSize {
+			n.stats.RxDropped++
+			return
+		}
+		// DMA payload into a host buffer, then write the completion
+		// descriptor. Both must be visible before the packet "exists"
+		// for software.
+		dma := n.cfg.Fabric.DMATransfer(len(frame)) + n.cfg.Fabric.DMAWrite
+		n.sim.After(dma, "nicdma-rx-dma", func() {
+			if len(q.ring) >= n.cfg.RingSize {
+				n.stats.RxDropped++
+				return
+			}
+			q.ring = append(q.ring, d)
+			n.stats.RxFrames++
+			q.raiseIRQ()
+			q.notifyArrival()
+		})
+	})
+}
+
+// Transmit sends a frame that host software has placed in a TX ring. The
+// host-side costs (building the descriptor, the doorbell MMIO write) are
+// charged to the calling thread by the caller; this method models the
+// NIC-side latency: descriptor fetch, payload DMA read, and wire transmit.
+func (n *NIC) Transmit(frame []byte) {
+	if n.link == nil {
+		panic("nicdma: transmit with no link attached")
+	}
+	// Serialize the TX DMA engine.
+	start := n.sim.Now()
+	if n.txBusy > start {
+		start = n.txBusy
+	}
+	fetch := n.cfg.Fabric.DMARead                   // descriptor fetch
+	payload := n.cfg.Fabric.DMATransfer(len(frame)) // payload read
+	process := n.cfg.NICProcess                     // checksum insert etc.
+	done := start + fetch + payload + process
+	n.txBusy = done
+	n.sim.At(done, "nicdma-tx", func() {
+		n.stats.TxFrames++
+		n.link.Send(n.side, frame)
+	})
+}
+
+// DoorbellCost returns the host-side cost of ringing the TX doorbell,
+// charged by the sending thread.
+func (n *NIC) DoorbellCost() sim.Time { return n.cfg.Fabric.MMIOWrite }

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created with Sim.At or Sim.After
+// and may be cancelled before they fire. The zero Event is not valid.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 once fired or cancelled
+	fn    func()
+	name  string
+}
+
+// At reports the instant the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Name reports the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
+// fire in scheduling order, which keeps runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator: a virtual clock plus an ordered queue
+// of future events. It is single-threaded; models call back into the
+// simulator from event callbacks to schedule further work.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *RNG
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator with the clock at zero and an RNG derived from
+// seed.
+func New(seed uint64) *Sim {
+	return &Sim{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's root RNG.
+func (s *Sim) Rand() *RNG { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at instant t, which must not be in the past.
+// The name is a diagnostic label reported by String and tracing.
+func (s *Sim) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, name: name}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Sim) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op and returns false.
+func (s *Sim) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its instant.
+// It returns false when the queue is empty or the simulation was stopped.
+func (s *Sim) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.fired++
+	fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t
+// (even if the queue still holds later events). It returns the number of
+// events fired.
+func (s *Sim) RunUntil(t Time) uint64 {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
+	}
+	start := s.fired
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+	return s.fired - start
+}
+
+// Stop halts Run/RunUntil after the current event completes. Further Step
+// calls return false. The queue is left intact for inspection.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// NextAt returns the instant of the earliest pending event, or Never when
+// the queue is empty.
+func (s *Sim) NextAt() Time {
+	if len(s.queue) == 0 {
+		return Never
+	}
+	return s.queue[0].at
+}
+
+// String summarizes the simulator state for diagnostics.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim{now=%v pending=%d fired=%d}", s.now, len(s.queue), s.fired)
+}

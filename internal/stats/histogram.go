@@ -1,0 +1,236 @@
+// Package stats provides the measurement primitives used by every
+// experiment in this repository: log-bucketed latency histograms with
+// percentile queries, streaming mean/variance accumulators, and simple
+// counters, all allocation-free on the record path.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Histogram records non-negative int64 samples (typically latencies in
+// picoseconds) into log2 buckets with linear sub-buckets, in the style of
+// HDR histograms. With subBits = 5 the relative error of any recorded value
+// is below ~3%, which is ample for percentile reporting while keeping the
+// structure a few KiB.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	// 64 magnitude buckets x subBuckets sub-buckets covers the full int64
+	// range.
+	numBuckets = 64 * subBuckets
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, numBuckets),
+		min:    math.MaxInt64,
+		max:    math.MinInt64,
+	}
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	mag := 64 - bits.LeadingZeros64(u|1) // position of highest set bit, >=1
+	if mag <= subBits {
+		return int(u)
+	}
+	shift := uint(mag - subBits - 1)
+	sub := int(u>>shift) & (subBuckets - 1)
+	return (mag-subBits)*subBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i; used to convert
+// bucket indices back to representative values.
+func bucketLow(i int) int64 {
+	if i < subBuckets*2 { // first two magnitude groups are exact/linear
+		if i < subBuckets {
+			return int64(i)
+		}
+	}
+	group := i / subBuckets
+	sub := i % subBuckets
+	if group == 0 {
+		return int64(sub)
+	}
+	shift := uint(group - 1)
+	return (int64(subBuckets) + int64(sub)) << shift
+}
+
+// bucketMid returns a representative (midpoint) value for bucket i.
+func bucketMid(i int) int64 {
+	lo := bucketLow(i)
+	var hi int64
+	if i+1 < numBuckets {
+		hi = bucketLow(i + 1)
+	} else {
+		hi = lo
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo-1)/2
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordN adds n identical samples.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)] += n
+	h.count += n
+	h.sum += float64(v) * float64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of recorded samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the value at quantile q in [0, 1]. Exact recorded
+// extremes are returned for q=0 and q=1; interior quantiles are bucket
+// midpoints (≤3% relative error).
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			m := bucketMid(i)
+			if m < h.min {
+				m = h.min
+			}
+			if m > h.max {
+				m = h.max
+			}
+			return m
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// Summary reports the common percentile set as a formatted string, scaling
+// raw samples by div and suffixing unit (e.g. div=1000, unit="ns" for
+// picosecond samples).
+func (h *Histogram) Summary(div float64, unit string) string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f%s min=%.2f%s p50=%.2f%s p90=%.2f%s p99=%.2f%s p99.9=%.2f%s max=%.2f%s",
+		h.count,
+		h.Mean()/div, unit,
+		float64(h.Min())/div, unit,
+		float64(h.Percentile(0.50))/div, unit,
+		float64(h.Percentile(0.90))/div, unit,
+		float64(h.Percentile(0.99))/div, unit,
+		float64(h.Percentile(0.999))/div, unit,
+		float64(h.Max())/div, unit)
+	return b.String()
+}

@@ -1,0 +1,144 @@
+// Package trace provides a lightweight typed event tracer for the
+// simulation: a bounded ring buffer of timestamped events that models emit
+// on their hot paths. Tracing is off by default and free when disabled
+// (one branch); the paper's §6 calls out tracing/debugging as a feature
+// that benefits from close NIC/OS integration, and the experiment harness
+// uses this package to explain latency outliers.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lauberhorn/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the models.
+const (
+	RxFrame Kind = iota
+	TxFrame
+	Dispatch
+	TryAgain
+	Retire
+	Wakeup
+	Preempt
+	ContextSwitch
+	IRQ
+	Custom
+	numKinds
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	names := [...]string{"rx", "tx", "dispatch", "tryagain", "retire",
+		"wakeup", "preempt", "ctxsw", "irq", "custom"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// A and B are event-specific scalars (core ID, service ID, serial...).
+	A, B uint64
+	Note string
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Note != "" {
+		return fmt.Sprintf("%v %s a=%d b=%d %s", e.At, e.Kind, e.A, e.B, e.Note)
+	}
+	return fmt.Sprintf("%v %s a=%d b=%d", e.At, e.Kind, e.A, e.B)
+}
+
+// Tracer is a bounded ring buffer of events.
+type Tracer struct {
+	s       *sim.Sim
+	enabled bool
+	buf     []Event
+	next    int
+	wrapped bool
+	counts  [numKinds]uint64
+}
+
+// New creates a tracer with the given capacity (events). It starts
+// disabled.
+func New(s *sim.Sim, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{s: s, buf: make([]Event, capacity)}
+}
+
+// Enable turns tracing on.
+func (t *Tracer) Enable() { t.enabled = true }
+
+// Disable turns tracing off.
+func (t *Tracer) Disable() { t.enabled = false }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+// Emit records an event if tracing is enabled.
+func (t *Tracer) Emit(kind Kind, a, b uint64, note string) {
+	if !t.enabled {
+		return
+	}
+	t.counts[kind]++
+	t.buf[t.next] = Event{At: t.s.Now(), Kind: kind, A: a, B: b, Note: note}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Count returns how many events of a kind were emitted (including ones
+// that have rotated out of the buffer).
+func (t *Tracer) Count(kind Kind) uint64 { return t.counts[kind] }
+
+// Events returns the buffered events in chronological order.
+func (t *Tracer) Events() []Event {
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Reset clears the buffer and counters.
+func (t *Tracer) Reset() {
+	t.next = 0
+	t.wrapped = false
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+}
+
+// Dump renders the buffered events, optionally filtered by kind (pass
+// numKinds or higher for all).
+func (t *Tracer) Dump(filter Kind) string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		if filter < numKinds && e.Kind != filter {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// All is a filter value matching every kind in Dump.
+const All = numKinds

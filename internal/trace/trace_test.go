@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, 16)
+	tr.Emit(RxFrame, 1, 2, "")
+	if len(tr.Events()) != 0 || tr.Count(RxFrame) != 0 {
+		t.Fatal("disabled tracer recorded events")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, 16)
+	tr.Enable()
+	tr.Emit(RxFrame, 1, 0, "first")
+	s.After(sim.Microsecond, "x", func() { tr.Emit(TxFrame, 2, 0, "second") })
+	s.Run()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != RxFrame || evs[1].Kind != TxFrame {
+		t.Fatal("order wrong")
+	}
+	if evs[1].At != sim.Microsecond {
+		t.Errorf("timestamp %v", evs[1].At)
+	}
+	if tr.Count(RxFrame) != 1 || tr.Count(TxFrame) != 1 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, 4)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Emit(Custom, uint64(i), 0, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events after wrap", len(evs))
+	}
+	for i, e := range evs {
+		if e.A != uint64(6+i) {
+			t.Fatalf("wrapped order wrong: %v", evs)
+		}
+	}
+	if tr.Count(Custom) != 10 {
+		t.Errorf("count %d", tr.Count(Custom))
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, 4)
+	tr.Enable()
+	tr.Emit(IRQ, 0, 0, "")
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Count(IRQ) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDumpFilter(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, 16)
+	tr.Enable()
+	tr.Emit(RxFrame, 1, 0, "rx-note")
+	tr.Emit(TxFrame, 2, 0, "tx-note")
+	all := tr.Dump(All)
+	if !strings.Contains(all, "rx-note") || !strings.Contains(all, "tx-note") {
+		t.Errorf("Dump(All) = %q", all)
+	}
+	rxOnly := tr.Dump(RxFrame)
+	if !strings.Contains(rxOnly, "rx-note") || strings.Contains(rxOnly, "tx-note") {
+		t.Errorf("Dump(RxFrame) = %q", rxOnly)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if RxFrame.String() != "rx" || Retire.String() != "retire" {
+		t.Error("kind names")
+	}
+	if Kind(200).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(sim.New(1), 0)
+	tr.Enable()
+	tr.Emit(Custom, 1, 1, "")
+	if len(tr.Events()) != 1 {
+		t.Fatal("default capacity unusable")
+	}
+}

@@ -1,0 +1,305 @@
+// Package wire implements the on-the-wire packet formats used throughout
+// the simulation: Ethernet II framing, IPv4, and UDP, with real header
+// checksums. Packets flow between hosts as genuine byte slices so that both
+// NIC models (the traditional DMA NIC and Lauberhorn's decoder pipeline)
+// parse exactly what a hardware implementation would.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Sizes of the fixed headers, in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	UDPHeaderLen      = 8
+	HeadersLen        = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
+
+	// MinFrameLen is the minimum Ethernet payload-carrying frame size
+	// (without FCS); shorter frames are padded.
+	MinFrameLen = 60
+	// MTU is the maximum IP packet size carried in one frame. Datacenter
+	// RPC fabrics of the class the paper targets run jumbo frames.
+	MTU = 9000
+	// MaxFrameLen is the maximum frame size at the jumbo MTU.
+	MaxFrameLen = EthernetHeaderLen + MTU
+	// MaxUDPPayload is the largest UDP payload in a single frame.
+	MaxUDPPayload = MTU - IPv4HeaderLen - UDPHeaderLen
+)
+
+// EtherType values understood by the NIC models.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the MAC in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// BroadcastMAC is the all-ones Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+// String renders the address in dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (ip IP) Uint32() uint32 { return binary.BigEndian.Uint32(ip[:]) }
+
+// IPFromUint32 converts a big-endian integer to an address.
+func IPFromUint32(v uint32) IP {
+	var ip IP
+	binary.BigEndian.PutUint32(ip[:], v)
+	return ip
+}
+
+// Errors returned by the parsers.
+var (
+	ErrTruncated     = errors.New("wire: truncated packet")
+	ErrNotIPv4       = errors.New("wire: not an IPv4 packet")
+	ErrNotUDP        = errors.New("wire: not a UDP datagram")
+	ErrBadChecksum   = errors.New("wire: bad checksum")
+	ErrBadVersion    = errors.New("wire: bad IP version/IHL")
+	ErrBadLength     = errors.New("wire: inconsistent length fields")
+	ErrPayloadTooBig = errors.New("wire: payload exceeds MTU")
+)
+
+// EthernetHeader is a parsed Ethernet II header.
+type EthernetHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// IPv4Header is a parsed IPv4 header (options unsupported — IHL must be 5).
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      IP
+	Dst      IP
+}
+
+// UDPHeader is a parsed UDP header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// udpChecksum computes the UDP checksum including the IPv4 pseudo-header.
+func udpChecksum(src, dst IP, udp []byte) uint16 {
+	pseudo := make([]byte, 12+len(udp))
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(udp)))
+	copy(pseudo[12:], udp)
+	cs := Checksum(pseudo)
+	if cs == 0 {
+		cs = 0xffff // 0 means "no checksum" in UDP
+	}
+	return cs
+}
+
+// Flow identifies a UDP flow endpoint pair; the NICs use it for
+// demultiplexing and RSS hashing.
+type Flow struct {
+	SrcIP   IP
+	DstIP   IP
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Reverse returns the flow with the direction swapped.
+func (f Flow) Reverse() Flow {
+	return Flow{SrcIP: f.DstIP, DstIP: f.SrcIP, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// String renders the flow as src -> dst.
+func (f Flow) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d", f.SrcIP, f.SrcPort, f.DstIP, f.DstPort)
+}
+
+// Hash returns a Toeplitz-flavoured (here: FNV-1a) hash of the flow tuple,
+// as used for receive-side scaling.
+func (f Flow) Hash() uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime
+	}
+	for _, b := range f.SrcIP {
+		mix(b)
+	}
+	for _, b := range f.DstIP {
+		mix(b)
+	}
+	mix(byte(f.SrcPort >> 8))
+	mix(byte(f.SrcPort))
+	mix(byte(f.DstPort >> 8))
+	mix(byte(f.DstPort))
+	return h
+}
+
+// Endpoint is one side of a UDP flow.
+type Endpoint struct {
+	MAC  MAC
+	IP   IP
+	Port uint16
+}
+
+// BuildUDP assembles a complete Ethernet/IPv4/UDP frame carrying payload
+// from src to dst, computing both checksums. The payload must fit the MTU.
+func BuildUDP(src, dst Endpoint, ipID uint16, payload []byte) ([]byte, error) {
+	if len(payload) > MaxUDPPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooBig, len(payload), MaxUDPPayload)
+	}
+	frameLen := HeadersLen + len(payload)
+	padded := frameLen
+	if padded < MinFrameLen {
+		padded = MinFrameLen
+	}
+	f := make([]byte, padded)
+
+	// Ethernet.
+	copy(f[0:6], dst.MAC[:])
+	copy(f[6:12], src.MAC[:])
+	binary.BigEndian.PutUint16(f[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := f[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	totalLen := IPv4HeaderLen + UDPHeaderLen + len(payload)
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(ip[4:6], ipID)
+	ip[8] = 64 // TTL
+	ip[9] = ProtoUDP
+	copy(ip[12:16], src.IP[:])
+	copy(ip[16:20], dst.IP[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+
+	// UDP.
+	udp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], dst.Port)
+	udpLen := UDPHeaderLen + len(payload)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
+	copy(udp[UDPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(udp[6:8], udpChecksum(src.IP, dst.IP, udp[:udpLen]))
+
+	return f, nil
+}
+
+// Datagram is a fully parsed UDP-in-IPv4-in-Ethernet frame. Payload aliases
+// the frame buffer.
+type Datagram struct {
+	Eth     EthernetHeader
+	IP      IPv4Header
+	UDP     UDPHeader
+	Flow    Flow
+	Payload []byte
+}
+
+// ParseUDP validates and parses a frame produced by BuildUDP (or any
+// compliant stack). It verifies the IP header checksum and, when present,
+// the UDP checksum.
+func ParseUDP(frame []byte) (*Datagram, error) {
+	if len(frame) < HeadersLen {
+		return nil, ErrTruncated
+	}
+	var d Datagram
+	copy(d.Eth.Dst[:], frame[0:6])
+	copy(d.Eth.Src[:], frame[6:12])
+	d.Eth.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	if d.Eth.EtherType != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+
+	ip := frame[EthernetHeaderLen:]
+	if ip[0] != 0x45 {
+		return nil, ErrBadVersion
+	}
+	if Checksum(ip[:IPv4HeaderLen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	d.IP.TOS = ip[1]
+	d.IP.TotalLen = binary.BigEndian.Uint16(ip[2:4])
+	d.IP.ID = binary.BigEndian.Uint16(ip[4:6])
+	d.IP.TTL = ip[8]
+	d.IP.Protocol = ip[9]
+	d.IP.Checksum = binary.BigEndian.Uint16(ip[10:12])
+	copy(d.IP.Src[:], ip[12:16])
+	copy(d.IP.Dst[:], ip[16:20])
+	if d.IP.Protocol != ProtoUDP {
+		return nil, ErrNotUDP
+	}
+	if int(d.IP.TotalLen) < IPv4HeaderLen+UDPHeaderLen || int(d.IP.TotalLen) > len(ip) {
+		return nil, ErrBadLength
+	}
+
+	udp := ip[IPv4HeaderLen:d.IP.TotalLen]
+	d.UDP.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+	d.UDP.DstPort = binary.BigEndian.Uint16(udp[2:4])
+	d.UDP.Length = binary.BigEndian.Uint16(udp[4:6])
+	d.UDP.Checksum = binary.BigEndian.Uint16(udp[6:8])
+	if int(d.UDP.Length) != len(udp) {
+		return nil, ErrBadLength
+	}
+	if d.UDP.Checksum != 0 {
+		if udpChecksum(d.IP.Src, d.IP.Dst, zeroCksum(udp)) != d.UDP.Checksum {
+			return nil, ErrBadChecksum
+		}
+	}
+	d.Payload = udp[UDPHeaderLen:]
+	d.Flow = Flow{SrcIP: d.IP.Src, DstIP: d.IP.Dst, SrcPort: d.UDP.SrcPort, DstPort: d.UDP.DstPort}
+	return &d, nil
+}
+
+// zeroCksum returns udp with the checksum field zeroed, copying only when
+// needed so verification doesn't mutate the caller's frame.
+func zeroCksum(udp []byte) []byte {
+	c := make([]byte, len(udp))
+	copy(c, udp)
+	c[6], c[7] = 0, 0
+	return c
+}
