@@ -65,7 +65,7 @@ func BenchmarkFig2_EnzianDMA(b *testing.B) {
 func BenchmarkE2_Breakdown(b *testing.B) {
 	var total float64
 	for i := 0; i < b.N; i++ {
-		tb := experiments.E2Breakdown()
+		tb := experiments.E2Breakdown(nil)
 		total = float64(len(tb.Rows))
 	}
 	b.ReportMetric(total, "rows")
@@ -108,7 +108,7 @@ func BenchmarkE3_LoadLatency_Kernel(b *testing.B) {
 func BenchmarkE3_Throughput(b *testing.B) {
 	var rps float64
 	for i := 0; i < b.N; i++ {
-		tb := experiments.E3Throughput()
+		tb := experiments.E3Throughput(nil)
 		var v float64
 		if _, err := sscanCell(tb.Rows[0][1], &v); err == nil {
 			rps = v
@@ -159,7 +159,7 @@ func BenchmarkE4_DynamicMix_Kernel(b *testing.B) {
 func BenchmarkE5_SizeCrossover(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rows = float64(len(experiments.E5SizeCrossover().Rows))
+		rows = float64(len(experiments.E5SizeCrossover(nil).Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }
@@ -198,7 +198,7 @@ func BenchmarkE6_IdleCost_Kernel(b *testing.B) {
 func BenchmarkE7_Deschedule(b *testing.B) {
 	var unblock float64
 	for i := 0; i < b.N; i++ {
-		tb := experiments.E7Deschedule()
+		tb := experiments.E7Deschedule(nil)
 		sscanCell(tb.Rows[0][1], &unblock)
 	}
 	b.ReportMetric(unblock, "unblock-us")
@@ -209,7 +209,7 @@ func BenchmarkE7_Deschedule(b *testing.B) {
 func BenchmarkE8_SchedUpdate(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rows = float64(len(experiments.E8SchedUpdate().Rows) + len(experiments.E8Simulated().Rows))
+		rows = float64(len(experiments.E8SchedUpdate(nil).Rows) + len(experiments.E8Simulated(nil).Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }
@@ -257,7 +257,7 @@ func BenchmarkE10_Ablation_SoftwareCodec(b *testing.B) {
 func BenchmarkE11_SizeDist(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rows = float64(len(experiments.E11SizeDist().Rows))
+		rows = float64(len(experiments.E11SizeDist(nil).Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }
@@ -274,7 +274,7 @@ func rpcDefaultCostModel() rpc.CostModel { return rpc.DefaultCostModel() }
 func BenchmarkE12_HybridDataPath(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rows = float64(len(experiments.E12HybridDataPath().Rows))
+		rows = float64(len(experiments.E12HybridDataPath(nil).Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }
@@ -283,7 +283,7 @@ func BenchmarkE12_HybridDataPath(b *testing.B) {
 func BenchmarkE13_DecodePipeline(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rows = float64(len(experiments.E13DecodePipeline().Rows))
+		rows = float64(len(experiments.E13DecodePipeline(nil).Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }
@@ -292,8 +292,35 @@ func BenchmarkE13_DecodePipeline(b *testing.B) {
 func BenchmarkE14_NestedRPC(b *testing.B) {
 	var overhead float64
 	for i := 0; i < b.N; i++ {
-		tb := experiments.E14NestedRPC()
+		tb := experiments.E14NestedRPC(nil)
 		sscanCell(tb.Rows[2][1], &overhead)
 	}
 	b.ReportMetric(overhead, "overhead-us")
 }
+
+// benchRunner runs a fixed experiment subset through the harness Runner
+// at the given pool width, reporting aggregate simulator throughput.
+func benchRunner(b *testing.B, workers int) {
+	exps, err := experiments.Select("e1,e2,e5,e7,e8,e11")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &experiments.Runner{Workers: workers}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		results := r.Run(exps)
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+			}
+			events += res.Events
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkRunner_Serial and BenchmarkRunner_Parallel compare the
+// experiment harness with a single worker against a GOMAXPROCS-wide
+// pool; the ratio is the harness speedup on this host.
+func BenchmarkRunner_Serial(b *testing.B)   { benchRunner(b, 1) }
+func BenchmarkRunner_Parallel(b *testing.B) { benchRunner(b, 0) }

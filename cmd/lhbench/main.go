@@ -3,56 +3,124 @@
 //
 // Usage:
 //
-//	lhbench -list             # show available experiments
-//	lhbench -run e1,e5        # run selected experiments
-//	lhbench -run all          # run everything (default)
+//	lhbench -list                  # show available experiments
+//	lhbench -run e1,e5             # run selected experiments
+//	lhbench -run all               # run everything (default)
+//	lhbench -run all -parallel 8   # run up to 8 experiments concurrently
+//	lhbench -run e3 -json          # machine-readable results
+//
+// Experiments run on a bounded worker pool (-parallel, default
+// GOMAXPROCS) with one simulator universe per experiment, so results are
+// byte-identical to a serial run: tables depend only on the seeds.
+// Tables go to stdout; progress and the summary footer go to stderr, so
+// stdout can be diffed across runs or piped to tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"lauberhorn/internal/experiments"
+	"lauberhorn/internal/stats"
 )
+
+// jsonResult is the -json shape for one experiment.
+type jsonResult struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Source string         `json:"source"`
+	WallMS float64        `json:"wall_ms"`
+	Events uint64         `json:"events_fired"`
+	Sims   int            `json:"sims"`
+	Error  string         `json:"error,omitempty"`
+	Tables []*stats.Table `json:"tables"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max experiments running concurrently (1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
 
-	all := experiments.All()
 	if *list {
 		fmt.Println("available experiments:")
-		for _, e := range all {
+		for _, e := range experiments.All() {
 			fmt.Printf("  %-4s %-50s (%s)\n", e.ID, e.Title, e.Source)
 		}
 		return
 	}
 
-	var selected []experiments.Experiment
-	if *run == "all" {
-		selected = all
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e := experiments.ByID(id)
-			if e == nil {
-				fmt.Fprintf(os.Stderr, "lhbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
-			}
-			selected = append(selected, *e)
-		}
+	selected, err := experiments.Select(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhbench: %v (use -list to see experiment IDs)\n", err)
+		os.Exit(1)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "lhbench: -parallel must be >= 1, got %d\n", *parallel)
+		os.Exit(1)
 	}
 
-	for _, e := range selected {
-		fmt.Printf("### %s — %s [%s]\n\n", strings.ToUpper(e.ID), e.Title, e.Source)
-		start := time.Now()
-		for _, tb := range e.Run() {
-			fmt.Println(tb.String())
+	runner := &experiments.Runner{Workers: *parallel}
+	start := time.Now()
+
+	var results []experiments.Result
+	if *jsonOut {
+		results = runner.Run(selected)
+		out := make([]jsonResult, len(results))
+		for i, r := range results {
+			out[i] = jsonResult{
+				ID:     r.Experiment.ID,
+				Title:  r.Experiment.Title,
+				Source: r.Experiment.Source,
+				WallMS: float64(r.Wall.Microseconds()) / 1000,
+				Events: r.Events,
+				Sims:   r.Sims,
+				Tables: r.Tables,
+			}
+			if r.Err != nil {
+				out[i].Error = r.Err.Error()
+			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		results = runner.RunStream(selected, func(r experiments.Result) {
+			fmt.Printf("### %s — %s [%s]\n\n", strings.ToUpper(r.Experiment.ID),
+				r.Experiment.Title, r.Experiment.Source)
+			if r.Err != nil {
+				// Stderr, not stdout: stdout carries only deterministic
+				// tables so it stays diffable across runs.
+				fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.Experiment.ID, r.Err)
+				return
+			}
+			for _, tb := range r.Tables {
+				fmt.Println(tb.String())
+			}
+			fmt.Fprintf(os.Stderr, "(%s: %d events across %d sims in %v)\n",
+				r.Experiment.ID, r.Events, r.Sims, r.Wall.Round(time.Millisecond))
+		})
+	}
+
+	elapsed := time.Since(start)
+	sum := experiments.Summarize(results)
+	fmt.Fprintf(os.Stderr,
+		"\nlhbench: %d experiments, %d tables, %d simulator events in %v (workers=%d, serial cost %v, speedup %.2fx)\n",
+		sum.Experiments, sum.Tables, sum.Events, elapsed.Round(time.Millisecond),
+		*parallel, sum.SerialWall.Round(time.Millisecond),
+		float64(sum.SerialWall)/float64(elapsed))
+	if sum.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "lhbench: %d experiment(s) FAILED\n", sum.Failures)
+		os.Exit(1)
 	}
 }

@@ -66,11 +66,16 @@ func main() {
 	}
 	simWarm := sim.Time(warm.Nanoseconds()) * sim.Nanosecond
 	simDur := sim.Time(dur.Nanoseconds()) * sim.Nanosecond
+	wallStart := time.Now()
 	rig.RunMeasured(simWarm, simDur)
+	wall := time.Since(wallStart)
 
 	fmt.Printf("stack: %s   cores: %d   services: %d   rate: %.0f rps   window: %v\n",
 		rig.Label, *cores, *services, *rate, dur)
 	fmt.Printf("sent: %d   served: %d\n", rig.MeasuredSent(), rig.MeasuredServed())
+	fmt.Printf("simulator: %d events fired (%d cancelled, %d allocs recycled) in %v — %.1fM events/sec\n",
+		rig.S.Fired(), rig.S.Cancelled(), rig.S.Recycled(), wall.Round(time.Millisecond),
+		float64(rig.S.Fired())/wall.Seconds()/1e6)
 	fmt.Printf("latency: %s\n", rig.Gen.Latency.Summary(float64(sim.Microsecond), "us"))
 	fmt.Printf("cycles/request: %.0f   energy: %.3f J\n", rig.CyclesPerRequest(), rig.Energy())
 	fmt.Println("per-core residency:")

@@ -11,4 +11,13 @@
 // reproductions, cmd/ for the CLIs, and examples/ for runnable
 // walkthroughs. bench_test.go in this directory regenerates every table
 // and figure via `go test -bench .`.
+//
+// Experiments execute through experiments.Runner, a bounded worker pool
+// that runs each experiment in its own simulator universe: cmd/lhbench
+// runs them -parallel N wide (default GOMAXPROCS) with byte-identical
+// tables to a serial run, streaming results in presentation order and
+// recording per-experiment wall-clock and simulator-event counts via
+// sim.Meter. The simulator itself recycles events through a free list
+// with lazy cancellation, so the schedule->fire and schedule->cancel hot
+// paths allocate nothing in steady state (see internal/sim benchmarks).
 package lauberhorn

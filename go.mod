@@ -1,0 +1,3 @@
+module lauberhorn
+
+go 1.24

@@ -22,7 +22,7 @@ func lauberhornVariant(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 // (no retire/kernel dispatch: cold services wait out TryAgain periods),
 // minus the NIC RPC decoder (host pays software codec costs), and on a
 // CXL3 fabric instead of ECI.
-func E10Ablation() *stats.Table {
+func E10Ablation(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E10 — ablations (E4 workload: 64 services, 8 cores, Zipf 1.1, 150 krps)",
 		"variant", "p50 (us)", "p99 (us)", "served", "sent", "cycles/req")
 
@@ -46,6 +46,7 @@ func E10Ablation() *stats.Table {
 	}
 	for _, v := range variants {
 		r := mk(v.mutate)
+		m.Observe(r.S)
 		r.RunMeasured(20*sim.Millisecond, 60*sim.Millisecond)
 		lat := r.Gen.Latency
 		t.AddRow(v.name,
@@ -60,7 +61,7 @@ func E10Ablation() *stats.Table {
 
 // E10Fabrics compares the warm fast-path RTT across coherent fabrics
 // (§4: "we anticipate comparable gains with CXL 3.0").
-func E10Fabrics() *stats.Table {
+func E10Fabrics(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E10b — Lauberhorn fast path across coherent fabrics (64B RPC)",
 		"fabric", "warm RTT (us)", "line fill (ns)")
 	size := workload.FixedSize{N: fig2Body}
@@ -68,7 +69,7 @@ func E10Fabrics() *stats.Table {
 		fb := fb
 		r := func() *Rig {
 			s := sim.New(3)
-			cfg := core.DefaultHostConfig(serverEP, 1)
+			cfg := core.DefaultHostConfig(serverEP(), 1)
 			cfg.NIC.Fabric = fb
 			h := core.NewHost(s, cfg)
 			link := fabric.NewLink(s, fabric.Net100G)
@@ -80,6 +81,7 @@ func E10Fabrics() *stats.Table {
 			return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
 				Served: func() uint64 { return h.Served(1) }, Label: fb.Name, LH: h}
 		}()
+		m.Observe(r.S)
 		rtt := singleRTT(func() *Rig { return r })
 		t.AddRow(fb.Name, rtt.Microseconds(), fb.LineFill.Nanoseconds())
 	}

@@ -11,7 +11,9 @@ import (
 // E11SizeDist validates the workload generator against the paper's §1
 // premise ("the great majority of RPC requests and responses are small"
 // [23]): the CDF of the cloud-RPC request-size mixture.
-func E11SizeDist() *stats.Table {
+// Only the workload RNG is exercised (no simulator), so the meter
+// observes nothing.
+func E11SizeDist(_ *sim.Meter) *stats.Table {
 	t := stats.NewTable("E11 — cloud-RPC request size distribution (generator validation)",
 		"size (B)", "pmf (%)", "cdf (%)")
 	m := workload.CloudRPC()

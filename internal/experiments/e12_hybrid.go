@@ -12,7 +12,7 @@ import (
 // DMA fallback threshold (0 disables the fallback).
 func lhRigWithThreshold(threshold int, size workload.SizeDist) *Rig {
 	s := sim.New(19)
-	cfg := core.DefaultHostConfig(serverEP, 1)
+	cfg := core.DefaultHostConfig(serverEP(), 1)
 	cfg.NIC.DMAThreshold = threshold
 	h := core.NewHost(s, cfg)
 	link := fabric.NewLink(s, fabric.Net100G)
@@ -31,12 +31,13 @@ func lhRigWithThreshold(threshold int, size workload.SizeDist) *Rig {
 // this drives the full stack — decode pipeline, control-line protocol,
 // handler, response recall — so it shows the policy's effect on real
 // request latency.
-func E12HybridDataPath() *stats.Table {
+func E12HybridDataPath(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E12 — hybrid data path: warm RTT by size (1 core, echo)",
 		"body (B)", "cache-line only (us)", "hybrid 4KiB DMA fallback (us)", "hybrid wins")
 
 	measure := func(threshold, size int) sim.Time {
 		r := lhRigWithThreshold(threshold, workload.FixedSize{N: size})
+		m.Observe(r.S)
 		return singleRTT(func() *Rig { return r })
 	}
 	for _, size := range []int{256, 1024, 2048, 4096, 6144, 8192} {

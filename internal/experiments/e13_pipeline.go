@@ -15,14 +15,14 @@ import (
 // the configured per-byte stage costs. The paper (§6) treats encryption
 // as handled "with fairly standard techniques" on the NIC — this shows
 // the cost lands on the pipeline, not the host CPU.
-func E13DecodePipeline() *stats.Table {
+func E13DecodePipeline(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E13 — decoder pipeline stages (1 KiB requests, warm)",
 		"traffic", "RTT (us)", "delta vs plain (us)", "host cycles/req")
 
 	const bodySize = 1024
 	mk := func(flags uint16) *Rig {
 		s := sim.New(23)
-		h := core.NewHost(s, core.DefaultHostConfig(serverEP, 1))
+		h := core.NewHost(s, core.DefaultHostConfig(serverEP(), 1))
 		link := fabric.NewLink(s, fabric.Net100G)
 		cfg := genConfig(1, workload.FixedSize{N: bodySize}, workload.RatePerSec(100), nil)
 		cfg.Targets[0].Flags = flags
@@ -46,13 +46,14 @@ func E13DecodePipeline() *stats.Table {
 	}
 	for i, c := range cases {
 		r := mk(c.flags)
+		m.Observe(r.S)
 		rtt := singleRTT(func() *Rig { return r })
 		if i == 0 {
 			plain = rtt
 		}
 		t.AddRow(c.name, rtt.Microseconds(), (rtt - plain).Microseconds(), r.CyclesPerRequest())
 	}
-	nic := core.DefaultConfig(serverEP)
+	nic := core.DefaultConfig(serverEP())
 	t.AddNote("expected deltas at 1KiB: decrypt %v, decompress %v — paid in the NIC pipeline, host cycles unchanged",
 		sim.Time(bodySize)*nic.DecryptPerByte, sim.Time(bodySize)*nic.DecompressPerByte)
 	return t

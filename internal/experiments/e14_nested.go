@@ -16,11 +16,12 @@ import (
 // backend on host B through A's client channel (the "dedicated end-point
 // for an RPC reply"). The experiment compares direct backend latency with
 // the nested path and isolates the continuation overhead.
-func E14NestedRPC() *stats.Table {
+func E14NestedRPC(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E14 — nested RPC through a dedicated reply endpoint (§6)",
 		"path", "warm RTT (us)")
 
 	s := sim.New(77)
+	m.Observe(s)
 	sw := fabric.NewSwitch(s)
 	mkLink := func() (*fabric.Link, *fabric.SwitchPort) {
 		l := fabric.NewLink(s, fabric.Net100G)
@@ -33,7 +34,7 @@ func E14NestedRPC() *stats.Table {
 	// Client generator for the nested path (targets host A's frontend).
 	lA, pA := mkLink()
 	gen := workload.NewGenerator(s, workload.Config{
-		Client:   clientEP,
+		Client:   clientEP(),
 		Server:   hostAEP,
 		Targets:  []workload.Target{{Port: 9000, Service: 10, Method: 1, Size: workload.FixedSize{N: 64}}},
 		Arrivals: workload.RatePerSec(100),

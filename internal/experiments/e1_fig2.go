@@ -51,7 +51,7 @@ func wireRTT(r *Rig) sim.Time {
 // estimate RTT_sym = 2*RTT_raw − RTT_wire (both end systems plus one
 // network round trip); EXPERIMENTS.md compares that column against the
 // paper.
-func E1Fig2() *stats.Table {
+func E1Fig2(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E1 / Figure 2 — 64-byte message round-trip latency",
 		"series", "server-side RTT (us)", "symmetric est. (us)", "vs ECI")
 
@@ -75,6 +75,7 @@ func E1Fig2() *stats.Table {
 	var eciSym float64
 	for i, rw := range rows {
 		r := rw.mk()
+		m.Observe(r.S)
 		raw := singleRTT(func() *Rig { return r })
 		wrt := wireRTT(r)
 		symmetric := 2*raw - wrt

@@ -19,12 +19,14 @@ import (
 //
 // Values are drawn from the same cost models the simulations use, so this
 // table is the analytic view of what E1/E3 measure end to end.
-func E2Breakdown() *stats.Table {
+// The table is analytic (drawn from cost models, no simulation), so the
+// meter observes nothing.
+func E2Breakdown(_ *sim.Meter) *stats.Table {
 	kc := kernel.DefaultCosts()
 	sc := kstack.DefaultCosts()
 	bc := bypass.DefaultCosts()
 	cm := rpc.DefaultCostModel()
-	lh := core.DefaultHostConfig(serverEP, 1)
+	lh := core.DefaultHostConfig(serverEP(), 1)
 	body := fig2Body
 
 	t := stats.NewTable("E2 — host CPU time per §2 receive-path step (64B RPC, warm)",

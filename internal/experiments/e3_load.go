@@ -11,13 +11,17 @@ import (
 // latency gap and the throughput ceilings.
 const e3Cores = 4
 
-// E3Rates is the offered-load ladder (requests/second).
-var E3Rates = []float64{50_000, 100_000, 200_000, 400_000}
+// E3Rates returns the offered-load ladder (requests/second). A fresh
+// slice per call keeps the ladder read-only from every caller's point of
+// view, so concurrent experiments cannot perturb each other.
+func E3Rates() []float64 {
+	return []float64{50_000, 100_000, 200_000, 400_000}
+}
 
 // E3LoadLatency reproduces the paper's headline comparison (§1/§4):
 // latency versus offered load for the three stacks, 1 µs handlers,
 // 64-byte requests, 4 cores, one hot service.
-func E3LoadLatency() *stats.Table {
+func E3LoadLatency(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E3 — latency vs offered load (64B RPC, 1us handler, 4 cores)",
 		"stack", "rate (krps)", "p50 (us)", "p99 (us)", "served", "sent", "cycles/req")
 
@@ -43,8 +47,9 @@ func E3LoadLatency() *stats.Table {
 		}},
 	}
 	for _, st := range stacks {
-		for _, rate := range E3Rates {
+		for _, rate := range E3Rates() {
 			r := st.mk(7, workload.RatePerSec(rate))
+			m.Observe(r.S)
 			r.RunMeasured(20*sim.Millisecond, 50*sim.Millisecond)
 			lat := r.Gen.Latency
 			t.AddRow(st.name, rate/1000,
@@ -60,7 +65,7 @@ func E3LoadLatency() *stats.Table {
 
 // E3Throughput measures the peak sustainable request rate per stack with
 // a closed-loop client at high concurrency.
-func E3Throughput() *stats.Table {
+func E3Throughput(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E3b — peak throughput (closed loop, 64 clients, 1us handler, 4 cores)",
 		"stack", "requests/s", "p50 (us)", "p99 (us)")
 	size := workload.FixedSize{N: fig2Body}
@@ -77,6 +82,7 @@ func E3Throughput() *stats.Table {
 	const window = 50 * sim.Millisecond
 	for _, b := range builders {
 		r := b.mk()
+		m.Observe(r.S)
 		cl := workload.NewClosedLoop(r.S, genConfig(len(r.Gen.PerTarget), size, nil, nil), r.Link, 0, concurrency, 0)
 		// Substitute the closed-loop client as the link's client port.
 		r.Link.ReplacePort(0, cl)

@@ -20,7 +20,7 @@ const (
 // sizes). Bypass must time-share its per-service pinned workers on the
 // kernel quantum; Lauberhorn reallocates cores per request via the NIC's
 // shared scheduling state.
-func E4DynamicMix() *stats.Table {
+func E4DynamicMix(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E4 — dynamic mix: 64 services, 8 cores, Zipf(1.1), cloud-RPC sizes, 150 krps",
 		"stack", "p50 (us)", "p99 (us)", "p99.9 (us)", "served", "sent", "cycles/req", "uJ/req")
 
@@ -57,6 +57,7 @@ func E4DynamicMix() *stats.Table {
 	}
 	for _, b := range builders {
 		r := b.mk()
+		m.Observe(r.S)
 		energy0 := r.Energy()
 		r.RunMeasured(20*sim.Millisecond, 60*sim.Millisecond)
 		lat := r.Gen.Latency

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
 	"lauberhorn/internal/stats"
 )
 
@@ -10,7 +11,9 @@ import (
 // for Enzian this happens at about 4KiB": transfer latency of the
 // cache-line protocol versus a DMA transfer across message sizes on the
 // Enzian fabric (ECI + PCIe DMA on the same device).
-func E5SizeCrossover() *stats.Table {
+// The table is analytic (fabric transfer models, no simulation), so the
+// meter observes nothing.
+func E5SizeCrossover(_ *sim.Meter) *stats.Table {
 	t := stats.NewTable("E5 — cache-line vs DMA transfer latency by message size (Enzian fabric)",
 		"size (B)", "cache-line (us)", "DMA (us)", "winner")
 

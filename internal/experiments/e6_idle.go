@@ -12,7 +12,7 @@ import (
 // low power (TryAgain every 15 ms bounds the bus traffic), and a kernel
 // core sleeps but pays wakeup latency. One core, one service, 200
 // requests/second for half a second.
-func E6IdleCost() *stats.Table {
+func E6IdleCost(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E6 — sparse load (200 rps, 0.5s): energy & core states",
 		"stack", "energy (J)", "mJ/req", "spin (ms)", "stall (ms)", "idle (ms)", "busy (ms)", "p50 lat (us)")
 
@@ -29,6 +29,7 @@ func E6IdleCost() *stats.Table {
 	const window = 500 * sim.Millisecond
 	for _, b := range builders {
 		r := b.mk()
+		m.Observe(r.S)
 		r.Gen.Start(window)
 		r.S.RunUntil(window + 20*sim.Millisecond)
 		c := r.Cores[0]
@@ -53,10 +54,11 @@ func E6IdleCost() *stats.Table {
 // E6BusTraffic quantifies the idle-state interconnect traffic: coherence
 // operations per second for an idle Lauberhorn core versus what a 15 ms
 // TryAgain period implies.
-func E6BusTraffic() *stats.Table {
+func E6BusTraffic(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E6b — idle interconnect traffic (1 core, no load, 1s)",
 		"metric", "count", "per second")
 	r := LauberhornRig(5, 1, 1, 0, workload.FixedSize{N: fig2Body}, workload.RatePerSec(1), nil)
+	m.Observe(r.S)
 	// No traffic at all: do not start the generator.
 	r.S.RunUntil(sim.Second)
 	st := r.LH.NIC.Stats()

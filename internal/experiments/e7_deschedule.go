@@ -12,12 +12,13 @@ import (
 // measure how long until the worker has re-entered the kernel, and the
 // latency of the next request for the descheduled service (which now
 // takes the kernel-dispatch path).
-func E7Deschedule() *stats.Table {
+func E7Deschedule(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E7 — descheduling a stalled user loop",
 		"metric", "value (us)")
 
 	size := workload.FixedSize{N: fig2Body}
 	r := LauberhornRig(3, 1, 1, 0, size, workload.RatePerSec(100), nil)
+	m.Observe(r.S)
 	r.S.RunUntil(sim.Millisecond)
 	// Warm into the user loop.
 	r.Gen.SendTo(0)

@@ -12,7 +12,9 @@ import (
 // explicitly pushed to the NIC via the interconnect with negligible
 // overhead": the cost of one push per context switch, over coherent
 // stores versus PCIe MMIO, across context-switch rates.
-func E8SchedUpdate() *stats.Table {
+// The table is analytic (fabric cost models, no simulation), so the meter
+// observes nothing.
+func E8SchedUpdate(_ *sim.Meter) *stats.Table {
 	t := stats.NewTable("E8 — cost of mirroring scheduler state to the NIC",
 		"mechanism", "push cost (ns)", "at 1k sw/s (%core)", "at 10k sw/s (%core)", "at 100k sw/s (%core)")
 
@@ -38,12 +40,13 @@ func E8SchedUpdate() *stats.Table {
 // E8Simulated confirms the analytic table by simulation: two threads
 // share a core under a small quantum, with and without a per-switch push
 // cost; the difference in busy time is the mirroring overhead.
-func E8Simulated() *stats.Table {
+func E8Simulated(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E8b — simulated context-switch storm (2 threads, 100us quantum, 100ms)",
 		"push cost", "switches", "kernel time (ms)", "overhead vs none (us)")
 
 	run := func(push sim.Time) (switches uint64, kernelMs float64) {
 		s := sim.New(9)
+		m.Observe(s)
 		costs := kernel.DefaultCosts()
 		costs.Quantum = 100 * sim.Microsecond
 		costs.ContextSwitch += push

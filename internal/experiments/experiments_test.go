@@ -10,7 +10,7 @@ import (
 )
 
 func TestE1Fig2Shape(t *testing.T) {
-	tb := E1Fig2()
+	tb := E1Fig2(nil)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -38,7 +38,7 @@ func TestE1Fig2Shape(t *testing.T) {
 }
 
 func TestE2BreakdownTotals(t *testing.T) {
-	tb := E2Breakdown()
+	tb := E2Breakdown(nil)
 	last := tb.Rows[len(tb.Rows)-1]
 	if last[0] != "TOTAL" {
 		t.Fatal("no total row")
@@ -58,7 +58,7 @@ func TestE2BreakdownTotals(t *testing.T) {
 }
 
 func TestE5CrossoverNear4KiB(t *testing.T) {
-	tb := E5SizeCrossover()
+	tb := E5SizeCrossover(nil)
 	found := false
 	for _, n := range tb.Notes {
 		if strings.Contains(n, "crossover at 4096 bytes") ||
@@ -74,7 +74,7 @@ func TestE5CrossoverNear4KiB(t *testing.T) {
 }
 
 func TestE9AllVerdicts(t *testing.T) {
-	tb := E9ModelCheck()
+	tb := E9ModelCheck(nil)
 	okCount, bugCount := 0, 0
 	for _, row := range tb.Rows {
 		if !strings.Contains(row[0], "bug") {
@@ -96,7 +96,7 @@ func TestE9AllVerdicts(t *testing.T) {
 }
 
 func TestE11MajoritySmall(t *testing.T) {
-	tb := E11SizeDist()
+	tb := E11SizeDist(nil)
 	if len(tb.Rows) < 5 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -104,7 +104,7 @@ func TestE11MajoritySmall(t *testing.T) {
 }
 
 func TestE6IdleCost(t *testing.T) {
-	tb := E6IdleCost()
+	tb := E6IdleCost(nil)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -118,7 +118,7 @@ func TestE6IdleCost(t *testing.T) {
 }
 
 func TestE7Deschedule(t *testing.T) {
-	tb := E7Deschedule()
+	tb := E7Deschedule(nil)
 	var unblock float64
 	fmtSscan(tb.Rows[0][1], &unblock)
 	if unblock <= 0 || unblock > 100 {
@@ -128,11 +128,11 @@ func TestE7Deschedule(t *testing.T) {
 }
 
 func TestE8Tables(t *testing.T) {
-	tb := E8SchedUpdate()
+	tb := E8SchedUpdate(nil)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
-	tb2 := E8Simulated()
+	tb2 := E8Simulated(nil)
 	if len(tb2.Rows) != 3 {
 		t.Fatalf("%d sim rows", len(tb2.Rows))
 	}

@@ -9,9 +9,10 @@ import (
 )
 
 func TestE3Claims(t *testing.T) {
-	tb := E3LoadLatency()
+	tb := E3LoadLatency(nil)
+	rates := E3Rates()
 	// Rows: 4 per stack in order Lauberhorn, Bypass, Kernel.
-	if len(tb.Rows) != 3*len(E3Rates) {
+	if len(tb.Rows) != 3*len(rates) {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
 	get := func(r, c int) float64 {
@@ -21,15 +22,15 @@ func TestE3Claims(t *testing.T) {
 		}
 		return v
 	}
-	n := len(E3Rates)
+	n := len(rates)
 	for i := 0; i < n; i++ {
 		lhP50, byP50, knP50 := get(i, 2), get(n+i, 2), get(2*n+i, 2)
 		if !(lhP50 < byP50 && byP50 < knP50) {
-			t.Errorf("rate %v: p50 ordering broken: %v %v %v", E3Rates[i], lhP50, byP50, knP50)
+			t.Errorf("rate %v: p50 ordering broken: %v %v %v", rates[i], lhP50, byP50, knP50)
 		}
 		lhP99, byP99 := get(i, 3), get(n+i, 3)
 		if lhP99 >= byP99 {
-			t.Errorf("rate %v: Lauberhorn p99 %v not below bypass %v", E3Rates[i], lhP99, byP99)
+			t.Errorf("rate %v: Lauberhorn p99 %v not below bypass %v", rates[i], lhP99, byP99)
 		}
 	}
 	// The kernel stack must be saturated at the top rate (goodput gap).
@@ -46,7 +47,7 @@ func TestE3Claims(t *testing.T) {
 }
 
 func TestE3ThroughputOrdering(t *testing.T) {
-	tb := E3Throughput()
+	tb := E3Throughput(nil)
 	var rps [3]float64
 	for i := 0; i < 3; i++ {
 		if _, err := sscan(tb.Rows[i][1], &rps[i]); err != nil {
@@ -64,7 +65,7 @@ func TestE3ThroughputOrdering(t *testing.T) {
 }
 
 func TestE4Claims(t *testing.T) {
-	tb := E4DynamicMix()
+	tb := E4DynamicMix(nil)
 	get := func(r, c int) float64 {
 		var v float64
 		if _, err := sscan(tb.Rows[r][c], &v); err != nil {
@@ -90,7 +91,7 @@ func TestE4Claims(t *testing.T) {
 }
 
 func TestE10Claims(t *testing.T) {
-	tb := E10Ablation()
+	tb := E10Ablation(nil)
 	get := func(r, c int) float64 {
 		var v float64
 		if _, err := sscan(tb.Rows[r][c], &v); err != nil {
@@ -114,7 +115,7 @@ func TestE10Claims(t *testing.T) {
 }
 
 func TestE10Fabrics(t *testing.T) {
-	tb := E10Fabrics()
+	tb := E10Fabrics(nil)
 	var eci, cxl float64
 	sscan(tb.Rows[0][1], &eci)
 	sscan(tb.Rows[1][1], &cxl)
@@ -125,7 +126,7 @@ func TestE10Fabrics(t *testing.T) {
 }
 
 func TestE6BusTraffic(t *testing.T) {
-	tb := E6BusTraffic()
+	tb := E6BusTraffic(nil)
 	var tryAgains float64
 	sscan(tb.Rows[0][1], &tryAgains)
 	// 15ms period over 1s idle on one kernel line: ~66 TryAgains.
@@ -140,7 +141,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("heavy")
 	}
 	for _, e := range All() {
-		tables := e.Run()
+		tables := e.Run(nil)
 		if len(tables) == 0 {
 			t.Errorf("%s produced no tables", e.ID)
 		}
@@ -166,7 +167,7 @@ func TestE2ConsistentWithMeasuredCycles(t *testing.T) {
 	const handlerCycles = 2500.0 // 1us at 2.5GHz
 	overheadNs := (measured - handlerCycles) / 2.5
 
-	tb := E2Breakdown()
+	tb := E2Breakdown(nil)
 	var analyticNs float64
 	if _, err := sscan(tb.Rows[len(tb.Rows)-1][3], &analyticNs); err != nil {
 		t.Fatal(err)

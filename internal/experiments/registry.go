@@ -1,6 +1,12 @@
 package experiments
 
-import "lauberhorn/internal/stats"
+import (
+	"fmt"
+	"strings"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+)
 
 // Experiment is one runnable reproduction.
 type Experiment struct {
@@ -8,13 +14,20 @@ type Experiment struct {
 	Title string
 	// Source is the paper figure/section the experiment reproduces.
 	Source string
-	Run    func() []*stats.Table
+	// Run executes the experiment and returns its result tables. The
+	// meter (which may be nil) observes every simulator the experiment
+	// creates, so the harness can report per-experiment event counts.
+	// Run builds all of its own state — simulators, rigs, generators —
+	// so distinct experiments may run concurrently on separate
+	// goroutines.
+	Run func(m *sim.Meter) []*stats.Table
 }
 
-// All returns every experiment in presentation order.
+// All returns every experiment in presentation order. The slice is built
+// fresh per call; callers may reorder or filter it freely.
 func All() []Experiment {
-	one := func(f func() *stats.Table) func() []*stats.Table {
-		return func() []*stats.Table { return []*stats.Table{f()} }
+	one := func(f func(*sim.Meter) *stats.Table) func(*sim.Meter) []*stats.Table {
+		return func(m *sim.Meter) []*stats.Table { return []*stats.Table{f(m)} }
 	}
 	return []Experiment{
 		{ID: "e1", Title: "64B message round-trip latency", Source: "Figure 2",
@@ -22,21 +35,29 @@ func All() []Experiment {
 		{ID: "e2", Title: "Receive-path step breakdown", Source: "§2 steps 1-12, §4",
 			Run: one(E2Breakdown)},
 		{ID: "e3", Title: "Latency vs offered load + peak throughput", Source: "§1/§4",
-			Run: func() []*stats.Table { return []*stats.Table{E3LoadLatency(), E3Throughput()} }},
+			Run: func(m *sim.Meter) []*stats.Table {
+				return []*stats.Table{E3LoadLatency(m), E3Throughput(m)}
+			}},
 		{ID: "e4", Title: "Dynamic multi-service mix", Source: "§1/§2/§5.2",
 			Run: one(E4DynamicMix)},
 		{ID: "e5", Title: "Cache-line vs DMA size crossover", Source: "§6 (~4KiB)",
 			Run: one(E5SizeCrossover)},
 		{ID: "e6", Title: "Idle/sparse-load energy and bus traffic", Source: "§4/§5.1",
-			Run: func() []*stats.Table { return []*stats.Table{E6IdleCost(), E6BusTraffic()} }},
+			Run: func(m *sim.Meter) []*stats.Table {
+				return []*stats.Table{E6IdleCost(m), E6BusTraffic(m)}
+			}},
 		{ID: "e7", Title: "Descheduling a stalled loop", Source: "§5.1/§5.2",
 			Run: one(E7Deschedule)},
 		{ID: "e8", Title: "Scheduler-state mirroring cost", Source: "§4",
-			Run: func() []*stats.Table { return []*stats.Table{E8SchedUpdate(), E8Simulated()} }},
+			Run: func(m *sim.Meter) []*stats.Table {
+				return []*stats.Table{E8SchedUpdate(m), E8Simulated(m)}
+			}},
 		{ID: "e9", Title: "Model checking the control-line protocol", Source: "§6",
 			Run: one(E9ModelCheck)},
 		{ID: "e10", Title: "Ablations and fabric sensitivity", Source: "§4/§5",
-			Run: func() []*stats.Table { return []*stats.Table{E10Ablation(), E10Fabrics()} }},
+			Run: func(m *sim.Meter) []*stats.Table {
+				return []*stats.Table{E10Ablation(m), E10Fabrics(m)}
+			}},
 		{ID: "e11", Title: "Workload size-distribution validation", Source: "§1 [23]",
 			Run: one(E11SizeDist)},
 		{ID: "e12", Title: "Hybrid cache-line/DMA data path", Source: "§6 (~4KiB fallback)",
@@ -52,9 +73,45 @@ func All() []Experiment {
 func ByID(id string) *Experiment {
 	for _, e := range All() {
 		if e.ID == id {
-			e := e
 			return &e
 		}
 	}
 	return nil
+}
+
+// Select resolves a comma-separated ID list (or "all") against the
+// registry, in the order given. Segments are whitespace-trimmed. It
+// rejects empty segments, unknown IDs, and duplicates with a descriptive
+// error, so harnesses fail loudly instead of silently running an
+// experiment twice or skipping a typo.
+func Select(spec string) ([]Experiment, error) {
+	all := All()
+	if strings.TrimSpace(spec) == "all" {
+		return all, nil
+	}
+	byID := make(map[string]Experiment, len(all))
+	for _, e := range all {
+		byID[e.ID] = e
+	}
+	seen := make(map[string]bool)
+	var out []Experiment
+	for _, raw := range strings.Split(spec, ",") {
+		id := strings.TrimSpace(raw)
+		if id == "" {
+			return nil, fmt.Errorf("empty experiment ID in %q", spec)
+		}
+		if id == "all" {
+			return nil, fmt.Errorf("%q mixes 'all' with explicit IDs", spec)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate experiment ID %q", id)
+		}
+		seen[id] = true
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: e1..e%d)", id, len(all))
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }

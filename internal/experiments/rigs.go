@@ -23,10 +23,17 @@ import (
 	"lauberhorn/internal/workload"
 )
 
-var (
-	serverEP = wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}}
-	clientEP = wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}}
-)
+// serverEP and clientEP return the canonical endpoints fresh per call, so
+// no rig can see (or perturb) another rig's copy: experiments may run
+// concurrently on separate goroutines and every rig must be goroutine-safe
+// by construction.
+func serverEP() wire.Endpoint {
+	return wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}}
+}
+
+func clientEP() wire.Endpoint {
+	return wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}}
+}
 
 // basePort is the first service UDP port; service i listens on
 // basePort+i.
@@ -114,8 +121,8 @@ func (r *Rig) CyclesPerRequest() float64 {
 // genConfig assembles the generator config for n services.
 func genConfig(n int, size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) workload.Config {
 	return workload.Config{
-		Client:     clientEP,
-		Server:     serverEP,
+		Client:     clientEP(),
+		Server:     serverEP(),
 		Targets:    targets(n, size),
 		Arrivals:   arrivals,
 		Popularity: pop,
@@ -128,7 +135,7 @@ func genConfig(n int, size workload.SizeDist, arrivals workload.ArrivalDist, pop
 func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
 	s := sim.New(seed)
-	h := core.NewHost(s, core.DefaultHostConfig(serverEP, nCores))
+	h := core.NewHost(s, core.DefaultHostConfig(serverEP(), nCores))
 	link := fabric.NewLink(s, fabric.Net100G)
 	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
 	link.Attach(gen, h.NIC)
@@ -169,7 +176,7 @@ func BypassRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	for i := 0; i < nSvcs; i++ {
 		reg.Register(echoService(uint32(i+1), serviceTime))
 	}
-	local := serverEP
+	local := serverEP()
 	for i := 0; i < nSvcs; i++ {
 		// Queue selection must match SteerByPort: port basePort+i maps to
 		// queue (basePort+i) mod nSvcs.
@@ -220,7 +227,7 @@ func kstackRigOn(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
 	link.Attach(gen, nic)
 	nic.AttachLink(link, 1)
-	st := kstack.New(k, nic, serverEP, kstack.DefaultCosts())
+	st := kstack.New(k, nic, serverEP(), kstack.DefaultCosts())
 
 	reg := rpc.NewRegistry()
 	var served uint64

@@ -260,6 +260,9 @@ func (d *Directory) doGetS(addr LineAddr, l *dirLine, t txn) {
 	deferredAt := d.sim.Now()
 	responded := false
 	l.watchdog = d.sim.After(d.DeferTimeout, "mesi-watchdog", func() {
+		// Clear the handle before anything else: once fired, the event
+		// struct is recycled and must not reach a later Cancel.
+		l.watchdog = nil
 		if !responded {
 			d.BusError(addr)
 		}

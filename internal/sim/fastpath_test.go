@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFreeListReuse verifies that fired and cancelled events are recycled
+// rather than reallocated.
+func TestFreeListReuse(t *testing.T) {
+	s := New(1)
+	e1 := s.At(Nanosecond, "a", func() {})
+	s.Run()
+	e2 := s.At(2*Nanosecond, "b", func() {})
+	if e1 != e2 {
+		t.Error("fired event struct was not recycled")
+	}
+	s.Cancel(e2)
+	// The cancelled event is still parked in the heap (lazy cancel); it is
+	// recycled once it reaches the front.
+	s.Run()
+	e3 := s.At(3*Nanosecond, "c", func() {})
+	if e3 != e2 {
+		t.Error("cancelled event struct was not recycled")
+	}
+	if s.Recycled() != 2 {
+		t.Errorf("Recycled() = %d, want 2", s.Recycled())
+	}
+}
+
+// TestLazyCancelAccounting pins the live/cancelled bookkeeping that lazy
+// invalidation must keep consistent with eager removal.
+func TestLazyCancelAccounting(t *testing.T) {
+	s := New(1)
+	var fired int
+	keep := s.At(5*Nanosecond, "keep", func() { fired++ })
+	kill := s.At(Nanosecond, "kill", func() { t.Fatal("cancelled event fired") })
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	if !s.Cancel(kill) {
+		t.Fatal("Cancel returned false")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", s.Pending())
+	}
+	if kill.Pending() {
+		t.Fatal("cancelled event still Pending")
+	}
+	if !keep.Pending() {
+		t.Fatal("surviving event lost Pending")
+	}
+	// The dead event sits at the heap front; NextAt must skip it.
+	if s.NextAt() != 5*Nanosecond {
+		t.Fatalf("NextAt = %v, want 5ns (dead head not skipped)", s.NextAt())
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if s.Cancelled() != 1 || s.Fired() != 1 {
+		t.Fatalf("cancelled=%d fired=%d, want 1/1", s.Cancelled(), s.Fired())
+	}
+}
+
+// TestRunUntilSkipsDeadHead makes sure a lazily-cancelled event at the
+// queue front doesn't let RunUntil fire a live event beyond the horizon.
+func TestRunUntilSkipsDeadHead(t *testing.T) {
+	s := New(1)
+	dead := s.At(Nanosecond, "dead", func() {})
+	var fired bool
+	s.At(10*Nanosecond, "late", func() { fired = true })
+	s.Cancel(dead)
+	if n := s.RunUntil(5 * Nanosecond); n != 0 {
+		t.Fatalf("RunUntil fired %d events, want 0", n)
+	}
+	if fired {
+		t.Fatal("event beyond the RunUntil horizon fired")
+	}
+	if s.Now() != 5*Nanosecond {
+		t.Fatalf("clock at %v, want 5ns", s.Now())
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("live event never fired")
+	}
+}
+
+// TestCancelHeavyDrain stresses interleaved schedule/cancel, the pattern
+// of E7 and the NIC TryAgain timers.
+func TestCancelHeavyDrain(t *testing.T) {
+	s := New(1)
+	var fired int
+	var evs []*Event
+	for i := 0; i < 1000; i++ {
+		i := i
+		evs = append(evs, s.At(Time(i)*Nanosecond, "e", func() { fired++ }))
+	}
+	for i, e := range evs {
+		if i%2 == 0 {
+			s.Cancel(e)
+		}
+	}
+	s.Run()
+	if fired != 500 {
+		t.Fatalf("fired %d, want 500", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", s.Pending())
+	}
+}
+
+// TestIntnUniform is the distribution sanity check for the unbiased
+// (Lemire) Intn: bucket counts over an awkward non-power-of-two n must be
+// flat within ~4 sigma.
+func TestIntnUniform(t *testing.T) {
+	for _, n := range []int{3, 7, 10, 1000} {
+		r := NewRNG(99)
+		const draws = 400000
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[r.Intn(n)]++
+		}
+		want := float64(draws) / float64(n)
+		// Binomial stddev per bucket.
+		sigma := math.Sqrt(want * (1 - 1/float64(n)))
+		for b, c := range counts {
+			if math.Abs(float64(c)-want) > 4.5*sigma {
+				t.Errorf("Intn(%d) bucket %d has %d draws, want %.0f±%.0f",
+					n, b, c, want, 4.5*sigma)
+			}
+		}
+	}
+}
+
+// TestIntnCoversRange ensures every residue of a small n is reachable
+// (a classic failure mode of broken rejection sampling).
+func TestIntnCoversRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Errorf("Intn(5) never produced %d", v)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator
 // (xoshiro256**, seeded via splitmix64). It is not safe for concurrent use;
@@ -49,11 +52,25 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+//
+// Sampling uses Lemire's multiply-shift rejection method, which is exactly
+// uniform for every n (plain modulo over-weights small residues) and needs
+// no 128-bit division on the fast path.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n)) // modulo bias is negligible for n ≪ 2^64
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject the sliver of low products that would over-weight the
+		// first 2^64 mod n outcomes. thresh = 2^64 mod n.
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Int63 returns a uniformly random non-negative int64.

@@ -7,10 +7,16 @@ import (
 
 // Event is a scheduled callback. Events are created with Sim.At or Sim.After
 // and may be cancelled before they fire. The zero Event is not valid.
+//
+// Event structs are recycled through a per-Sim free list once they fire or
+// are cancelled, so a *Event must not be passed to Cancel after its callback
+// has run: the struct may since have been reissued for a different event.
+// Holders that keep a timer pointer must clear it inside the callback (as
+// the kernel quantum/slice timers and the NIC TryAgain timer do).
 type Event struct {
 	at    Time
 	seq   uint64
-	index int // heap index, -1 once fired or cancelled
+	index int // heap index, -1 once popped (fired, drained, or free)
 	fn    func()
 	name  string
 }
@@ -21,8 +27,8 @@ func (e *Event) At() Time { return e.at }
 // Name reports the diagnostic label given at scheduling time.
 func (e *Event) Name() string { return e.name }
 
-// Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e.index >= 0 }
+// Pending reports whether the event is still queued and will fire.
+func (e *Event) Pending() bool { return e.index >= 0 && e.fn != nil }
 
 // eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
 // fire in scheduling order, which keeps runs deterministic.
@@ -57,14 +63,19 @@ func (h *eventHeap) Pop() any {
 
 // Sim is a discrete-event simulator: a virtual clock plus an ordered queue
 // of future events. It is single-threaded; models call back into the
-// simulator from event callbacks to schedule further work.
+// simulator from event callbacks to schedule further work. Distinct Sim
+// instances are fully independent and may run on separate goroutines.
 type Sim struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	rng     *RNG
-	fired   uint64
-	stopped bool
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	free      []*Event // recycled Event structs, reused by At/After
+	rng       *RNG
+	live      int // queued events that have not been lazily cancelled
+	fired     uint64
+	cancelled uint64
+	recycled  uint64 // allocations avoided via the free list
+	stopped   bool
 }
 
 // New returns a simulator with the clock at zero and an RNG derived from
@@ -82,8 +93,34 @@ func (s *Sim) Rand() *RNG { return s.rng }
 // Fired reports how many events have executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are queued.
-func (s *Sim) Pending() int { return len(s.queue) }
+// Cancelled reports how many events were cancelled before firing.
+func (s *Sim) Cancelled() uint64 { return s.cancelled }
+
+// Recycled reports how many Event allocations the free list avoided.
+func (s *Sim) Recycled() uint64 { return s.recycled }
+
+// Pending reports how many live (non-cancelled) events are queued.
+func (s *Sim) Pending() int { return s.live }
+
+// alloc returns an Event from the free list, or a fresh one.
+func (s *Sim) alloc(at Time, seq uint64, name string, fn func()) *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.recycled++
+		e.at, e.seq, e.name, e.fn = at, seq, name, fn
+		return e
+	}
+	return &Event{at: at, seq: seq, name: name, fn: fn}
+}
+
+// recycle returns a popped (index == -1) dead event to the free list.
+func (s *Sim) recycle(e *Event) {
+	e.fn = nil
+	e.name = ""
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run at instant t, which must not be in the past.
 // The name is a diagnostic label reported by String and tracing.
@@ -94,8 +131,9 @@ func (s *Sim) At(t Time, name string, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, name: name}
+	e := s.alloc(t, s.seq, name, fn)
 	s.seq++
+	s.live++
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -108,29 +146,74 @@ func (s *Sim) After(d Time, name string, fn func()) *Event {
 	return s.At(s.now+d, name, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired (or was already cancelled) is a no-op and returns false.
+// Cancel marks a pending event dead. Cancellation is lazy: the event stays
+// in the queue and is discarded (and its struct recycled) when it reaches
+// the front, so no mid-queue heap surgery happens on deschedule-heavy
+// paths. Cancelling an event that already fired or was already cancelled
+// is a no-op and returns false.
 func (s *Sim) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+	if e == nil || e.index < 0 || e.fn == nil {
 		return false
 	}
-	heap.Remove(&s.queue, e.index)
-	e.index = -1
 	e.fn = nil
+	s.live--
+	s.cancelled++
+	s.maybeCompact()
 	return true
+}
+
+// maybeCompact rebuilds the queue without dead events once they outnumber
+// live ones. Cancels stay amortized O(1): a compaction costing O(n) is
+// only triggered after at least n/2 cancellations, and it keeps the heap
+// from accumulating far-future corpses that would never reach the front.
+func (s *Sim) maybeCompact() {
+	dead := len(s.queue) - s.live
+	if dead <= 64 || dead <= s.live {
+		return
+	}
+	keep := s.queue[:0]
+	for _, e := range s.queue {
+		if e.fn != nil {
+			keep = append(keep, e)
+		} else {
+			e.index = -1
+			s.recycle(e)
+		}
+	}
+	for i := len(keep); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = keep
+	for i, e := range s.queue {
+		e.index = i
+	}
+	heap.Init(&s.queue)
+}
+
+// peek discards dead events at the front of the queue and returns the
+// earliest live event, or nil when none remain.
+func (s *Sim) peek() *Event {
+	for len(s.queue) > 0 && s.queue[0].fn == nil {
+		s.recycle(heap.Pop(&s.queue).(*Event))
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return s.queue[0]
 }
 
 // Step fires the earliest pending event, advancing the clock to its instant.
 // It returns false when the queue is empty or the simulation was stopped.
 func (s *Sim) Step() bool {
-	if s.stopped || len(s.queue) == 0 {
+	if s.stopped || s.peek() == nil {
 		return false
 	}
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.at
 	fn := e.fn
-	e.fn = nil
+	s.live--
 	s.fired++
+	s.recycle(e)
 	fn()
 	return true
 }
@@ -149,7 +232,11 @@ func (s *Sim) RunUntil(t Time) uint64 {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
 	}
 	start := s.fired
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < t {
@@ -168,13 +255,14 @@ func (s *Sim) Stopped() bool { return s.stopped }
 // NextAt returns the instant of the earliest pending event, or Never when
 // the queue is empty.
 func (s *Sim) NextAt() Time {
-	if len(s.queue) == 0 {
+	e := s.peek()
+	if e == nil {
 		return Never
 	}
-	return s.queue[0].at
+	return e.at
 }
 
 // String summarizes the simulator state for diagnostics.
 func (s *Sim) String() string {
-	return fmt.Sprintf("sim{now=%v pending=%d fired=%d}", s.now, len(s.queue), s.fired)
+	return fmt.Sprintf("sim{now=%v pending=%d fired=%d}", s.now, s.live, s.fired)
 }

@@ -6,12 +6,13 @@ import (
 )
 
 // Table is a simple column-aligned text table used by the experiment harness
-// to print paper-style result tables.
+// to print paper-style result tables. The JSON tags give `lhbench -json`
+// a stable machine-readable shape.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // NewTable returns a table with the given title and column headers.
