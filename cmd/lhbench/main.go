@@ -41,6 +41,26 @@ type jsonResult struct {
 	Tables []*stats.Table `json:"tables"`
 }
 
+// jsonResults shapes runner results for -json output.
+func jsonResults(results []experiments.Result) []jsonResult {
+	out := make([]jsonResult, len(results))
+	for i, r := range results {
+		out[i] = jsonResult{
+			ID:     r.Experiment.ID,
+			Title:  r.Experiment.Title,
+			Source: r.Experiment.Source,
+			WallMS: float64(r.Wall.Microseconds()) / 1000,
+			Events: r.Events,
+			Sims:   r.Sims,
+			Tables: r.Tables,
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return out
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
@@ -73,21 +93,7 @@ func main() {
 	var results []experiments.Result
 	if *jsonOut {
 		results = runner.Run(selected)
-		out := make([]jsonResult, len(results))
-		for i, r := range results {
-			out[i] = jsonResult{
-				ID:     r.Experiment.ID,
-				Title:  r.Experiment.Title,
-				Source: r.Experiment.Source,
-				WallMS: float64(r.Wall.Microseconds()) / 1000,
-				Events: r.Events,
-				Sims:   r.Sims,
-				Tables: r.Tables,
-			}
-			if r.Err != nil {
-				out[i].Error = r.Err.Error()
-			}
-		}
+		out := jsonResults(results)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/experiments"
+)
+
+// TestRunValidationCoversClusterExperiments extends the strict -run
+// checks over the cluster-layer experiments: the IDs resolve, mix with
+// older IDs, appear under "all", and the validation still rejects
+// duplicates, typos, and all+explicit mixes that include them.
+func TestRunValidationCoversClusterExperiments(t *testing.T) {
+	exps, err := experiments.Select("e15,e16")
+	if err != nil || len(exps) != 2 || exps[0].ID != "e15" || exps[1].ID != "e16" {
+		t.Fatalf("Select(e15,e16) = %v, err %v", exps, err)
+	}
+	if exps, err := experiments.Select(" e16 , e1 "); err != nil ||
+		len(exps) != 2 || exps[0].ID != "e16" || exps[1].ID != "e1" {
+		t.Fatalf("mixed old/new selection broken: %v, err %v", exps, err)
+	}
+	all, err := experiments.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, e := range all {
+		found[e.ID] = true
+	}
+	if !found["e15"] || !found["e16"] {
+		t.Fatalf("'all' missing cluster experiments: %v", found)
+	}
+	for spec, wantErr := range map[string]string{
+		"e15,e15":  "duplicate",
+		"e17":      "unknown",
+		"all,e16":  "mixes",
+		"e15,,e16": "empty",
+	} {
+		if _, err := experiments.Select(spec); err == nil ||
+			!strings.Contains(err.Error(), wantErr) {
+			t.Errorf("Select(%q) err = %v, want containing %q", spec, err, wantErr)
+		}
+	}
+}
+
+// TestJSONIncludesClusterExperiments runs e15 and e16 through the runner
+// and checks the -json shaping carries their tables.
+func TestJSONIncludesClusterExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	exps, err := experiments.Select("e15,e16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := (&experiments.Runner{Workers: 2}).Run(exps)
+	out := jsonResults(results)
+	if len(out) != 2 {
+		t.Fatalf("%d json results", len(out))
+	}
+	blob, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"e15", "e16"} {
+		if out[i].ID != id {
+			t.Errorf("result %d is %q, want %q", i, out[i].ID, id)
+		}
+		if out[i].Error != "" {
+			t.Errorf("%s failed: %s", id, out[i].Error)
+		}
+		if len(out[i].Tables) == 0 || len(out[i].Tables[0].Rows) == 0 {
+			t.Errorf("%s produced no table rows", id)
+		}
+		if out[i].Events == 0 || out[i].Sims == 0 {
+			t.Errorf("%s missing meter data: events=%d sims=%d", id, out[i].Events, out[i].Sims)
+		}
+	}
+	if !strings.Contains(string(blob), "incast") {
+		t.Error("json output does not mention incast table")
+	}
+}

@@ -7,10 +7,13 @@
 // the same substrates.
 //
 // The implementation lives under internal/: see internal/core for the
-// paper's contribution, internal/experiments for the per-figure
-// reproductions, cmd/ for the CLIs, and examples/ for runnable
-// walkthroughs. bench_test.go in this directory regenerates every table
-// and figure via `go test -bench .`.
+// paper's contribution, internal/cluster for the declarative multi-host
+// topology layer (fan-in, incast, and mixed-stack scenarios as data),
+// internal/experiments for the per-figure reproductions, cmd/ for the
+// CLIs, and examples/ for runnable walkthroughs. DESIGN.md at the
+// repository root maps the layers and indexes the experiments.
+// bench_test.go in this directory regenerates every table and figure via
+// `go test -bench .`.
 //
 // Experiments execute through experiments.Runner, a bounded worker pool
 // that runs each experiment in its own simulator universe: cmd/lhbench

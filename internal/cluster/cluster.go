@@ -1,0 +1,391 @@
+// Package cluster is the declarative topology layer: a Spec names the
+// hosts (each running one of the three network stacks), the services they
+// export, and the load-generating clients; Build turns it into a fully
+// wired universe — one sim.Sim, one link per machine, a learning
+// fabric.Switch when more than two machines exist — ready to run.
+//
+// Before this layer every experiment hand-wired exactly one generator to
+// one server over a single point-to-point link. A Spec expresses any
+// N-client × M-server topology — fan-in/incast, mixed-stack clusters,
+// multi-tenant service placements — while the single-host rigs in
+// internal/experiments are now just one-host one-client Specs.
+//
+// Determinism: a built universe is a pure function of the Spec. Every
+// client's generator draws from a private RNG stream derived from the
+// universe seed and the client's position (see DeriveSeed), so adding or
+// removing machines never perturbs the randomness any other machine
+// observes, and tables stay byte-identical at any experiment-runner
+// parallelism.
+package cluster
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+// Stack selects which network architecture a host runs.
+type Stack int
+
+const (
+	// Lauberhorn is the paper's NIC-as-OS-component stack (internal/core).
+	Lauberhorn Stack = iota
+	// Bypass is the kernel-bypass dataplane: one pinned worker per
+	// service, port-steered NIC queues (IX/Arrakis-style).
+	Bypass
+	// Kernel is the traditional in-kernel stack over the x86 DMA NIC.
+	Kernel
+	// KernelEnzian is the kernel stack over the Enzian FPGA NIC.
+	KernelEnzian
+)
+
+// Label returns the stack's display name, matching the labels the
+// original point-to-point rigs used.
+func (st Stack) Label() string {
+	switch st {
+	case Lauberhorn:
+		return "Lauberhorn (ECI)"
+	case Bypass:
+		return "Kernel bypass"
+	case Kernel:
+		return "Linux-style kernel"
+	case KernelEnzian:
+		return "Kernel on Enzian PCIe"
+	}
+	return fmt.Sprintf("stack(%d)", int(st))
+}
+
+// ServiceSpec is one RPC service exported by a host.
+type ServiceSpec struct {
+	// ID is the RPC service ID. It must be unique on its host; distinct
+	// hosts may reuse IDs, but globally unique IDs keep tables readable.
+	ID uint32
+	// Port is the UDP port the service listens on. Bypass hosts steer
+	// port→queue by Port mod len(Services), so on a Bypass host the ports
+	// must cover distinct residues (sequential ports always do).
+	Port uint16
+	// Time is the handler CPU time per request (echo handler).
+	Time sim.Time
+	// Handler overrides the default echo handler when non-nil.
+	Handler func(req []byte) ([]byte, sim.Time)
+	// MinWorkers is the Lauberhorn per-endpoint worker floor.
+	MinWorkers int
+}
+
+// desc builds the rpc.ServiceDesc for the spec, identical in shape to
+// what the point-to-point rigs registered.
+func (ss ServiceSpec) desc() *rpc.ServiceDesc {
+	h := ss.Handler
+	if h == nil {
+		st := ss.Time
+		h = func(req []byte) ([]byte, sim.Time) { return req, st }
+	}
+	return &rpc.ServiceDesc{
+		ID:   ss.ID,
+		Name: fmt.Sprintf("svc%d", ss.ID),
+		Methods: []rpc.MethodDesc{{
+			ID: 1, Name: "call", CodeAddr: 0x400000 + uint64(ss.ID)*0x1000,
+			Handler: h,
+		}},
+	}
+}
+
+// HostSpec is one server machine.
+type HostSpec struct {
+	// Name identifies the host in targets and results. Required, unique.
+	Name  string
+	Stack Stack
+	Cores int
+	// Services are the RPC services the host exports.
+	Services []ServiceSpec
+	// Endpoint optionally pins the host's MAC/IP; zero auto-assigns
+	// 10.0.1.<index+1>.
+	Endpoint wire.Endpoint
+	// NIC optionally overrides the DMA NIC configuration for
+	// Bypass/Kernel hosts. The builder still owns the topology-dependent
+	// fields and overwrites them: queue count, port steering, and the
+	// destination-IP filter (FilterIP is always armed with the host's own
+	// IP, since every cluster host must discard flooded frames). Ignored
+	// for Lauberhorn hosts.
+	NIC *nicdma.Config
+}
+
+// TargetSpec names one service a client drives, by host name and service
+// ID.
+type TargetSpec struct {
+	Host    string
+	Service uint32
+	// Size optionally overrides the client's size distribution for this
+	// target.
+	Size workload.SizeDist
+	// Flags are RPC header flags set on requests to this target.
+	Flags uint16
+}
+
+// ClientSpec is one load-generating machine.
+type ClientSpec struct {
+	// Name identifies the client. Required, unique.
+	Name string
+	// Targets lists the services this client drives. Empty means "every
+	// service on every host", in spec order.
+	Targets []TargetSpec
+	// Size is the default request-size distribution (required unless all
+	// targets override it).
+	Size workload.SizeDist
+	// Arrivals drives open-loop generation (may be nil if the experiment
+	// sends manually). Stateful arrival processes (e.g. *workload.MMPP)
+	// must not be shared between clients or Specs.
+	Arrivals workload.ArrivalDist
+	// Popularity picks among Targets (nil = uniform).
+	Popularity *workload.Zipf
+	// Flows is the number of distinct source ports (default 256, as the
+	// rigs used).
+	Flows int
+	// ChurnInterval re-permutes the rank→target mapping at this period.
+	ChurnInterval sim.Time
+	// Endpoint optionally pins the client's MAC/IP; zero auto-assigns
+	// 10.0.2.<index+1>.
+	Endpoint wire.Endpoint
+	// InheritRNG makes the generator split the universe RNG in
+	// construction order instead of using a private stream derived from
+	// the universe seed. This is the pre-cluster behavior; the legacy
+	// point-to-point rigs set it to stay byte-identical with their
+	// original hand-wired construction. New topologies should leave it
+	// false so clients are order-independent.
+	InheritRNG bool
+}
+
+// Spec is a declarative multi-host scenario: Build wires it up.
+type Spec struct {
+	// Seed seeds the universe's simulator; per-client generator streams
+	// are derived from it (see DeriveSeed).
+	Seed uint64
+	// Net is the link parameter set used for every machine's link
+	// (zero-value = fabric.Net100G).
+	Net     fabric.NetParams
+	Hosts   []HostSpec
+	Clients []ClientSpec
+	// Direct wires the (single) client straight to the (single) host over
+	// one point-to-point link with no switch — the original rig topology.
+	// It requires exactly one host and one client.
+	Direct bool
+}
+
+// DeriveSeed maps (universe seed, client index) to the client's private
+// RNG seed via one splitmix64 round over both inputs. It is exported so
+// tests can predict the stream a built client will draw.
+func DeriveSeed(universe uint64, index int) uint64 {
+	x := universe + 0x9e3779b97f4a7c15*uint64(index+1)
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // zero would mean "split the sim RNG"; keep the stream private
+	}
+	return z
+}
+
+// autoHostEP returns the default endpoint for host index i.
+func autoHostEP(i int) wire.Endpoint {
+	return wire.Endpoint{
+		MAC: wire.MAC{2, 0, 0, 0, 1, byte(i + 1)},
+		IP:  wire.IP{10, 0, 1, byte(i + 1)},
+	}
+}
+
+// autoClientEP returns the default endpoint for client index i.
+func autoClientEP(i int) wire.Endpoint {
+	return wire.Endpoint{
+		MAC: wire.MAC{2, 0, 0, 0, 2, byte(i + 1)},
+		IP:  wire.IP{10, 0, 2, byte(i + 1)},
+	}
+}
+
+// validate checks the spec for the mistakes that would otherwise surface
+// as baffling simulation behavior.
+func (sp *Spec) validate() error {
+	if len(sp.Hosts) == 0 {
+		return fmt.Errorf("cluster: spec has no hosts")
+	}
+	// Auto-assignment packs machine indices into one address byte.
+	if len(sp.Hosts) > 254 || len(sp.Clients) > 254 {
+		return fmt.Errorf("cluster: at most 254 hosts and 254 clients (%d/%d given)",
+			len(sp.Hosts), len(sp.Clients))
+	}
+	// Every machine — pinned or auto-assigned — must have a unique MAC
+	// and IP, or the switch FDB and the IP filters deliver garbage.
+	macs := make(map[wire.MAC]string)
+	ips := make(map[wire.IP]string)
+	claim := func(ep wire.Endpoint, who string) error {
+		if prev, dup := macs[ep.MAC]; dup {
+			return fmt.Errorf("cluster: %s and %s share MAC %v", prev, who, ep.MAC)
+		}
+		macs[ep.MAC] = who
+		if prev, dup := ips[ep.IP]; dup {
+			return fmt.Errorf("cluster: %s and %s share IP %v", prev, who, ep.IP)
+		}
+		ips[ep.IP] = who
+		return nil
+	}
+	for i := range sp.Hosts {
+		ep := sp.Hosts[i].Endpoint
+		if ep == (wire.Endpoint{}) {
+			ep = autoHostEP(i)
+		}
+		if err := claim(ep, fmt.Sprintf("host %q", sp.Hosts[i].Name)); err != nil {
+			return err
+		}
+	}
+	for i := range sp.Clients {
+		ep := sp.Clients[i].Endpoint
+		if ep == (wire.Endpoint{}) {
+			ep = autoClientEP(i)
+		}
+		if err := claim(ep, fmt.Sprintf("client %q", sp.Clients[i].Name)); err != nil {
+			return err
+		}
+	}
+	if sp.Direct && (len(sp.Hosts) != 1 || len(sp.Clients) != 1) {
+		return fmt.Errorf("cluster: Direct topology needs exactly 1 host and 1 client, got %d/%d",
+			len(sp.Hosts), len(sp.Clients))
+	}
+	hostNames := make(map[string]*HostSpec, len(sp.Hosts))
+	for i := range sp.Hosts {
+		h := &sp.Hosts[i]
+		if h.Name == "" {
+			return fmt.Errorf("cluster: host %d has no name", i)
+		}
+		if _, dup := hostNames[h.Name]; dup {
+			return fmt.Errorf("cluster: duplicate host name %q", h.Name)
+		}
+		hostNames[h.Name] = h
+		if h.Cores <= 0 {
+			return fmt.Errorf("cluster: host %q needs cores", h.Name)
+		}
+		if len(h.Services) == 0 {
+			return fmt.Errorf("cluster: host %q exports no services", h.Name)
+		}
+		ids := make(map[uint32]bool)
+		ports := make(map[uint16]bool)
+		residues := make(map[int]uint16)
+		for _, svc := range h.Services {
+			if ids[svc.ID] {
+				return fmt.Errorf("cluster: host %q registers service ID %d twice", h.Name, svc.ID)
+			}
+			ids[svc.ID] = true
+			if ports[svc.Port] {
+				return fmt.Errorf("cluster: host %q binds port %d twice", h.Name, svc.Port)
+			}
+			ports[svc.Port] = true
+			if h.Stack == Bypass {
+				res := int(svc.Port) % len(h.Services)
+				if other, clash := residues[res]; clash {
+					return fmt.Errorf("cluster: bypass host %q ports %d and %d steer to the same queue (%d mod %d)",
+						h.Name, other, svc.Port, res, len(h.Services))
+				}
+				residues[res] = svc.Port
+			}
+		}
+	}
+	clientNames := make(map[string]bool, len(sp.Clients))
+	for i := range sp.Clients {
+		c := &sp.Clients[i]
+		if c.Name == "" {
+			return fmt.Errorf("cluster: client %d has no name", i)
+		}
+		if clientNames[c.Name] {
+			return fmt.Errorf("cluster: duplicate client name %q", c.Name)
+		}
+		clientNames[c.Name] = true
+		for _, t := range c.Targets {
+			h, ok := hostNames[t.Host]
+			if !ok {
+				return fmt.Errorf("cluster: client %q targets unknown host %q", c.Name, t.Host)
+			}
+			found := false
+			for _, svc := range h.Services {
+				if svc.ID == t.Service {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cluster: client %q targets service %d, which host %q does not export",
+					c.Name, t.Service, t.Host)
+			}
+			if t.Size == nil && c.Size == nil {
+				return fmt.Errorf("cluster: client %q target %q/%d has no size distribution",
+					c.Name, t.Host, t.Service)
+			}
+		}
+		if len(c.Targets) == 0 && c.Size == nil {
+			return fmt.Errorf("cluster: client %q has no size distribution", c.Name)
+		}
+	}
+	return nil
+}
+
+// Build constructs the universe the spec describes. It panics on an
+// invalid spec (experiments treat a bad topology as a programming error;
+// the runner converts panics into per-experiment failures).
+//
+// Construction order is part of the package contract, because event
+// sequence numbers and (for InheritRNG clients) RNG splits depend on it:
+//
+//  1. per-host stack substrates (kernel, NIC), in spec order;
+//  2. the switch (unless Direct) and per-client links, generators, and
+//     port attachments, in spec order;
+//  3. per-host links and port attachments, in spec order;
+//  4. per-host service registration and worker startup, in spec order.
+//
+// For a Direct one-host one-client spec this reproduces, step for step,
+// the hand-wired construction of the original experiment rigs, which is
+// what keeps their tables byte-identical.
+func Build(sp Spec) *Universe {
+	if err := sp.validate(); err != nil {
+		panic(err)
+	}
+	net := sp.Net
+	if net.Bandwidth == 0 {
+		net = fabric.Net100G
+	}
+	s := sim.New(sp.Seed)
+	u := &Universe{S: s, Spec: sp, byName: make(map[string]*Host, len(sp.Hosts))}
+
+	// Phase 1: stack substrates. Constructors schedule no events and draw
+	// no randomness, so hosts can be prepared before clients exist.
+	for i := range sp.Hosts {
+		h := newHost(u, &sp.Hosts[i], i)
+		u.Hosts = append(u.Hosts, h)
+		u.byName[h.Spec.Name] = h
+	}
+
+	// Phase 2: switch and clients. In a switched universe every machine
+	// hangs off its own link whose far side is a switch port; clients
+	// claim the low port indices.
+	if !sp.Direct {
+		u.Switch = fabric.NewSwitch(s)
+	}
+	for i := range sp.Clients {
+		u.Clients = append(u.Clients, newClient(u, &sp.Clients[i], i, net))
+	}
+
+	// Phase 3: host links.
+	for _, h := range u.Hosts {
+		h.attachLink(u, net)
+	}
+
+	// Phase 4: services and workers. Also give every Lauberhorn host a
+	// static ARP entry for every other host, so nested calls can address
+	// them without per-experiment plumbing.
+	for _, h := range u.Hosts {
+		h.start(u)
+	}
+	return u
+}

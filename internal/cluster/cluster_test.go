@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+// echoHost returns a HostSpec with n sequential echo services starting at
+// port 9000 (IDs base+1..base+n).
+func echoHost(name string, stack Stack, cores, n int, base uint32, port uint16, t sim.Time) HostSpec {
+	svcs := make([]ServiceSpec, n)
+	for i := range svcs {
+		svcs[i] = ServiceSpec{ID: base + uint32(i+1), Port: port + uint16(i), Time: t}
+	}
+	return HostSpec{Name: name, Stack: stack, Cores: cores, Services: svcs}
+}
+
+func TestIncastTopology(t *testing.T) {
+	// 3 clients fan into one Lauberhorn server through the switch.
+	spec := Spec{
+		Seed:  42,
+		Hosts: []HostSpec{echoHost("srv", Lauberhorn, 2, 1, 0, 9000, 500*sim.Nanosecond)},
+	}
+	for _, name := range []string{"c0", "c1", "c2"} {
+		spec.Clients = append(spec.Clients, ClientSpec{
+			Name: name, Size: workload.FixedSize{N: 64},
+			Arrivals: workload.RatePerSec(20_000),
+		})
+	}
+	u := Build(spec)
+	if u.Switch == nil || u.Switch.NumPorts() != 4 {
+		t.Fatalf("switch ports = %v", u.Switch)
+	}
+	u.RunMeasured(5*sim.Millisecond, 15*sim.Millisecond)
+
+	srv := u.Host("srv")
+	if srv.MeasuredServed() == 0 {
+		t.Fatal("server served nothing")
+	}
+	var sent uint64
+	for _, c := range u.Clients {
+		if c.Gen.Latency.Count() == 0 {
+			t.Errorf("client %s recorded no latencies", c.Spec.Name)
+		}
+		sent += c.MeasuredSent()
+	}
+	if sent == 0 || srv.MeasuredServed() > sent {
+		t.Fatalf("served %d vs sent %d", srv.MeasuredServed(), sent)
+	}
+	// After FDB learning all traffic is unicast: far more forwards than
+	// floods.
+	if u.Switch.Forwarded < 100 || u.Switch.Flooded > u.Switch.Forwarded/10 {
+		t.Errorf("switch fwd=%d flood=%d; expected learned unicast fabric",
+			u.Switch.Forwarded, u.Switch.Flooded)
+	}
+	if got := u.MergedLatency().Count(); got == 0 {
+		t.Error("merged latency empty")
+	}
+}
+
+func TestMixedStackCluster(t *testing.T) {
+	spec := Spec{
+		Seed: 7,
+		Hosts: []HostSpec{
+			echoHost("lh", Lauberhorn, 2, 2, 0, 9000, sim.Microsecond),
+			echoHost("byp", Bypass, 2, 2, 10, 9100, sim.Microsecond),
+			echoHost("krn", Kernel, 2, 2, 20, 9200, sim.Microsecond),
+		},
+		Clients: []ClientSpec{
+			{Name: "a", Size: workload.FixedSize{N: 64}, Arrivals: workload.RatePerSec(30_000)},
+			{Name: "b", Size: workload.FixedSize{N: 64}, Arrivals: workload.RatePerSec(30_000),
+				Popularity: workload.NewZipf(6, 1.0)},
+		},
+	}
+	u := Build(spec)
+	u.RunMeasured(5*sim.Millisecond, 15*sim.Millisecond)
+	for _, h := range u.Hosts {
+		if h.MeasuredServed() == 0 {
+			t.Errorf("host %s (%s) served nothing", h.Spec.Name, h.Label)
+		}
+		if u.HostLatency(h.Spec.Name).Count() == 0 {
+			t.Errorf("host %s has no latency samples", h.Spec.Name)
+		}
+		if h.Energy() <= 0 {
+			t.Errorf("host %s reports no energy", h.Spec.Name)
+		}
+	}
+	if u.TotalMeasuredServed() == 0 || u.TotalMeasuredSent() == 0 {
+		t.Fatal("cluster-wide counters empty")
+	}
+}
+
+// TestClusterDeterminism builds and runs the same switched mixed spec
+// twice and demands identical results — the property the experiment
+// runner's -parallel byte-identity rests on.
+func TestClusterDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, int64) {
+		u := Build(Spec{
+			Seed: 3,
+			Hosts: []HostSpec{
+				echoHost("lh", Lauberhorn, 1, 1, 0, 9000, 0),
+				echoHost("krn", Kernel, 1, 1, 10, 9100, 0),
+			},
+			Clients: []ClientSpec{
+				{Name: "a", Size: workload.CloudRPC(), Arrivals: workload.RatePerSec(40_000)},
+				{Name: "b", Size: workload.CloudRPC(), Arrivals: workload.RatePerSec(40_000)},
+			},
+		})
+		u.RunMeasured(3*sim.Millisecond, 10*sim.Millisecond)
+		return u.TotalMeasuredServed(), u.TotalMeasuredSent(), u.MergedLatency().Percentile(0.99)
+	}
+	s1, n1, p1 := run()
+	s2, n2, p2 := run()
+	if s1 != s2 || n1 != n2 || p1 != p2 {
+		t.Fatalf("nondeterministic cluster: (%d,%d,%d) vs (%d,%d,%d)", s1, n1, p1, s2, n2, p2)
+	}
+	if s1 == 0 {
+		t.Fatal("determinism check vacuous: nothing served")
+	}
+}
+
+// TestClientNonInterference pins the derived-seed contract: adding a
+// second client must not perturb the first client's open-loop request
+// stream (its arrival draws come from a private RNG, not a shared one).
+func TestClientNonInterference(t *testing.T) {
+	base := Spec{
+		Seed:  11,
+		Hosts: []HostSpec{echoHost("srv", Lauberhorn, 2, 1, 0, 9000, 0)},
+		Clients: []ClientSpec{
+			{Name: "a", Size: workload.CloudRPC(), Arrivals: workload.RatePerSec(25_000)},
+		},
+	}
+	solo := Build(base)
+	solo.RunMeasured(2*sim.Millisecond, 10*sim.Millisecond)
+
+	withPeer := base
+	withPeer.Clients = append([]ClientSpec{}, base.Clients...)
+	withPeer.Clients = append(withPeer.Clients, ClientSpec{
+		Name: "b", Size: workload.CloudRPC(), Arrivals: workload.RatePerSec(25_000),
+	})
+	both := Build(withPeer)
+	both.RunMeasured(2*sim.Millisecond, 10*sim.Millisecond)
+
+	// Open-loop sends depend only on the client's own arrival stream, so
+	// client a must emit exactly the same number of requests either way.
+	if a, b := solo.Clients[0].Gen.Sent, both.Clients[0].Gen.Sent; a != b {
+		t.Fatalf("client a sent %d solo but %d with a peer; streams interfered", a, b)
+	}
+	if solo.Clients[0].Gen.Sent == 0 {
+		t.Fatal("non-interference check vacuous: nothing sent")
+	}
+}
+
+// TestCrossTrafficIsolated pins the NIC-level filtering the cluster layer
+// relies on: flooded frames addressed to one host must not be served by
+// another (DMA NICs accept everything unless the builder arms FilterIP).
+func TestCrossTrafficIsolated(t *testing.T) {
+	u := Build(Spec{
+		Seed: 5,
+		Hosts: []HostSpec{
+			echoHost("lh", Lauberhorn, 1, 1, 0, 9000, 0),
+			echoHost("byp", Bypass, 1, 1, 10, 9000, 0), // same port on purpose
+		},
+		Clients: []ClientSpec{{
+			Name: "a", Size: workload.FixedSize{N: 64},
+			Arrivals: workload.RatePerSec(10_000),
+			Targets:  []TargetSpec{{Host: "lh", Service: 1}},
+		}},
+	})
+	u.RunMeasured(2*sim.Millisecond, 8*sim.Millisecond)
+	if u.Host("lh").MeasuredServed() == 0 {
+		t.Fatal("target host served nothing")
+	}
+	if n := u.Host("byp").Served(); n != 0 {
+		t.Fatalf("bystander host served %d flooded requests", n)
+	}
+	if f := u.Host("byp").NICDMA.Stats().RxFiltered; f == 0 {
+		t.Error("bystander NIC filtered nothing; flood never reached it?")
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(1, 1) {
+		t.Error("adjacent client seeds collide")
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("universe seed ignored")
+	}
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Error("seed derivation unstable")
+	}
+	if DeriveSeed(1, 3) == 0 {
+		t.Error("derived seed may never be zero")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mustPanic := func(name, frag string, sp Spec) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatal("invalid spec built successfully")
+				}
+				if err, ok := p.(error); !ok || !strings.Contains(err.Error(), frag) {
+					t.Fatalf("panic %v does not mention %q", p, frag)
+				}
+			}()
+			Build(sp)
+		})
+	}
+	okHost := echoHost("h", Lauberhorn, 1, 1, 0, 9000, 0)
+	okClient := ClientSpec{Name: "c", Size: workload.FixedSize{N: 64}}
+
+	mustPanic("no-hosts", "no hosts", Spec{})
+	mustPanic("direct-shape", "Direct topology", Spec{Direct: true,
+		Hosts:   []HostSpec{okHost, echoHost("h2", Kernel, 1, 1, 5, 9100, 0)},
+		Clients: []ClientSpec{okClient}})
+	mustPanic("dup-host", "duplicate host", Spec{Hosts: []HostSpec{okHost, okHost}})
+	mustPanic("no-cores", "needs cores", Spec{Hosts: []HostSpec{
+		{Name: "h", Stack: Kernel, Services: []ServiceSpec{{ID: 1, Port: 9000}}}}})
+	mustPanic("no-services", "no services", Spec{Hosts: []HostSpec{
+		{Name: "h", Stack: Kernel, Cores: 1}}})
+	mustPanic("dup-service", "twice", Spec{Hosts: []HostSpec{
+		{Name: "h", Stack: Kernel, Cores: 1, Services: []ServiceSpec{
+			{ID: 1, Port: 9000}, {ID: 1, Port: 9001}}}}})
+	mustPanic("dup-port", "binds port", Spec{Hosts: []HostSpec{
+		{Name: "h", Stack: Kernel, Cores: 1, Services: []ServiceSpec{
+			{ID: 1, Port: 9000}, {ID: 2, Port: 9000}}}}})
+	mustPanic("bypass-residue", "same queue", Spec{Hosts: []HostSpec{
+		{Name: "h", Stack: Bypass, Cores: 1, Services: []ServiceSpec{
+			{ID: 1, Port: 9000}, {ID: 2, Port: 9002}}}}})
+	mustPanic("unknown-target-host", "unknown host", Spec{Hosts: []HostSpec{okHost},
+		Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64},
+			Targets: []TargetSpec{{Host: "nope", Service: 1}}}}})
+	mustPanic("unknown-target-svc", "does not export", Spec{Hosts: []HostSpec{okHost},
+		Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64},
+			Targets: []TargetSpec{{Host: "h", Service: 99}}}}})
+	mustPanic("no-size", "no size distribution", Spec{Hosts: []HostSpec{okHost},
+		Clients: []ClientSpec{{Name: "c"}}})
+	mustPanic("dup-client", "duplicate client", Spec{Hosts: []HostSpec{okHost},
+		Clients: []ClientSpec{okClient, okClient}})
+	// A pinned endpoint colliding with a later auto-assigned one must be
+	// rejected, not silently confuse the switch FDB.
+	pinned := echoHost("h1", Lauberhorn, 1, 1, 0, 9000, 0)
+	pinned.Endpoint = autoHostEP(1)
+	mustPanic("ep-collision", "share MAC", Spec{Hosts: []HostSpec{
+		pinned, echoHost("h2", Kernel, 1, 1, 5, 9100, 0)}})
+	ipClash := echoHost("h1", Lauberhorn, 1, 1, 0, 9000, 0)
+	ipClash.Endpoint = wire.Endpoint{MAC: wire.MAC{2, 9, 9, 9, 9, 9}, IP: autoClientEP(0).IP}
+	mustPanic("ip-collision", "share IP", Spec{Hosts: []HostSpec{ipClash},
+		Clients: []ClientSpec{okClient}})
+	mustPanic("unnamed-client", "has no name", Spec{Hosts: []HostSpec{okHost},
+		Clients: []ClientSpec{{Size: workload.FixedSize{N: 64}}}})
+}

@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/bypass"
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/cpu"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/kstack"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/wire"
+	"lauberhorn/internal/workload"
+)
+
+// Universe is a built Spec: every machine shares one simulator.
+type Universe struct {
+	S    *sim.Sim
+	Spec Spec
+	// Switch is the fabric switch joining the machines (nil for Direct).
+	Switch  *fabric.Switch
+	Hosts   []*Host
+	Clients []*Client
+
+	byName map[string]*Host
+}
+
+// Host is one built server machine.
+type Host struct {
+	Spec HostSpec
+	EP   wire.Endpoint
+	// Link is the host's network link; LinkSide is the side its NIC
+	// occupies (1 on a Direct link, 0 behind a switch).
+	Link     *fabric.Link
+	LinkSide int
+	Label    string
+
+	// K is the host kernel (all stacks have one).
+	K *kernel.Kernel
+	// LH is the Lauberhorn host (nil for other stacks).
+	LH *core.Host
+	// NICDMA is the descriptor-ring NIC (nil for Lauberhorn hosts).
+	NICDMA *nicdma.NIC
+
+	workers   []*bypass.Worker   // bypass stacks
+	workerFor map[uint32]int     // service ID -> workers index
+	kservedBy map[uint32]*uint64 // kernel stacks: per-service counters
+
+	measuredServed uint64
+	measuredEnergy float64
+}
+
+// Client is one built load-generating machine.
+type Client struct {
+	Spec ClientSpec
+	EP   wire.Endpoint
+	Gen  *workload.Generator
+	Link *fabric.Link
+	// TargetHosts[i] names the host behind Gen's target i, for per-host
+	// result aggregation.
+	TargetHosts []string
+
+	measuredSent uint64
+}
+
+// newHost builds the host's stack substrate (phase 1: no links, no
+// services, no events, no randomness).
+func newHost(u *Universe, spec *HostSpec, index int) *Host {
+	h := &Host{Spec: *spec, EP: spec.Endpoint, Label: spec.Stack.Label()}
+	if h.EP == (wire.Endpoint{}) {
+		h.EP = autoHostEP(index)
+	}
+	s := u.S
+	switch spec.Stack {
+	case Lauberhorn:
+		h.LH = core.NewHost(s, core.DefaultHostConfig(h.EP, spec.Cores))
+		h.K = h.LH.K
+	case Bypass:
+		h.K = kernel.New(s, spec.Cores, 2.5, kernel.DefaultCosts())
+		cfg := nicdma.DefaultConfig()
+		if spec.NIC != nil {
+			cfg = *spec.NIC
+		}
+		cfg.Queues = len(spec.Services)
+		cfg.SteerByPort = true
+		cfg.FilterIP = h.EP.IP
+		h.NICDMA = nicdma.New(s, cfg)
+	case Kernel, KernelEnzian:
+		h.K = kernel.New(s, spec.Cores, 2.5, kernel.DefaultCosts())
+		cfg := nicdma.DefaultConfig()
+		if spec.Stack == KernelEnzian {
+			cfg = nicdma.EnzianConfig()
+		}
+		if spec.NIC != nil {
+			cfg = *spec.NIC
+		}
+		cfg.Queues = spec.Cores
+		cfg.FilterIP = h.EP.IP
+		h.NICDMA = nicdma.New(s, cfg)
+	default:
+		panic(fmt.Sprintf("cluster: unknown stack %d", spec.Stack))
+	}
+	return h
+}
+
+// nicPort returns the host NIC as a fabric.FramePort.
+func (h *Host) nicPort() fabric.FramePort {
+	if h.LH != nil {
+		return h.LH.NIC
+	}
+	return h.NICDMA
+}
+
+// attachLink wires the host to the network (phase 3).
+func (h *Host) attachLink(u *Universe, net fabric.NetParams) {
+	if u.Spec.Direct {
+		// The single client already owns the link; the host takes side 1,
+		// exactly as the hand-wired rigs did.
+		h.Link = u.Clients[0].Link
+		h.LinkSide = 1
+		h.Link.Attach(u.Clients[0].Gen, h.nicPort())
+	} else {
+		h.Link = fabric.NewLink(u.S, net)
+		h.LinkSide = 0
+		port := u.Switch.AttachPort(h.Link, 1)
+		h.Link.Attach(h.nicPort(), port)
+	}
+	if h.LH != nil {
+		h.LH.NIC.AttachLink(h.Link, h.LinkSide)
+	} else {
+		h.NICDMA.AttachLink(h.Link, h.LinkSide)
+	}
+}
+
+// start registers the host's services and spawns its workers (phase 4),
+// mirroring the construction order of the original rigs stack by stack.
+func (h *Host) start(u *Universe) {
+	switch h.Spec.Stack {
+	case Lauberhorn:
+		for _, ss := range h.Spec.Services {
+			h.LH.RegisterService(ss.desc(), ss.Port, ss.MinWorkers)
+		}
+		for _, other := range u.Hosts {
+			if other != h {
+				h.LH.NIC.AddARP(other.EP.IP, other.EP.MAC)
+			}
+		}
+		h.LH.Start()
+	case Bypass:
+		reg := rpc.NewRegistry()
+		for _, ss := range h.Spec.Services {
+			reg.Register(ss.desc())
+		}
+		h.workerFor = make(map[uint32]int, len(h.Spec.Services))
+		for i, ss := range h.Spec.Services {
+			// Queue selection must match SteerByPort: port p maps to
+			// queue p mod len(Services) (validate rejects collisions).
+			q := h.NICDMA.Queue(int(ss.Port) % len(h.Spec.Services))
+			w := bypass.NewWorker(bypass.WorkerConfig{
+				Queue: q, NIC: h.NICDMA, Local: h.EP,
+				Registry: reg, Codec: rpc.DefaultCostModel(), Costs: bypass.DefaultCosts(),
+			})
+			h.workerFor[ss.ID] = len(h.workers)
+			h.workers = append(h.workers, w)
+			proc := h.K.NewProcess(fmt.Sprintf("svc%d", ss.ID))
+			h.K.SpawnPinned(proc, fmt.Sprintf("bypass%d", i), i%h.Spec.Cores, w.Loop)
+		}
+	case Kernel, KernelEnzian:
+		st := kstack.New(h.K, h.NICDMA, h.EP, kstack.DefaultCosts())
+		reg := rpc.NewRegistry()
+		h.kservedBy = make(map[uint32]*uint64, len(h.Spec.Services))
+		for i, ss := range h.Spec.Services {
+			desc := ss.desc()
+			reg.Register(desc)
+			sock := st.Bind(ss.Port)
+			proc := h.K.NewProcess(desc.Name)
+			counter := new(uint64)
+			h.kservedBy[ss.ID] = counter
+			h.K.Spawn(proc, fmt.Sprintf("srv%d", i), kstack.ServeLoop(kstack.ServerConfig{
+				Socket: sock, Registry: reg, Codec: rpc.DefaultCostModel(),
+				OnResponse: func(m *rpc.Message) { *counter++ },
+			}))
+		}
+	}
+}
+
+// Served returns requests completed by the host across all its services.
+func (h *Host) Served() uint64 {
+	var n uint64
+	for _, ss := range h.Spec.Services {
+		n += h.ServedFor(ss.ID)
+	}
+	return n
+}
+
+// ServedFor returns requests completed for one service ID.
+func (h *Host) ServedFor(svc uint32) uint64 {
+	switch {
+	case h.LH != nil:
+		return h.LH.Served(svc)
+	case h.workers != nil:
+		i, ok := h.workerFor[svc]
+		if !ok {
+			return 0
+		}
+		return h.workers[i].Stats().Served
+	case h.kservedBy != nil:
+		c, ok := h.kservedBy[svc]
+		if !ok {
+			return 0
+		}
+		return *c
+	}
+	return 0
+}
+
+// Cores exposes the host's CPU cores for residency/energy accounting.
+func (h *Host) Cores() []*cpu.Core { return h.K.Cores() }
+
+// Energy returns total host CPU energy in joules under the default power
+// model.
+func (h *Host) Energy() float64 {
+	return cpu.TotalEnergy(h.Cores(), cpu.DefaultPowerModel())
+}
+
+// BusyTime sums user+kernel residency across the host's cores.
+func (h *Host) BusyTime() sim.Time {
+	var t sim.Time
+	for _, c := range h.Cores() {
+		t += c.BusyTime()
+	}
+	return t
+}
+
+// CyclesPerRequest returns busy cycles per served request.
+func (h *Host) CyclesPerRequest() float64 {
+	served := h.Served()
+	if served == 0 {
+		return 0
+	}
+	var cyc float64
+	for _, c := range h.Cores() {
+		cyc += c.Cycles(c.BusyTime())
+	}
+	return cyc / float64(served)
+}
+
+// MeasuredServed returns requests the host completed inside the
+// measurement window of the last Universe.RunMeasured.
+func (h *Host) MeasuredServed() uint64 { return h.measuredServed }
+
+// MeasuredEnergy returns joules the host's cores burned over the same
+// span MeasuredServed counts (measurement window plus the bounded
+// drain), so energy-per-request ratios compare like with like instead of
+// folding warmup energy in.
+func (h *Host) MeasuredEnergy() float64 { return h.measuredEnergy }
+
+// newClient builds a client machine: its link (and switch port), its
+// generator, and the attachment between them (phase 2).
+func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *Client {
+	c := &Client{Spec: *spec, EP: spec.Endpoint}
+	if c.EP == (wire.Endpoint{}) {
+		c.EP = autoClientEP(index)
+	}
+	s := u.S
+
+	// Resolve targets: an empty list means every service on every host.
+	specTargets := spec.Targets
+	if len(specTargets) == 0 {
+		for _, h := range u.Hosts {
+			for _, ss := range h.Spec.Services {
+				specTargets = append(specTargets, TargetSpec{Host: h.Spec.Name, Service: ss.ID})
+			}
+		}
+	}
+	// The wire targets: the first target's host is the generator's
+	// primary server; targets on other hosts carry per-target endpoint
+	// overrides.
+	primary := u.byName[specTargets[0].Host]
+	targets := make([]workload.Target, 0, len(specTargets))
+	for _, ts := range specTargets {
+		host := u.byName[ts.Host]
+		var ss *ServiceSpec
+		for i := range host.Spec.Services {
+			if host.Spec.Services[i].ID == ts.Service {
+				ss = &host.Spec.Services[i]
+				break
+			}
+		}
+		size := ts.Size
+		if size == nil {
+			size = spec.Size
+		}
+		t := workload.Target{
+			Port:    ss.Port,
+			Service: ss.ID,
+			Method:  1,
+			Size:    size,
+			Flags:   ts.Flags,
+		}
+		if host != primary {
+			t.Server = host.EP
+		}
+		c.TargetHosts = append(c.TargetHosts, host.Spec.Name)
+		targets = append(targets, t)
+	}
+
+	flows := spec.Flows
+	if flows <= 0 {
+		flows = 256
+	}
+	cfg := workload.Config{
+		Client:        c.EP,
+		Server:        primary.EP,
+		Targets:       targets,
+		Arrivals:      spec.Arrivals,
+		Popularity:    spec.Popularity,
+		Flows:         flows,
+		ChurnInterval: spec.ChurnInterval,
+	}
+	if !spec.InheritRNG {
+		cfg.Seed = DeriveSeed(u.Spec.Seed, index)
+	}
+
+	c.Link = fabric.NewLink(s, net)
+	if u.Spec.Direct {
+		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
+		// The host attaches the far side in phase 3.
+	} else {
+		port := u.Switch.AttachPort(c.Link, 1)
+		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
+		c.Link.Attach(c.Gen, port)
+	}
+	return c
+}
+
+// MeasuredSent returns requests the client sent inside the measurement
+// window of the last Universe.RunMeasured.
+func (c *Client) MeasuredSent() uint64 { return c.measuredSent }
+
+// Host returns the built host with the given spec name, or panics —
+// misnaming a host in an experiment is a programming error.
+func (u *Universe) Host(name string) *Host {
+	h, ok := u.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: no host %q", name))
+	}
+	return h
+}
+
+// StartClients begins open-loop generation on every client that has an
+// arrival process, returning how many it started (clients without one
+// are driven manually, e.g. the nested-RPC experiment).
+func (u *Universe) StartClients() int {
+	started := 0
+	for _, c := range u.Clients {
+		if c.Spec.Arrivals != nil {
+			c.Gen.Start(0)
+			started++
+		}
+	}
+	return started
+}
+
+// RunMeasured warms the universe for warm, resets every client's latency
+// statistics, runs for measure, stops the clients, and drains in-flight
+// responses (bounded) — the cluster generalization of the single-rig
+// measurement protocol.
+func (u *Universe) RunMeasured(warm, measure sim.Time) {
+	if u.StartClients() == 0 {
+		panic("cluster: RunMeasured on a universe with no open-loop clients")
+	}
+	u.S.RunUntil(warm)
+	hostServed0 := make([]uint64, len(u.Hosts))
+	hostEnergy0 := make([]float64, len(u.Hosts))
+	for i, h := range u.Hosts {
+		hostServed0[i] = h.Served()
+		hostEnergy0[i] = h.Energy()
+	}
+	clientSent0 := make([]uint64, len(u.Clients))
+	for i, c := range u.Clients {
+		clientSent0[i] = c.Gen.Sent
+		c.Gen.Latency.Reset()
+		for _, hist := range c.Gen.PerTarget {
+			hist.Reset()
+		}
+	}
+	u.S.RunUntil(warm + measure)
+	for _, c := range u.Clients {
+		c.Gen.Stop()
+	}
+	u.S.RunUntil(warm + measure + 20*sim.Millisecond)
+	for i, h := range u.Hosts {
+		h.measuredServed = h.Served() - hostServed0[i]
+		h.measuredEnergy = h.Energy() - hostEnergy0[i]
+	}
+	for i, c := range u.Clients {
+		c.measuredSent = c.Gen.Sent - clientSent0[i]
+	}
+}
+
+// MergedLatency merges every client's RTT histogram into one.
+func (u *Universe) MergedLatency() *stats.Histogram {
+	out := stats.NewHistogram()
+	for _, c := range u.Clients {
+		out.Merge(c.Gen.Latency)
+	}
+	return out
+}
+
+// HostLatency merges, across all clients, the per-target RTT histograms
+// of targets served by the named host.
+func (u *Universe) HostLatency(name string) *stats.Histogram {
+	out := stats.NewHistogram()
+	for _, c := range u.Clients {
+		for i, hn := range c.TargetHosts {
+			if hn == name {
+				out.Merge(c.Gen.PerTarget[i])
+			}
+		}
+	}
+	return out
+}
+
+// TotalMeasuredServed sums MeasuredServed over the hosts.
+func (u *Universe) TotalMeasuredServed() uint64 {
+	var n uint64
+	for _, h := range u.Hosts {
+		n += h.MeasuredServed()
+	}
+	return n
+}
+
+// TotalMeasuredSent sums MeasuredSent over the clients.
+func (u *Universe) TotalMeasuredSent() uint64 {
+	var n uint64
+	for _, c := range u.Clients {
+		n += c.measuredSent
+	}
+	return n
+}

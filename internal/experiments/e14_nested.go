@@ -1,8 +1,7 @@
 package experiments
 
 import (
-	"lauberhorn/internal/core"
-	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/kernel"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
@@ -16,60 +15,44 @@ import (
 // backend on host B through A's client channel (the "dedicated end-point
 // for an RPC reply"). The experiment compares direct backend latency with
 // the nested path and isolates the continuation overhead.
+//
+// The three-machine star (two Lauberhorn hosts and two clients around one
+// switch) is declared as a cluster.Spec; only the nested-call handler is
+// wired by hand, since suspending handlers are host-level behavior, not
+// topology.
 func E14NestedRPC(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E14 — nested RPC through a dedicated reply endpoint (§6)",
 		"path", "warm RTT (us)")
 
-	s := sim.New(77)
-	m.Observe(s)
-	sw := fabric.NewSwitch(s)
-	mkLink := func() (*fabric.Link, *fabric.SwitchPort) {
-		l := fabric.NewLink(s, fabric.Net100G)
-		return l, sw.AttachPort(l, 1)
-	}
-
 	hostAEP := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 0xA}, IP: wire.IP{10, 0, 0, 10}}
 	hostBEP := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 0xB}, IP: wire.IP{10, 0, 0, 11}}
 
-	// Client generator for the nested path (targets host A's frontend).
-	lA, pA := mkLink()
-	gen := workload.NewGenerator(s, workload.Config{
-		Client:   clientEP(),
-		Server:   hostAEP,
-		Targets:  []workload.Target{{Port: 9000, Service: 10, Method: 1, Size: workload.FixedSize{N: 64}}},
-		Arrivals: workload.RatePerSec(100),
-	}, lA, 0)
-	lA.Attach(gen, pA)
+	u := cluster.Build(cluster.Spec{
+		Seed: 77,
+		Hosts: []cluster.HostSpec{
+			{Name: "frontend", Stack: cluster.Lauberhorn, Cores: 1, Endpoint: hostAEP,
+				Services: []cluster.ServiceSpec{{ID: 10, Port: 9000}}},
+			{Name: "backend", Stack: cluster.Lauberhorn, Cores: 1, Endpoint: hostBEP,
+				Services: []cluster.ServiceSpec{{ID: 20, Port: 9100, Time: 500 * sim.Nanosecond}}},
+		},
+		Clients: []cluster.ClientSpec{
+			{Name: "nested-client", Endpoint: clientEP(), Size: workload.FixedSize{N: 64},
+				Arrivals: workload.RatePerSec(100),
+				Targets:  []cluster.TargetSpec{{Host: "frontend", Service: 10}}},
+			{Name: "direct-client",
+				Endpoint: wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 0xC}, IP: wire.IP{10, 0, 0, 12}},
+				Size:     workload.FixedSize{N: 64},
+				Arrivals: workload.RatePerSec(100),
+				Targets:  []cluster.TargetSpec{{Host: "backend", Service: 20}}},
+		},
+	})
+	s := u.S
+	m.Observe(s)
 
-	// Second generator for the direct path (targets host B's backend).
-	lB, pB := mkLink()
-	genB := workload.NewGenerator(s, workload.Config{
-		Client:   wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 0xC}, IP: wire.IP{10, 0, 0, 12}},
-		Server:   hostBEP,
-		Targets:  []workload.Target{{Port: 9100, Service: 20, Method: 1, Size: workload.FixedSize{N: 64}}},
-		Arrivals: workload.RatePerSec(100),
-	}, lB, 0)
-	lB.Attach(genB, pB)
-
-	// Hosts.
-	hostA := core.NewHost(s, core.DefaultHostConfig(hostAEP, 1))
-	lHA, pHA := mkLink()
-	lHA.Attach(hostA.NIC, pHA)
-	hostA.NIC.AttachLink(lHA, 0)
-	hostB := core.NewHost(s, core.DefaultHostConfig(hostBEP, 1))
-	lHB, pHB := mkLink()
-	lHB.Attach(hostB.NIC, pHB)
-	hostB.NIC.AttachLink(lHB, 0)
-	hostA.NIC.AddARP(hostBEP.IP, hostBEP.MAC)
-
-	hostB.RegisterService(&rpc.ServiceDesc{ID: 20, Name: "backend", Methods: []rpc.MethodDesc{{
-		ID: 1, Handler: func(req []byte) ([]byte, sim.Time) { return req, 500 * sim.Nanosecond },
-	}}}, 9100, 0)
-	hostB.Start()
-
-	hostA.RegisterService(&rpc.ServiceDesc{ID: 10, Name: "frontend", Methods: []rpc.MethodDesc{{
-		ID: 1, Handler: func(req []byte) ([]byte, sim.Time) { return req, 0 },
-	}}}, 9000, 0)
+	// The frontend's handler suspends and issues the nested call through
+	// its per-core client channel (the builder's ARP mesh lets it address
+	// the backend host directly).
+	hostA := u.Host("frontend").LH
 	hostA.SetAsyncHandler(10, 1, func(tc *kernel.TC, coreID int, req []byte, respond func(uint16, []byte)) {
 		tc.RunUser(200*sim.Nanosecond, func() {
 			dst := hostBEP
@@ -78,7 +61,6 @@ func E14NestedRPC(m *sim.Meter) *stats.Table {
 				func(status uint16, resp []byte) { respond(rpc.StatusOK, resp) })
 		})
 	})
-	hostA.Start()
 
 	s.RunUntil(sim.Millisecond)
 	warmAndMeasure := func(g *workload.Generator) sim.Time {
@@ -91,8 +73,8 @@ func E14NestedRPC(m *sim.Meter) *stats.Table {
 		s.RunUntil(s.Now() + 20*sim.Millisecond)
 		return sim.Time(g.Latency.Max())
 	}
-	direct := warmAndMeasure(genB)
-	nested := warmAndMeasure(gen)
+	direct := warmAndMeasure(u.Clients[1].Gen)
+	nested := warmAndMeasure(u.Clients[0].Gen)
 	t.AddRow("direct client -> backend", direct.Microseconds())
 	t.AddRow("client -> frontend -> backend (nested)", nested.Microseconds())
 	t.AddRow("nesting continuation overhead", (nested - direct).Microseconds())

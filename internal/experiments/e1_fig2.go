@@ -49,8 +49,8 @@ func wireRTT(r *Rig) sim.Time {
 // end-system plus the network. Figure 2's testbed has a symmetric client
 // running the same stack, so the table also reports the symmetric
 // estimate RTT_sym = 2*RTT_raw − RTT_wire (both end systems plus one
-// network round trip); EXPERIMENTS.md compares that column against the
-// paper.
+// network round trip); the table's notes carry the paper's values for
+// comparison, and TestE1Fig2Shape pins the ordering and ratios.
 func E1Fig2(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E1 / Figure 2 — 64-byte message round-trip latency",
 		"series", "server-side RTT (us)", "symmetric est. (us)", "vs ECI")

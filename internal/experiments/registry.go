@@ -66,6 +66,10 @@ func All() []Experiment {
 			Run: one(E13DecodePipeline)},
 		{ID: "e14", Title: "Nested RPC via dedicated reply endpoints", Source: "§6",
 			Run: one(E14NestedRPC)},
+		{ID: "e15", Title: "Incast: K clients fan into one server", Source: "cluster layer; §1 heavy traffic",
+			Run: one(E15Incast)},
+		{ID: "e16", Title: "Mixed-stack cluster under Zipf-skewed load", Source: "cluster layer; §1/§5.2",
+			Run: one(E16Cluster)},
 	}
 }
 

@@ -3,20 +3,18 @@
 // network stacks (Lauberhorn, kernel bypass, traditional kernel) on
 // identical substrates, drives them with the workload generators, and
 // returns a stats.Table whose rows correspond to the series the paper
-// reports. See DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured values.
+// reports. See DESIGN.md at the repository root for the experiment index
+// and for where each paper-vs-measured value is pinned.
 package experiments
 
 import (
 	"fmt"
 
-	"lauberhorn/internal/bypass"
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/core"
 	"lauberhorn/internal/cpu"
 	"lauberhorn/internal/fabric"
 	"lauberhorn/internal/kernel"
-	"lauberhorn/internal/kstack"
-	"lauberhorn/internal/nicdma"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
 	"lauberhorn/internal/wire"
@@ -69,6 +67,9 @@ func targets(n int, size workload.SizeDist) []workload.Target {
 
 // Rig is one server machine plus an attached load generator, with the
 // accessors the experiments need, independent of which stack it runs.
+// Since the cluster refactor a Rig is a thin view over a one-host
+// one-client cluster.Universe (see the U field); the constructors below
+// only translate their flat parameter lists into a cluster.Spec.
 type Rig struct {
 	S    *sim.Sim
 	Gen  *workload.Generator
@@ -85,6 +86,10 @@ type Rig struct {
 
 	// LH is non-nil for Lauberhorn rigs.
 	LH *core.Host
+
+	// U is the underlying cluster universe (nil only for rigs assembled
+	// by hand in tests).
+	U *cluster.Universe
 
 	measuredServed uint64
 	measuredSent   uint64
@@ -130,29 +135,39 @@ func genConfig(n int, size workload.SizeDist, arrivals workload.ArrivalDist, pop
 	}
 }
 
+// stackRig translates the rigs' flat parameter list into a Direct
+// (point-to-point, no switch) one-host one-client cluster.Spec and
+// adapts the built universe to the Rig view. InheritRNG keeps the
+// generator's RNG stream — and therefore every pre-cluster table —
+// byte-identical to the original hand-wired construction.
+func stackRig(stack cluster.Stack, seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	svcs := make([]cluster.ServiceSpec, nSvcs)
+	for i := range svcs {
+		svcs[i] = cluster.ServiceSpec{ID: uint32(i + 1), Port: basePort + uint16(i), Time: serviceTime}
+	}
+	u := cluster.Build(cluster.Spec{
+		Seed:   seed,
+		Direct: true,
+		Hosts: []cluster.HostSpec{{
+			Name: "server", Stack: stack, Cores: nCores, Services: svcs,
+			Endpoint: serverEP(),
+		}},
+		Clients: []cluster.ClientSpec{{
+			Name: "client", Size: size, Arrivals: arrivals, Popularity: pop,
+			Endpoint: clientEP(), InheritRNG: true,
+		}},
+	})
+	h := u.Hosts[0]
+	return &Rig{S: u.S, Gen: u.Clients[0].Gen, Link: h.Link, Cores: h.Cores(),
+		K: h.K, Served: h.Served, Label: h.Label, LH: h.LH, U: u}
+}
+
 // LauberhornRig builds a Lauberhorn server with nCores and nSvcs echo
 // services.
 func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	s := sim.New(seed)
-	h := core.NewHost(s, core.DefaultHostConfig(serverEP(), nCores))
-	link := fabric.NewLink(s, fabric.Net100G)
-	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
-	link.Attach(gen, h.NIC)
-	h.NIC.AttachLink(link, 1)
-	for i := 0; i < nSvcs; i++ {
-		h.RegisterService(echoService(uint32(i+1), serviceTime), basePort+uint16(i), 0)
-	}
-	h.Start()
-	served := func() uint64 {
-		var n uint64
-		for i := 0; i < nSvcs; i++ {
-			n += h.Served(uint32(i + 1))
-		}
-		return n
-	}
-	return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
-		Served: served, Label: "Lauberhorn (ECI)", LH: h}
+	return stackRig(cluster.Lauberhorn, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // BypassRig builds a kernel-bypass server: one worker per service, each
@@ -160,94 +175,38 @@ func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 // cores (statically provisioned, as IX/Arrakis deployments are).
 func BypassRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	s := sim.New(seed)
-	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
-	cfg := nicdma.DefaultConfig()
-	cfg.Queues = nSvcs
-	cfg.SteerByPort = true
-	nic := nicdma.New(s, cfg)
-	link := fabric.NewLink(s, fabric.Net100G)
-	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
-	link.Attach(gen, nic)
-	nic.AttachLink(link, 1)
-
-	reg := rpc.NewRegistry()
-	var workers []*bypass.Worker
-	for i := 0; i < nSvcs; i++ {
-		reg.Register(echoService(uint32(i+1), serviceTime))
-	}
-	local := serverEP()
-	for i := 0; i < nSvcs; i++ {
-		// Queue selection must match SteerByPort: port basePort+i maps to
-		// queue (basePort+i) mod nSvcs.
-		q := nic.Queue(int(basePort+uint16(i)) % nSvcs)
-		w := bypass.NewWorker(bypass.WorkerConfig{
-			Queue: q, NIC: nic, Local: local,
-			Registry: reg, Codec: rpc.DefaultCostModel(), Costs: bypass.DefaultCosts(),
-		})
-		workers = append(workers, w)
-		proc := k.NewProcess(fmt.Sprintf("svc%d", i+1))
-		k.SpawnPinned(proc, fmt.Sprintf("bypass%d", i), i%nCores, w.Loop)
-	}
-	served := func() uint64 {
-		var n uint64
-		for _, w := range workers {
-			n += w.Stats().Served
-		}
-		return n
-	}
-	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
-		Served: served, Label: "Kernel bypass"}
+	return stackRig(cluster.Bypass, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // KstackRig builds a traditional kernel-stack server: RSS queues steered
 // to cores, one server thread per service scheduled by the kernel.
 func KstackRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return kstackRigOn(seed, nCores, nSvcs, serviceTime, size, arrivals, pop,
-		nicdma.DefaultConfig(), "Linux-style kernel")
+	return stackRig(cluster.Kernel, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // KstackEnzianRig is the kernel stack over the Enzian FPGA NIC (the
 // paper's "Enzian DMA" series).
 func KstackEnzianRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return kstackRigOn(seed, nCores, nSvcs, serviceTime, size, arrivals, pop,
-		nicdma.EnzianConfig(), "Kernel on Enzian PCIe")
-}
-
-func kstackRigOn(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
-	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf,
-	nicCfg nicdma.Config, label string) *Rig {
-	s := sim.New(seed)
-	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
-	nicCfg.Queues = nCores
-	nic := nicdma.New(s, nicCfg)
-	link := fabric.NewLink(s, fabric.Net100G)
-	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
-	link.Attach(gen, nic)
-	nic.AttachLink(link, 1)
-	st := kstack.New(k, nic, serverEP(), kstack.DefaultCosts())
-
-	reg := rpc.NewRegistry()
-	var served uint64
-	for i := 0; i < nSvcs; i++ {
-		desc := echoService(uint32(i+1), serviceTime)
-		reg.Register(desc)
-		sock := st.Bind(basePort + uint16(i))
-		proc := k.NewProcess(desc.Name)
-		k.Spawn(proc, fmt.Sprintf("srv%d", i), kstack.ServeLoop(kstack.ServerConfig{
-			Socket: sock, Registry: reg, Codec: rpc.DefaultCostModel(),
-			OnResponse: func(m *rpc.Message) { served++ },
-		}))
-	}
-	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
-		Served: func() uint64 { return served }, Label: label}
+	return stackRig(cluster.KernelEnzian, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // RunMeasured warms the rig for warm, resets latency statistics, runs the
-// generator for measure, then drains.
+// generator for measure, then drains. Cluster-built rigs delegate to the
+// universe's measurement protocol so exactly one canonical protocol
+// exists; the inline copy below serves only hand-assembled rigs (and the
+// legacy regression constructors, which deliberately exercise it).
 func (r *Rig) RunMeasured(warm, measure sim.Time) {
+	// (The Gen identity check matters: experiments like E3Throughput swap
+	// in a different client after construction, at which point the
+	// universe no longer describes this rig's load source.)
+	if r.U != nil && r.Gen == r.U.Clients[0].Gen {
+		r.U.RunMeasured(warm, measure)
+		r.measuredServed = r.U.Hosts[0].MeasuredServed()
+		r.measuredSent = r.U.Clients[0].MeasuredSent()
+		return
+	}
 	r.Gen.Start(0)
 	r.S.RunUntil(warm)
 	servedAtReset := r.Served()

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"lauberhorn/internal/bypass"
+	"lauberhorn/internal/core"
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/kernel"
+	"lauberhorn/internal/kstack"
+	"lauberhorn/internal/nicdma"
+	"lauberhorn/internal/rpc"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/workload"
+)
+
+// This file pins the cluster refactor: the rig constructors are now thin
+// wrappers over cluster.Build, and the verbatim pre-refactor hand-wired
+// constructors below must produce measurably identical rigs — same
+// served/sent counts, same latency distribution, same energy — for every
+// stack. If the builder's construction order ever drifts from the legacy
+// order (perturbing event sequence numbers or RNG splits), these tests
+// catch it without having to re-run the whole experiment suite.
+
+// legacyLauberhornRig is the pre-cluster LauberhornRig, verbatim.
+func legacyLauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	s := sim.New(seed)
+	h := core.NewHost(s, core.DefaultHostConfig(serverEP(), nCores))
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, h.NIC)
+	h.NIC.AttachLink(link, 1)
+	for i := 0; i < nSvcs; i++ {
+		h.RegisterService(echoService(uint32(i+1), serviceTime), basePort+uint16(i), 0)
+	}
+	h.Start()
+	served := func() uint64 {
+		var n uint64
+		for i := 0; i < nSvcs; i++ {
+			n += h.Served(uint32(i + 1))
+		}
+		return n
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: h.K.Cores(), K: h.K,
+		Served: served, Label: "Lauberhorn (ECI)", LH: h}
+}
+
+// legacyBypassRig is the pre-cluster BypassRig, verbatim.
+func legacyBypassRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
+	s := sim.New(seed)
+	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
+	cfg := nicdma.DefaultConfig()
+	cfg.Queues = nSvcs
+	cfg.SteerByPort = true
+	nic := nicdma.New(s, cfg)
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, nic)
+	nic.AttachLink(link, 1)
+
+	reg := rpc.NewRegistry()
+	var workers []*bypass.Worker
+	for i := 0; i < nSvcs; i++ {
+		reg.Register(echoService(uint32(i+1), serviceTime))
+	}
+	local := serverEP()
+	for i := 0; i < nSvcs; i++ {
+		q := nic.Queue(int(basePort+uint16(i)) % nSvcs)
+		w := bypass.NewWorker(bypass.WorkerConfig{
+			Queue: q, NIC: nic, Local: local,
+			Registry: reg, Codec: rpc.DefaultCostModel(), Costs: bypass.DefaultCosts(),
+		})
+		workers = append(workers, w)
+		proc := k.NewProcess(fmt.Sprintf("svc%d", i+1))
+		k.SpawnPinned(proc, fmt.Sprintf("bypass%d", i), i%nCores, w.Loop)
+	}
+	served := func() uint64 {
+		var n uint64
+		for _, w := range workers {
+			n += w.Stats().Served
+		}
+		return n
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
+		Served: served, Label: "Kernel bypass"}
+}
+
+// legacyKstackRigOn is the pre-cluster kstackRigOn, verbatim.
+func legacyKstackRigOn(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf,
+	nicCfg nicdma.Config, label string) *Rig {
+	s := sim.New(seed)
+	k := kernel.New(s, nCores, 2.5, kernel.DefaultCosts())
+	nicCfg.Queues = nCores
+	nic := nicdma.New(s, nicCfg)
+	link := fabric.NewLink(s, fabric.Net100G)
+	gen := workload.NewGenerator(s, genConfig(nSvcs, size, arrivals, pop), link, 0)
+	link.Attach(gen, nic)
+	nic.AttachLink(link, 1)
+	st := kstack.New(k, nic, serverEP(), kstack.DefaultCosts())
+
+	reg := rpc.NewRegistry()
+	var served uint64
+	for i := 0; i < nSvcs; i++ {
+		desc := echoService(uint32(i+1), serviceTime)
+		reg.Register(desc)
+		sock := st.Bind(basePort + uint16(i))
+		proc := k.NewProcess(desc.Name)
+		k.Spawn(proc, fmt.Sprintf("srv%d", i), kstack.ServeLoop(kstack.ServerConfig{
+			Socket: sock, Registry: reg, Codec: rpc.DefaultCostModel(),
+			OnResponse: func(m *rpc.Message) { served++ },
+		}))
+	}
+	return &Rig{S: s, Gen: gen, Link: link, Cores: k.Cores(), K: k,
+		Served: func() uint64 { return served }, Label: label}
+}
+
+// rigFingerprint reduces a measured rig to every externally observable
+// quantity the experiments report.
+func rigFingerprint(r *Rig) string {
+	lat := r.Gen.Latency
+	return fmt.Sprintf(
+		"label=%s served=%d sent=%d recv=%d errs=%d latN=%d latMin=%d latP50=%d latP99=%d latMax=%d busy=%d energy=%.9g cyc=%.9g",
+		r.Label, r.MeasuredServed(), r.MeasuredSent(), r.Gen.Received, r.Gen.Errors,
+		lat.Count(), lat.Min(), lat.Percentile(0.5), lat.Percentile(0.99), lat.Max(),
+		r.BusyTime(), r.Energy(), r.CyclesPerRequest())
+}
+
+// TestClusterRigsMatchLegacy runs each stack's legacy hand-wired rig and
+// its cluster-built replacement under identical parameters and demands
+// identical measurements.
+func TestClusterRigsMatchLegacy(t *testing.T) {
+	size := workload.CloudRPC()
+	const seed = 9
+	cases := []struct {
+		name   string
+		legacy func() *Rig
+		now    func() *Rig
+	}{
+		{"lauberhorn",
+			func() *Rig {
+				return legacyLauberhornRig(seed, 2, 3, 400*sim.Nanosecond, size,
+					workload.RatePerSec(80_000), workload.NewZipf(3, 1.1))
+			},
+			func() *Rig {
+				return LauberhornRig(seed, 2, 3, 400*sim.Nanosecond, size,
+					workload.RatePerSec(80_000), workload.NewZipf(3, 1.1))
+			}},
+		{"bypass",
+			func() *Rig {
+				return legacyBypassRig(seed, 2, 2, 400*sim.Nanosecond, size,
+					workload.RatePerSec(80_000), nil)
+			},
+			func() *Rig {
+				return BypassRig(seed, 2, 2, 400*sim.Nanosecond, size,
+					workload.RatePerSec(80_000), nil)
+			}},
+		{"kernel",
+			func() *Rig {
+				return legacyKstackRigOn(seed, 2, 2, 400*sim.Nanosecond, size,
+					workload.RatePerSec(60_000), nil, nicdma.DefaultConfig(), "Linux-style kernel")
+			},
+			func() *Rig {
+				return KstackRig(seed, 2, 2, 400*sim.Nanosecond, size,
+					workload.RatePerSec(60_000), nil)
+			}},
+		{"kernel-enzian",
+			func() *Rig {
+				return legacyKstackRigOn(seed, 1, 1, 400*sim.Nanosecond, size,
+					workload.RatePerSec(20_000), nil, nicdma.EnzianConfig(), "Kernel on Enzian PCIe")
+			},
+			func() *Rig {
+				return KstackEnzianRig(seed, 1, 1, 400*sim.Nanosecond, size,
+					workload.RatePerSec(20_000), nil)
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := tc.legacy()
+			old.RunMeasured(5*sim.Millisecond, 15*sim.Millisecond)
+			now := tc.now()
+			now.RunMeasured(5*sim.Millisecond, 15*sim.Millisecond)
+			if now.U == nil {
+				t.Fatal("cluster-built rig has no universe")
+			}
+			a, b := rigFingerprint(old), rigFingerprint(now)
+			if a != b {
+				t.Fatalf("cluster-built rig diverged from legacy:\nlegacy:  %s\ncluster: %s", a, b)
+			}
+			if old.MeasuredServed() == 0 {
+				t.Fatal("regression rig served nothing; fingerprints vacuous")
+			}
+		})
+	}
+}

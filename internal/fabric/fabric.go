@@ -6,8 +6,8 @@
 // interactions across these fabrics: descriptor-ring DMA over PCIe versus
 // single-cache-line protocols over a coherent interconnect. The parameter
 // sets below encode published orders of magnitude for each technology; the
-// experiments sweep and compare them, and EXPERIMENTS.md records where each
-// number comes from.
+// experiments sweep and compare them (see DESIGN.md at the repository
+// root for the experiment index).
 package fabric
 
 import (

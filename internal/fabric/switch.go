@@ -63,6 +63,15 @@ func (sw *Switch) AttachPort(l *Link, side int) *SwitchPort {
 // NumPorts returns the number of attached ports.
 func (sw *Switch) NumPorts() int { return len(sw.ports) }
 
+// FDBLen returns how many MACs the switch has learned.
+func (sw *Switch) FDBLen() int { return len(sw.fdb) }
+
+// FDBPort returns the port index a MAC was learned on, if any.
+func (sw *Switch) FDBPort(mac wire.MAC) (int, bool) {
+	p, ok := sw.fdb[mac]
+	return p, ok
+}
+
 // ingress learns the source MAC and forwards by destination.
 func (sw *Switch) ingress(fromPort int, frame []byte) {
 	if len(frame) < wire.EthernetHeaderLen {

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+// discard is a FramePort that drops everything, so benchmarks measure
+// the switch and link machinery alone.
+type discard struct{}
+
+func (discard) DeliverFrame([]byte) {}
+
+// benchSwitch builds an n-port star of discard hosts.
+func benchSwitch(n int) (*sim.Sim, *Switch, []*Link) {
+	s := sim.New(1)
+	sw := NewSwitch(s)
+	links := make([]*Link, n)
+	for i := range links {
+		links[i] = NewLink(s, Net100G)
+		port := sw.AttachPort(links[i], 1)
+		links[i].Attach(discard{}, port)
+	}
+	return s, sw, links
+}
+
+// BenchmarkSwitchForward measures the learned-unicast fast path: source
+// and destination are both in the FDB, so each ingress is one map hit
+// plus one link send.
+func BenchmarkSwitchForward(b *testing.B) {
+	s, sw, links := benchSwitch(8)
+	// Learn both endpoints.
+	links[0].Send(0, frameTo(macN(2), macN(1)))
+	links[1].Send(0, frameTo(macN(1), macN(2)))
+	s.Run()
+	f := frameTo(macN(2), macN(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ingress(0, f)
+		s.Run()
+	}
+	// Only the first learning frame flooded; every benchmark iteration
+	// must have taken the learned-unicast path.
+	if sw.Flooded != 1 {
+		b.Fatalf("benchmark left the fast path: flooded %d", sw.Flooded)
+	}
+}
+
+// BenchmarkSwitchFlood measures the flood path: an unknown destination
+// fans the frame out every other port of an 8-port switch.
+func BenchmarkSwitchFlood(b *testing.B) {
+	s, sw, _ := benchSwitch(8)
+	f := frameTo(macN(0xEE), macN(1)) // destination never speaks: never learned
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ingress(0, f)
+		s.Run()
+	}
+	if sw.Forwarded != 0 {
+		b.Fatalf("flood benchmark forwarded %d", sw.Forwarded)
+	}
+}

@@ -151,3 +151,52 @@ func TestSwitchNilLinkPanics(t *testing.T) {
 	}()
 	NewSwitch(sim.New(1)).AttachPort(nil, 0)
 }
+
+// TestSwitchFDBLearningAcrossPorts pins the forwarding database across a
+// 3-port star: each source MAC is learned on the port it spoke from, the
+// Flooded/Forwarded counters account for every frame exactly, and
+// re-learning a migrated MAC updates the binding.
+func TestSwitchFDBLearningAcrossPorts(t *testing.T) {
+	s, sw, _, links := swRig(t)
+	if sw.FDBLen() != 0 {
+		t.Fatalf("fresh switch knows %d MACs", sw.FDBLen())
+	}
+	// Each host announces to an unknown destination: 3 floods, 3 learns.
+	for i := 0; i < 3; i++ {
+		links[i].Send(0, frameTo(macN(9), macN(byte(i+1))))
+	}
+	s.Run()
+	if sw.FDBLen() != 3 {
+		t.Fatalf("learned %d MACs, want 3", sw.FDBLen())
+	}
+	for i := 0; i < 3; i++ {
+		port, ok := sw.FDBPort(macN(byte(i + 1)))
+		if !ok || port != i {
+			t.Errorf("MAC %d learned on port %d (ok=%v), want %d", i+1, port, ok, i)
+		}
+	}
+	if sw.Flooded != 3 || sw.Forwarded != 0 {
+		t.Fatalf("counters fwd=%d flood=%d, want 0/3", sw.Forwarded, sw.Flooded)
+	}
+	// Now every pairwise unicast is forwarded, never flooded.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				links[i].Send(0, frameTo(macN(byte(j+1)), macN(byte(i+1))))
+			}
+		}
+	}
+	s.Run()
+	if sw.Flooded != 3 || sw.Forwarded != 6 {
+		t.Fatalf("counters fwd=%d flood=%d, want 6/3", sw.Forwarded, sw.Flooded)
+	}
+	// A MAC that moves ports (VM migration style) is re-learned.
+	links[2].Send(0, frameTo(macN(2), macN(1)))
+	s.Run()
+	if port, _ := sw.FDBPort(macN(1)); port != 2 {
+		t.Errorf("migrated MAC still on port %d", port)
+	}
+	if sw.FDBLen() != 3 {
+		t.Errorf("re-learning grew the FDB to %d", sw.FDBLen())
+	}
+}

@@ -19,8 +19,8 @@ import (
 )
 
 // Costs parameterizes the kernel's fixed software overheads. Defaults
-// approximate a tuned Linux on a ~2.5 GHz server (see EXPERIMENTS.md for
-// provenance).
+// approximate a tuned Linux on a ~2.5 GHz server (DESIGN.md's
+// paper-vs-measured section names the tests that pin them).
 type Costs struct {
 	// ContextSwitch is the scheduler cost of switching between threads of
 	// the same address space.

@@ -19,7 +19,8 @@ import (
 )
 
 // Costs are the per-stage software costs of the kernel receive/transmit
-// paths, roughly matching published Linux breakdowns (see EXPERIMENTS.md).
+// paths, roughly matching published Linux breakdowns (experiment e2
+// reproduces the per-step table; see DESIGN.md).
 type Costs struct {
 	// SoftirqPerPacket covers NAPI poll, skb setup, IP/UDP protocol
 	// processing for one packet.

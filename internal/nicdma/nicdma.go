@@ -37,6 +37,13 @@ type Config struct {
 	// exact steering kernel-bypass deployments use to bind one service to
 	// one queue.
 	SteerByPort bool
+	// FilterIP, when non-zero, drops received frames whose IP destination
+	// differs (counted in Stats.RxFiltered). Switched fabrics flood frames
+	// for unlearned MACs to every port, so a NIC sharing a switch with
+	// other hosts must discard traffic that is not addressed to it — as
+	// real NICs do in hardware. Zero accepts everything (fine on a
+	// point-to-point link).
+	FilterIP wire.IP
 }
 
 // DefaultConfig returns an x86-class NIC configuration.
@@ -67,6 +74,7 @@ type Stats struct {
 	RxFrames    uint64
 	RxBadFrames uint64
 	RxDropped   uint64
+	RxFiltered  uint64 // not addressed to this host (switched fabrics)
 	TxFrames    uint64
 	IRQs        uint64
 }
@@ -231,6 +239,10 @@ func (n *NIC) DeliverFrame(frame []byte) {
 		d, err := wire.ParseUDP(frame)
 		if err != nil {
 			n.stats.RxBadFrames++
+			return
+		}
+		if n.cfg.FilterIP != (wire.IP{}) && d.IP.Dst != n.cfg.FilterIP {
+			n.stats.RxFiltered++
 			return
 		}
 		var q *RxQueue

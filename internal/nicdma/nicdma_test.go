@@ -327,3 +327,40 @@ func TestDoorbellCost(t *testing.T) {
 		t.Error("doorbell cost mismatch")
 	}
 }
+
+// TestFilterIPDropsForeignFrames pins the switched-fabric RX filter the
+// cluster layer arms: frames for another host's IP are discarded before
+// DMA; frames for the configured IP (or any frame when the filter is off)
+// still land in a queue.
+func TestFilterIPDropsForeignFrames(t *testing.T) {
+	mk := func(filter wire.IP) *NIC {
+		cfg := DefaultConfig()
+		cfg.FilterIP = filter
+		return New(sim.New(1), cfg)
+	}
+	// Filter armed with our own IP: accepted.
+	n := mk(dst.IP)
+	n.DeliverFrame(frame(t, []byte("mine"), 1))
+	n.sim.Run()
+	if n.Stats().RxFrames != 1 || n.Stats().RxFiltered != 0 {
+		t.Fatalf("own frame filtered: %+v", n.Stats())
+	}
+	// Filter armed with a different IP: dropped, counted, not queued.
+	n = mk(wire.IP{10, 0, 0, 99})
+	n.DeliverFrame(frame(t, []byte("flooded"), 1))
+	n.sim.Run()
+	if st := n.Stats(); st.RxFiltered != 1 || st.RxFrames != 0 {
+		t.Fatalf("foreign frame not filtered: %+v", st)
+	}
+	if n.Queue(0).Len() != 0 {
+		t.Fatal("filtered frame reached a ring")
+	}
+	// Filter disabled: everything is accepted (legacy point-to-point
+	// behavior).
+	n = mk(wire.IP{})
+	n.DeliverFrame(frame(t, []byte("any"), 1))
+	n.sim.Run()
+	if n.Stats().RxFrames != 1 {
+		t.Fatal("unfiltered NIC dropped a frame")
+	}
+}

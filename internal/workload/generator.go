@@ -19,6 +19,10 @@ type Target struct {
 	// Flags are RPC header flags set on every request (e.g.
 	// rpc.FlagEncrypted to exercise the NIC's decrypt pipeline stage).
 	Flags uint16
+	// Server, when non-zero, overrides Config.Server for this target, so
+	// one generator can spray requests across the hosts of a multi-server
+	// cluster (the destination port still comes from Port).
+	Server wire.Endpoint
 }
 
 // Config parameterizes a generator.
@@ -45,6 +49,15 @@ type Config struct {
 	// popularity *shape* (e.g. Zipf skew) is unchanged; only the
 	// identities rotate.
 	ChurnInterval sim.Time
+
+	// Seed, when non-zero, gives the generator its own RNG stream derived
+	// from this value alone instead of splitting the simulation RNG. A
+	// seeded generator draws a stream that is a pure function of Seed —
+	// independent of how many other generators exist and of construction
+	// order — which is what lets a multi-client cluster stay deterministic
+	// while clients are added or removed. Zero keeps the legacy behavior
+	// (split the sim RNG in construction order).
+	Seed uint64
 }
 
 // Generator is an open-loop RPC client: it fires requests per the arrival
@@ -88,12 +101,21 @@ func NewGenerator(s *sim.Sim, cfg Config, link *fabric.Link, side int) *Generato
 	if cfg.Flows <= 0 {
 		cfg.Flows = 64
 	}
+	var rng *sim.RNG
+	if cfg.Seed != 0 {
+		// A private stream: do not touch the sim RNG at all, so seeded
+		// generators can be added or removed without perturbing anyone
+		// else's randomness.
+		rng = sim.NewRNG(cfg.Seed)
+	} else {
+		rng = s.Rand().Split()
+	}
 	g := &Generator{
 		s:        s,
 		cfg:      cfg,
 		link:     link,
 		side:     side,
-		rng:      s.Rand().Split(),
+		rng:      rng,
 		nextID:   1,
 		inflight: make(map[uint64]pendingReq),
 		Latency:  stats.NewHistogram(),
@@ -108,6 +130,12 @@ func NewGenerator(s *sim.Sim, cfg Config, link *fabric.Link, side int) *Generato
 func (g *Generator) DeliverFrame(frame []byte) {
 	d, err := wire.ParseUDP(frame)
 	if err != nil {
+		return
+	}
+	if d.IP.Dst != g.cfg.Client.IP {
+		// Switched fabrics flood frames for unlearned MACs; a frame for
+		// another machine must not be matched against our in-flight IDs
+		// (all generators number requests from 1).
 		return
 	}
 	m, err := rpc.Decode(d.Payload)
@@ -204,6 +232,9 @@ func (g *Generator) SendTo(ti int) uint64 {
 	src := g.cfg.Client
 	src.Port = 10000 + uint16(int(id)%g.cfg.Flows)
 	dst := g.cfg.Server
+	if t.Server != (wire.Endpoint{}) {
+		dst = t.Server
+	}
 	dst.Port = t.Port
 	frame, err := wire.BuildUDP(src, dst, uint16(id), req)
 	if err != nil {
