@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lauberhorn/internal/experiments"
+	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/stats"
 )
 
@@ -61,8 +62,25 @@ func jsonResults(results []experiments.Result) []jsonResult {
 	return out
 }
 
+// listText renders the -list output: every registered experiment, then
+// every registered stack driver (short name, kind, display label) — the
+// registry is the source of truth, so stacks registered by new driver
+// files show up without harness changes.
+func listText() string {
+	var b strings.Builder
+	b.WriteString("available experiments:\n")
+	for _, e := range experiments.All() {
+		fmt.Fprintf(&b, "  %-4s %-50s (%s)\n", e.ID, e.Title, e.Source)
+	}
+	b.WriteString("registered stacks:\n")
+	for _, ent := range stackdrv.All() {
+		fmt.Fprintf(&b, "  %-13s kind=%d  %s\n", ent.Name, int(ent.Kind), ent.Label)
+	}
+	return b.String()
+}
+
 func main() {
-	list := flag.Bool("list", false, "list experiments and exit")
+	list := flag.Bool("list", false, "list experiments and stack drivers, then exit")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max experiments running concurrently (1 = serial)")
@@ -70,10 +88,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("available experiments:")
-		for _, e := range experiments.All() {
-			fmt.Printf("  %-4s %-50s (%s)\n", e.ID, e.Title, e.Source)
-		}
+		fmt.Print(listText())
 		return
 	}
 

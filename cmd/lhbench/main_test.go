@@ -29,18 +29,42 @@ func TestRunValidationCoversClusterExperiments(t *testing.T) {
 	for _, e := range all {
 		found[e.ID] = true
 	}
-	if !found["e15"] || !found["e16"] {
+	if !found["e15"] || !found["e16"] || !found["e17"] {
 		t.Fatalf("'all' missing cluster experiments: %v", found)
 	}
 	for spec, wantErr := range map[string]string{
 		"e15,e15":  "duplicate",
-		"e17":      "unknown",
+		"e99":      "unknown",
 		"all,e16":  "mixes",
 		"e15,,e16": "empty",
 	} {
 		if _, err := experiments.Select(spec); err == nil ||
 			!strings.Contains(err.Error(), wantErr) {
 			t.Errorf("Select(%q) err = %v, want containing %q", spec, err, wantErr)
+		}
+	}
+}
+
+// TestListIncludesStacks smokes the -list output: every experiment ID
+// and every registered stack driver (name and label) must appear.
+func TestListIncludesStacks(t *testing.T) {
+	out := listText()
+	for _, e := range experiments.All() {
+		if !strings.Contains(out, e.ID+" ") {
+			t.Errorf("-list output missing experiment %s", e.ID)
+		}
+	}
+	for _, want := range []string{
+		"registered stacks:",
+		"Lauberhorn (ECI)",
+		"Kernel bypass",
+		"Linux-style kernel",
+		"Kernel on Enzian PCIe",
+		"Hybrid",
+		"e17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
 		}
 	}
 }

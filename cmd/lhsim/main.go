@@ -1,27 +1,61 @@
 // Command lhsim runs a single configurable RPC-serving scenario on one of
-// the three stacks and prints latency and core-state summaries.
+// the registered stacks and prints latency and core-state summaries.
 //
 // Usage:
 //
 //	lhsim -stack lauberhorn -cores 4 -services 16 -rate 100000 -dur 100ms
 //	lhsim -stack bypass -services 8 -zipf 1.1
 //	lhsim -stack kernel -size 512
+//	lhsim -stack hybrid -size 8192
+//
+// Since the stack-driver registry, "lauberhorn" is the pure cache-line
+// data path; bodies at or above 4 KiB take the §6 DMA fallback only on
+// the "hybrid" stack (previously the fallback was always armed).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/cpu"
 	"lauberhorn/internal/experiments"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/workload"
 )
 
+// stackNames lists the registered drivers' short names, lower-cased for
+// CLI use.
+func stackNames() []string {
+	var out []string
+	for _, e := range stackdrv.All() {
+		out = append(out, strings.ToLower(e.Name))
+	}
+	return out
+}
+
+// resolveStack maps a CLI stack name to a registered driver kind:
+// registry short names case-insensitively, plus the historical "enzian"
+// alias.
+func resolveStack(name string) (cluster.Stack, bool) {
+	if strings.EqualFold(name, "enzian") {
+		name = "KernelEnzian"
+	}
+	for _, e := range stackdrv.All() {
+		if strings.EqualFold(e.Name, name) {
+			return e.Kind, true
+		}
+	}
+	return 0, false
+}
+
 func main() {
-	stack := flag.String("stack", "lauberhorn", "stack: lauberhorn | bypass | kernel | enzian")
+	stack := flag.String("stack", "lauberhorn",
+		"stack: "+strings.Join(stackNames(), " | ")+" (or enzian)")
 	cores := flag.Int("cores", 4, "server cores")
 	services := flag.Int("services", 1, "number of RPC services")
 	rate := flag.Float64("rate", 100_000, "offered load, requests/second")
@@ -46,20 +80,13 @@ func main() {
 	arr := workload.RatePerSec(*rate)
 	st := sim.Time(service.Nanoseconds()) * sim.Nanosecond
 
-	var rig *experiments.Rig
-	switch *stack {
-	case "lauberhorn":
-		rig = experiments.LauberhornRig(*seed, *cores, *services, st, sz, arr, pop)
-	case "bypass":
-		rig = experiments.BypassRig(*seed, *cores, *services, st, sz, arr, pop)
-	case "kernel":
-		rig = experiments.KstackRig(*seed, *cores, *services, st, sz, arr, pop)
-	case "enzian":
-		rig = experiments.KstackEnzianRig(*seed, *cores, *services, st, sz, arr, pop)
-	default:
-		fmt.Fprintf(os.Stderr, "lhsim: unknown stack %q\n", *stack)
+	kind, ok := resolveStack(*stack)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lhsim: unknown stack %q (registered: %s)\n",
+			*stack, strings.Join(stackNames(), ", "))
 		os.Exit(1)
 	}
+	rig := experiments.StackRig(kind, *seed, *cores, *services, st, sz, arr, pop)
 
 	if *churn > 0 {
 		rig.Gen.SetChurn(sim.Time(churn.Nanoseconds()) * sim.Nanosecond)

@@ -7,10 +7,15 @@
 // the same substrates.
 //
 // The implementation lives under internal/: see internal/core for the
-// paper's contribution, internal/cluster for the declarative multi-host
-// topology layer (fan-in, incast, and mixed-stack scenarios as data),
-// internal/experiments for the per-figure reproductions, cmd/ for the
-// CLIs, and examples/ for runnable walkthroughs. DESIGN.md at the
+// paper's contribution, internal/stackdrv for the stack-driver registry
+// that makes the stacks pluggable (each stack registers a driver beside
+// its implementation; the registry ships Lauberhorn, Bypass, Kernel,
+// KernelEnzian, and Hybrid — Lauberhorn with the §6 4KiB DMA fallback),
+// internal/cluster for the declarative multi-host topology layer
+// (fan-in, incast, and mixed-stack scenarios as data, with every host
+// resolved through the registry), internal/experiments for the
+// per-figure reproductions, cmd/ for the CLIs, and examples/ for
+// runnable walkthroughs. DESIGN.md at the
 // repository root maps the layers and indexes the experiments.
 // bench_test.go in this directory regenerates every table and figure via
 // `go test -bench .`.

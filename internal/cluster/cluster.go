@@ -1,7 +1,7 @@
 // Package cluster is the declarative topology layer: a Spec names the
-// hosts (each running one of the three network stacks), the services they
-// export, and the load-generating clients; Build turns it into a fully
-// wired universe — one sim.Sim, one link per machine, a learning
+// hosts (each running one of the registered network stacks), the services
+// they export, and the load-generating clients; Build turns it into a
+// fully wired universe — one sim.Sim, one link per machine, a learning
 // fabric.Switch when more than two machines exist — ready to run.
 //
 // Before this layer every experiment hand-wired exactly one generator to
@@ -16,6 +16,12 @@
 // removing machines never perturbs the randomness any other machine
 // observes, and tables stay byte-identical at any experiment-runner
 // parallelism.
+//
+// Stacks are pluggable: the builder resolves HostSpec.Stack against the
+// stackdrv registry and drives every host through the stackdrv.Instance
+// lifecycle, so this package never imports stack internals or switches on
+// stack kinds. The blank import below installs the in-tree drivers; new
+// stacks register themselves the same way.
 package cluster
 
 import (
@@ -25,40 +31,32 @@ import (
 	"lauberhorn/internal/nicdma"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stackdrv"
+	_ "lauberhorn/internal/stackdrv/builtin"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
 )
 
-// Stack selects which network architecture a host runs.
-type Stack int
+// Stack selects which network architecture a host runs. It aliases the
+// stack-driver registry's Kind; the constants below name the in-tree
+// drivers (see internal/stackdrv for labels and registration).
+type Stack = stackdrv.Kind
 
 const (
-	// Lauberhorn is the paper's NIC-as-OS-component stack (internal/core).
-	Lauberhorn Stack = iota
+	// Lauberhorn is the paper's NIC-as-OS-component stack (internal/core)
+	// with pure cache-line delivery.
+	Lauberhorn = stackdrv.Lauberhorn
 	// Bypass is the kernel-bypass dataplane: one pinned worker per
 	// service, port-steered NIC queues (IX/Arrakis-style).
-	Bypass
+	Bypass = stackdrv.Bypass
 	// Kernel is the traditional in-kernel stack over the x86 DMA NIC.
-	Kernel
+	Kernel = stackdrv.Kernel
 	// KernelEnzian is the kernel stack over the Enzian FPGA NIC.
-	KernelEnzian
+	KernelEnzian = stackdrv.KernelEnzian
+	// Hybrid is Lauberhorn with the §6 4 KiB DMA fallback armed: large
+	// bodies revert to DMA-based transfers, small ones keep cache lines.
+	Hybrid = stackdrv.Hybrid
 )
-
-// Label returns the stack's display name, matching the labels the
-// original point-to-point rigs used.
-func (st Stack) Label() string {
-	switch st {
-	case Lauberhorn:
-		return "Lauberhorn (ECI)"
-	case Bypass:
-		return "Kernel bypass"
-	case Kernel:
-		return "Linux-style kernel"
-	case KernelEnzian:
-		return "Kernel on Enzian PCIe"
-	}
-	return fmt.Sprintf("stack(%d)", int(st))
-}
 
 // ServiceSpec is one RPC service exported by a host.
 type ServiceSpec struct {
@@ -113,6 +111,17 @@ type HostSpec struct {
 	// IP, since every cluster host must discard flooded frames). Ignored
 	// for Lauberhorn hosts.
 	NIC *nicdma.Config
+}
+
+// checkParams reduces the host spec to the identity fields a driver's
+// topology Check needs: no simulator exists yet and no service
+// descriptors are built.
+func (h *HostSpec) checkParams() stackdrv.HostParams {
+	svcs := make([]stackdrv.Service, len(h.Services))
+	for i, ss := range h.Services {
+		svcs[i] = stackdrv.Service{ID: ss.ID, Port: ss.Port, MinWorkers: ss.MinWorkers}
+	}
+	return stackdrv.HostParams{HostName: h.Name, Cores: h.Cores, Services: svcs, NIC: h.NIC}
 }
 
 // TargetSpec names one service a client drives, by host name and service
@@ -207,9 +216,13 @@ func autoClientEP(i int) wire.Endpoint {
 	}
 }
 
-// validate checks the spec for the mistakes that would otherwise surface
-// as baffling simulation behavior.
-func (sp *Spec) validate() error {
+// Validate checks the spec for the mistakes that would otherwise surface
+// as baffling simulation behavior: structural errors (duplicate names,
+// missing cores/services/sizes, endpoint collisions, unknown targets or
+// stacks) plus each host driver's own topology check (e.g. the bypass
+// port-steering collision). BuildE returns exactly these errors; Build
+// panics on them.
+func (sp *Spec) Validate() error {
 	if len(sp.Hosts) == 0 {
 		return fmt.Errorf("cluster: spec has no hosts")
 	}
@@ -273,7 +286,6 @@ func (sp *Spec) validate() error {
 		}
 		ids := make(map[uint32]bool)
 		ports := make(map[uint16]bool)
-		residues := make(map[int]uint16)
 		for _, svc := range h.Services {
 			if ids[svc.ID] {
 				return fmt.Errorf("cluster: host %q registers service ID %d twice", h.Name, svc.ID)
@@ -283,13 +295,16 @@ func (sp *Spec) validate() error {
 				return fmt.Errorf("cluster: host %q binds port %d twice", h.Name, svc.Port)
 			}
 			ports[svc.Port] = true
-			if h.Stack == Bypass {
-				res := int(svc.Port) % len(h.Services)
-				if other, clash := residues[res]; clash {
-					return fmt.Errorf("cluster: bypass host %q ports %d and %d steer to the same queue (%d mod %d)",
-						h.Name, other, svc.Port, res, len(h.Services))
-				}
-				residues[res] = svc.Port
+		}
+		ent, ok := stackdrv.Lookup(h.Stack)
+		if !ok {
+			return fmt.Errorf("cluster: host %q uses unknown stack %d", h.Name, int(h.Stack))
+		}
+		if ent.Check != nil {
+			// Driver-specific topology validation, on identity-only params
+			// (no simulator exists yet).
+			if err := ent.Check(h.checkParams()); err != nil {
+				return err
 			}
 		}
 	}
@@ -333,7 +348,18 @@ func (sp *Spec) validate() error {
 
 // Build constructs the universe the spec describes. It panics on an
 // invalid spec (experiments treat a bad topology as a programming error;
-// the runner converts panics into per-experiment failures).
+// the runner converts panics into per-experiment failures). Harnesses
+// that want the error instead use BuildE.
+func Build(sp Spec) *Universe {
+	u, err := BuildE(sp)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// BuildE constructs the universe the spec describes, returning the
+// Validate error for an invalid spec instead of panicking.
 //
 // Construction order is part of the package contract, because event
 // sequence numbers and (for InheritRNG clients) RNG splits depend on it:
@@ -347,9 +373,9 @@ func (sp *Spec) validate() error {
 // For a Direct one-host one-client spec this reproduces, step for step,
 // the hand-wired construction of the original experiment rigs, which is
 // what keeps their tables byte-identical.
-func Build(sp Spec) *Universe {
-	if err := sp.validate(); err != nil {
-		panic(err)
+func BuildE(sp Spec) (*Universe, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
 	}
 	net := sp.Net
 	if net.Bandwidth == 0 {
@@ -381,11 +407,9 @@ func Build(sp Spec) *Universe {
 		h.attachLink(u, net)
 	}
 
-	// Phase 4: services and workers. Also give every Lauberhorn host a
-	// static ARP entry for every other host, so nested calls can address
-	// them without per-experiment plumbing.
+	// Phase 4: services and workers, via each host's driver.
 	for _, h := range u.Hosts {
 		h.start(u)
 	}
-	return u
+	return u, nil
 }

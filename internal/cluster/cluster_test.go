@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -195,6 +196,128 @@ func TestDeriveSeedStable(t *testing.T) {
 	}
 	if DeriveSeed(1, 3) == 0 {
 		t.Error("derived seed may never be zero")
+	}
+}
+
+// TestValidateAndBuildE pins the non-panicking entry points: Validate
+// reports spec mistakes as errors (including the driver-level bypass
+// steering check, with its exact message), BuildE surfaces them instead
+// of panicking, and a valid spec builds.
+func TestValidateAndBuildE(t *testing.T) {
+	okHost := echoHost("h", Lauberhorn, 1, 1, 0, 9000, 0)
+	okClient := ClientSpec{Name: "c", Size: workload.FixedSize{N: 64}}
+
+	cases := []struct {
+		name, frag string
+		sp         Spec
+	}{
+		{"dup-host", `duplicate host name "h"`,
+			Spec{Hosts: []HostSpec{okHost, okHost}}},
+		{"unknown-target-host", `targets unknown host "nope"`,
+			Spec{Hosts: []HostSpec{okHost},
+				Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64},
+					Targets: []TargetSpec{{Host: "nope", Service: 1}}}}}},
+		{"unknown-target-service", `targets service 99, which host "h" does not export`,
+			Spec{Hosts: []HostSpec{okHost},
+				Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64},
+					Targets: []TargetSpec{{Host: "h", Service: 99}}}}}},
+		{"bypass-steering", `cluster: bypass host "b" ports 9000 and 9002 steer to the same queue (0 mod 2)`,
+			Spec{Hosts: []HostSpec{
+				{Name: "b", Stack: Bypass, Cores: 1, Services: []ServiceSpec{
+					{ID: 1, Port: 9000}, {ID: 2, Port: 9002}}}},
+				Clients: []ClientSpec{okClient}}},
+		{"unknown-stack", "unknown stack 99",
+			Spec{Hosts: []HostSpec{
+				{Name: "h", Stack: Stack(99), Cores: 1,
+					Services: []ServiceSpec{{ID: 1, Port: 9000}}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.frag)
+			}
+			u, berr := BuildE(tc.sp)
+			if u != nil || berr == nil || berr.Error() != err.Error() {
+				t.Fatalf("BuildE() = (%v, %v), want (nil, %v)", u, berr, err)
+			}
+		})
+	}
+
+	good := Spec{Hosts: []HostSpec{okHost}, Clients: []ClientSpec{okClient}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	u, err := BuildE(good)
+	if err != nil || u == nil || u.Host("h") == nil {
+		t.Fatalf("BuildE on valid spec = (%v, %v)", u, err)
+	}
+}
+
+// TestServedForUnknownPanics pins the Host.ServedFor contract on every
+// driver family: misnaming a service is the same programming error as
+// misnaming a host, so it panics instead of silently returning 0.
+func TestServedForUnknownPanics(t *testing.T) {
+	for _, stack := range []Stack{Lauberhorn, Bypass, Kernel, Hybrid} {
+		t.Run(stack.Label(), func(t *testing.T) {
+			u := Build(Spec{
+				Seed:    1,
+				Hosts:   []HostSpec{echoHost("h", stack, 1, 1, 0, 9000, 0)},
+				Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64}}},
+			})
+			if got := u.Host("h").ServedFor(1); got != 0 {
+				t.Fatalf("fresh host ServedFor(1) = %d", got)
+			}
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatal("ServedFor(99) did not panic for an unknown service")
+				}
+				if !strings.Contains(fmt.Sprint(p), "exports no service 99") {
+					t.Fatalf("panic %v does not name the missing service", p)
+				}
+			}()
+			u.Host("h").ServedFor(99)
+		})
+	}
+}
+
+// TestHybridStackFromSpec pins the fourth first-class stack: a Hybrid
+// host builds from a plain Spec, serves traffic, and exposes the same
+// Lauberhorn host view (the driver seam, not a private rig, carries the
+// §6 DMA fallback).
+func TestHybridStackFromSpec(t *testing.T) {
+	u := Build(Spec{
+		Seed:  21,
+		Hosts: []HostSpec{echoHost("srv", Hybrid, 2, 2, 0, 9000, 500*sim.Nanosecond)},
+		Clients: []ClientSpec{{
+			Name: "c", Size: workload.FixedSize{N: 8192},
+			Arrivals: workload.RatePerSec(5_000),
+		}},
+	})
+	srv := u.Host("srv")
+	if srv.LH == nil {
+		t.Fatal("hybrid host exposes no Lauberhorn view")
+	}
+	if thr := srv.LH.Config().NIC.DMAThreshold; thr != 4096 {
+		t.Fatalf("hybrid DMA threshold = %d, want 4096", thr)
+	}
+	if srv.Label != Hybrid.Label() || srv.Label == Lauberhorn.Label() {
+		t.Fatalf("hybrid label %q", srv.Label)
+	}
+	u.RunMeasured(5*sim.Millisecond, 15*sim.Millisecond)
+	if srv.MeasuredServed() == 0 {
+		t.Fatal("hybrid host served nothing")
+	}
+
+	// The plain Lauberhorn driver keeps pure cache-line delivery.
+	lh := Build(Spec{
+		Seed:    21,
+		Hosts:   []HostSpec{echoHost("srv", Lauberhorn, 2, 2, 0, 9000, 500*sim.Nanosecond)},
+		Clients: []ClientSpec{{Name: "c", Size: workload.FixedSize{N: 64}}},
+	})
+	if thr := lh.Host("srv").LH.Config().NIC.DMAThreshold; thr != 0 {
+		t.Fatalf("Lauberhorn DMA threshold = %d, want 0 (pure cache-line)", thr)
 	}
 }
 

@@ -3,15 +3,13 @@ package cluster
 import (
 	"fmt"
 
-	"lauberhorn/internal/bypass"
 	"lauberhorn/internal/core"
 	"lauberhorn/internal/cpu"
 	"lauberhorn/internal/fabric"
 	"lauberhorn/internal/kernel"
-	"lauberhorn/internal/kstack"
 	"lauberhorn/internal/nicdma"
-	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/stats"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
@@ -39,16 +37,18 @@ type Host struct {
 	LinkSide int
 	Label    string
 
+	// Inst is the host's provisioned stack driver; the builder drives it
+	// through the stackdrv lifecycle and experiments may reach past it
+	// for driver-specific state.
+	Inst stackdrv.Instance
 	// K is the host kernel (all stacks have one).
 	K *kernel.Kernel
-	// LH is the Lauberhorn host (nil for other stacks).
+	// LH is the Lauberhorn host (nil for stacks whose driver does not
+	// expose one; populated via an optional-interface assertion).
 	LH *core.Host
-	// NICDMA is the descriptor-ring NIC (nil for Lauberhorn hosts).
+	// NICDMA is the descriptor-ring NIC (nil for stacks whose driver does
+	// not expose one; populated via an optional-interface assertion).
 	NICDMA *nicdma.NIC
-
-	workers   []*bypass.Worker   // bypass stacks
-	workerFor map[uint32]int     // service ID -> workers index
-	kservedBy map[uint32]*uint64 // kernel stacks: per-service counters
 
 	measuredServed uint64
 	measuredEnergy float64
@@ -67,52 +67,38 @@ type Client struct {
 	measuredSent uint64
 }
 
-// newHost builds the host's stack substrate (phase 1: no links, no
-// services, no events, no randomness).
+// newHost builds the host's stack substrate through its registered
+// driver (phase 1: no links, no services, no events, no randomness).
 func newHost(u *Universe, spec *HostSpec, index int) *Host {
 	h := &Host{Spec: *spec, EP: spec.Endpoint, Label: spec.Stack.Label()}
 	if h.EP == (wire.Endpoint{}) {
 		h.EP = autoHostEP(index)
 	}
-	s := u.S
-	switch spec.Stack {
-	case Lauberhorn:
-		h.LH = core.NewHost(s, core.DefaultHostConfig(h.EP, spec.Cores))
-		h.K = h.LH.K
-	case Bypass:
-		h.K = kernel.New(s, spec.Cores, 2.5, kernel.DefaultCosts())
-		cfg := nicdma.DefaultConfig()
-		if spec.NIC != nil {
-			cfg = *spec.NIC
-		}
-		cfg.Queues = len(spec.Services)
-		cfg.SteerByPort = true
-		cfg.FilterIP = h.EP.IP
-		h.NICDMA = nicdma.New(s, cfg)
-	case Kernel, KernelEnzian:
-		h.K = kernel.New(s, spec.Cores, 2.5, kernel.DefaultCosts())
-		cfg := nicdma.DefaultConfig()
-		if spec.Stack == KernelEnzian {
-			cfg = nicdma.EnzianConfig()
-		}
-		if spec.NIC != nil {
-			cfg = *spec.NIC
-		}
-		cfg.Queues = spec.Cores
-		cfg.FilterIP = h.EP.IP
-		h.NICDMA = nicdma.New(s, cfg)
-	default:
-		panic(fmt.Sprintf("cluster: unknown stack %d", spec.Stack))
+	ent, ok := stackdrv.Lookup(spec.Stack)
+	if !ok {
+		// Validate already rejected unknown kinds; this guards direct
+		// misuse of newHost.
+		panic(fmt.Sprintf("cluster: unknown stack %d", int(spec.Stack)))
+	}
+	svcs := make([]stackdrv.Service, len(spec.Services))
+	for i, ss := range spec.Services {
+		svcs[i] = stackdrv.Service{ID: ss.ID, Port: ss.Port, MinWorkers: ss.MinWorkers, Desc: ss.desc()}
+	}
+	h.Inst = ent.New(stackdrv.HostParams{
+		Sim: u.S, HostName: spec.Name, Endpoint: h.EP, Cores: spec.Cores,
+		Services: svcs, NIC: spec.NIC,
+	})
+	h.K = h.Inst.Kernel()
+	// Optional driver views: experiments reach for the concrete
+	// Lauberhorn host (async handlers, ablations) and the DMA NIC
+	// (filter/queue statistics) when the driver has them.
+	if v, ok := h.Inst.(interface{ LauberhornHost() *core.Host }); ok {
+		h.LH = v.LauberhornHost()
+	}
+	if v, ok := h.Inst.(interface{ DMANIC() *nicdma.NIC }); ok {
+		h.NICDMA = v.DMANIC()
 	}
 	return h
-}
-
-// nicPort returns the host NIC as a fabric.FramePort.
-func (h *Host) nicPort() fabric.FramePort {
-	if h.LH != nil {
-		return h.LH.NIC
-	}
-	return h.NICDMA
 }
 
 // attachLink wires the host to the network (phase 3).
@@ -122,70 +108,27 @@ func (h *Host) attachLink(u *Universe, net fabric.NetParams) {
 		// exactly as the hand-wired rigs did.
 		h.Link = u.Clients[0].Link
 		h.LinkSide = 1
-		h.Link.Attach(u.Clients[0].Gen, h.nicPort())
+		h.Link.Attach(u.Clients[0].Gen, h.Inst.FramePort())
 	} else {
 		h.Link = fabric.NewLink(u.S, net)
 		h.LinkSide = 0
 		port := u.Switch.AttachPort(h.Link, 1)
-		h.Link.Attach(h.nicPort(), port)
+		h.Link.Attach(h.Inst.FramePort(), port)
 	}
-	if h.LH != nil {
-		h.LH.NIC.AttachLink(h.Link, h.LinkSide)
-	} else {
-		h.NICDMA.AttachLink(h.Link, h.LinkSide)
-	}
+	h.Inst.AttachLink(h.Link, h.LinkSide)
 }
 
-// start registers the host's services and spawns its workers (phase 4),
-// mirroring the construction order of the original rigs stack by stack.
+// start registers the host's services and spawns its workers through the
+// driver (phase 4), handing it the other hosts' endpoints in spec order
+// for stacks that keep static neighbour state (Lauberhorn's ARP mesh).
 func (h *Host) start(u *Universe) {
-	switch h.Spec.Stack {
-	case Lauberhorn:
-		for _, ss := range h.Spec.Services {
-			h.LH.RegisterService(ss.desc(), ss.Port, ss.MinWorkers)
-		}
-		for _, other := range u.Hosts {
-			if other != h {
-				h.LH.NIC.AddARP(other.EP.IP, other.EP.MAC)
-			}
-		}
-		h.LH.Start()
-	case Bypass:
-		reg := rpc.NewRegistry()
-		for _, ss := range h.Spec.Services {
-			reg.Register(ss.desc())
-		}
-		h.workerFor = make(map[uint32]int, len(h.Spec.Services))
-		for i, ss := range h.Spec.Services {
-			// Queue selection must match SteerByPort: port p maps to
-			// queue p mod len(Services) (validate rejects collisions).
-			q := h.NICDMA.Queue(int(ss.Port) % len(h.Spec.Services))
-			w := bypass.NewWorker(bypass.WorkerConfig{
-				Queue: q, NIC: h.NICDMA, Local: h.EP,
-				Registry: reg, Codec: rpc.DefaultCostModel(), Costs: bypass.DefaultCosts(),
-			})
-			h.workerFor[ss.ID] = len(h.workers)
-			h.workers = append(h.workers, w)
-			proc := h.K.NewProcess(fmt.Sprintf("svc%d", ss.ID))
-			h.K.SpawnPinned(proc, fmt.Sprintf("bypass%d", i), i%h.Spec.Cores, w.Loop)
-		}
-	case Kernel, KernelEnzian:
-		st := kstack.New(h.K, h.NICDMA, h.EP, kstack.DefaultCosts())
-		reg := rpc.NewRegistry()
-		h.kservedBy = make(map[uint32]*uint64, len(h.Spec.Services))
-		for i, ss := range h.Spec.Services {
-			desc := ss.desc()
-			reg.Register(desc)
-			sock := st.Bind(ss.Port)
-			proc := h.K.NewProcess(desc.Name)
-			counter := new(uint64)
-			h.kservedBy[ss.ID] = counter
-			h.K.Spawn(proc, fmt.Sprintf("srv%d", i), kstack.ServeLoop(kstack.ServerConfig{
-				Socket: sock, Registry: reg, Codec: rpc.DefaultCostModel(),
-				OnResponse: func(m *rpc.Message) { *counter++ },
-			}))
+	peers := make([]wire.Endpoint, 0, len(u.Hosts)-1)
+	for _, other := range u.Hosts {
+		if other != h {
+			peers = append(peers, other.EP)
 		}
 	}
+	h.Inst.Start(peers)
 }
 
 // Served returns requests completed by the host across all its services.
@@ -197,25 +140,15 @@ func (h *Host) Served() uint64 {
 	return n
 }
 
-// ServedFor returns requests completed for one service ID.
+// ServedFor returns requests completed for one service ID, or panics
+// when the host does not export it — misnaming a service in an
+// experiment is the same programming error as misnaming a host.
 func (h *Host) ServedFor(svc uint32) uint64 {
-	switch {
-	case h.LH != nil:
-		return h.LH.Served(svc)
-	case h.workers != nil:
-		i, ok := h.workerFor[svc]
-		if !ok {
-			return 0
-		}
-		return h.workers[i].Stats().Served
-	case h.kservedBy != nil:
-		c, ok := h.kservedBy[svc]
-		if !ok {
-			return 0
-		}
-		return *c
+	n, ok := h.Inst.ServedFor(svc)
+	if !ok {
+		panic(fmt.Sprintf("cluster: host %q exports no service %d", h.Spec.Name, svc))
 	}
-	return 0
+	return n
 }
 
 // Cores exposes the host's CPU cores for residency/energy accounting.

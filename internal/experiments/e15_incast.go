@@ -28,21 +28,13 @@ func E15Incast(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E15 — incast: K clients fan into one server through the switch (64B, 1us handler, 2 cores)",
 		"stack", "clients", "offered (krps)", "p50 (us)", "p99 (us)", "served", "sent")
 
-	stacks := []struct {
-		name  string
-		stack cluster.Stack
-	}{
-		{"Lauberhorn", cluster.Lauberhorn},
-		{"Bypass", cluster.Bypass},
-		{"Kernel", cluster.Kernel},
-	}
-	for _, st := range stacks {
+	for _, st := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
 		for _, k := range E15Ks() {
-			u := cluster.Build(incastSpec(15, st.stack, k))
+			u := cluster.Build(incastSpec(15, st.Stack, k))
 			m.Observe(u.S)
 			u.RunMeasured(10*sim.Millisecond, 30*sim.Millisecond)
 			lat := u.MergedLatency()
-			t.AddRow(st.name, k, float64(k*e15Rate)/1000,
+			t.AddRow(st.Name, k, float64(k*e15Rate)/1000,
 				sim.Time(lat.Percentile(0.5)).Microseconds(),
 				sim.Time(lat.Percentile(0.99)).Microseconds(),
 				u.TotalMeasuredServed(), u.TotalMeasuredSent())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
 	"lauberhorn/internal/stats"
@@ -57,24 +58,20 @@ func E1Fig2(m *sim.Meter) *stats.Table {
 
 	size := workload.FixedSize{N: fig2Body}
 	arr := workload.RatePerSec(100) // irrelevant; we send manually
+	// The figure's series names are substrate descriptions, not stack
+	// names, so the rows pin them; the rigs come from the registry.
 	type row struct {
-		name string
-		mk   func() *Rig
+		name  string
+		stack cluster.Stack
 	}
 	rows := []row{
-		{"ECI (Lauberhorn)", func() *Rig {
-			return LauberhornRig(1, 1, 1, 0, size, arr, nil)
-		}},
-		{"x86 DMA (kernel)", func() *Rig {
-			return KstackRig(1, 1, 1, 0, size, arr, nil)
-		}},
-		{"Enzian DMA (kernel)", func() *Rig {
-			return KstackEnzianRig(1, 1, 1, 0, size, arr, nil)
-		}},
+		{"ECI (Lauberhorn)", cluster.Lauberhorn},
+		{"x86 DMA (kernel)", cluster.Kernel},
+		{"Enzian DMA (kernel)", cluster.KernelEnzian},
 	}
 	var eciSym float64
 	for i, rw := range rows {
-		r := rw.mk()
+		r := StackRig(rw.stack, 1, 1, 1, 0, size, arr, nil)
 		m.Observe(r.S)
 		raw := singleRTT(func() *Rig { return r })
 		wrt := wireRTT(r)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/sim"
 	"lauberhorn/internal/stats"
 	"lauberhorn/internal/workload"
@@ -18,6 +19,18 @@ func E3Rates() []float64 {
 	return []float64{50_000, 100_000, 200_000, 400_000}
 }
 
+// e3Services returns how many echo services the stack needs to keep all
+// e3Cores busy on one hot workload. Statically provisioned bypass needs
+// one service (= one worker, one queue) per core — sharding the hot
+// service, as bypass deployments do; the scheduled stacks serve it from
+// one service.
+func e3Services(stack cluster.Stack) int {
+	if stack == cluster.Bypass {
+		return e3Cores
+	}
+	return 1
+}
+
 // E3LoadLatency reproduces the paper's headline comparison (§1/§4):
 // latency versus offered load for the three stacks, 1 µs handlers,
 // 64-byte requests, 4 cores, one hot service.
@@ -25,34 +38,16 @@ func E3LoadLatency(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E3 — latency vs offered load (64B RPC, 1us handler, 4 cores)",
 		"stack", "rate (krps)", "p50 (us)", "p99 (us)", "served", "sent", "cycles/req")
 
-	type mkRig func(seed uint64, arr workload.ArrivalDist) *Rig
 	size := workload.FixedSize{N: fig2Body}
 	service := sim.Microsecond
-	stacks := []struct {
-		name string
-		mk   mkRig
-	}{
-		{"Lauberhorn", func(seed uint64, arr workload.ArrivalDist) *Rig {
-			return LauberhornRig(seed, e3Cores, 1, service, size, arr, nil)
-		}},
-		{"Bypass", func(seed uint64, arr workload.ArrivalDist) *Rig {
-			// Static provisioning: one worker per core needs one service
-			// per core in our one-queue-per-worker model; use 4 services
-			// sharing the load to keep all cores busy, matching how
-			// bypass deployments shard a hot service.
-			return BypassRig(seed, e3Cores, e3Cores, service, size, arr, nil)
-		}},
-		{"Kernel", func(seed uint64, arr workload.ArrivalDist) *Rig {
-			return KstackRig(seed, e3Cores, 1, service, size, arr, nil)
-		}},
-	}
-	for _, st := range stacks {
+	for _, st := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
 		for _, rate := range E3Rates() {
-			r := st.mk(7, workload.RatePerSec(rate))
+			r := StackRig(st.Stack, 7, e3Cores, e3Services(st.Stack), service, size,
+				workload.RatePerSec(rate), nil)
 			m.Observe(r.S)
 			r.RunMeasured(20*sim.Millisecond, 50*sim.Millisecond)
 			lat := r.Gen.Latency
-			t.AddRow(st.name, rate/1000,
+			t.AddRow(st.Name, rate/1000,
 				sim.Time(lat.Percentile(0.5)).Microseconds(),
 				sim.Time(lat.Percentile(0.99)).Microseconds(),
 				r.MeasuredServed(), r.MeasuredSent(),
@@ -70,18 +65,10 @@ func E3Throughput(m *sim.Meter) *stats.Table {
 		"stack", "requests/s", "p50 (us)", "p99 (us)")
 	size := workload.FixedSize{N: fig2Body}
 	service := sim.Microsecond
-	builders := []struct {
-		name string
-		mk   func() *Rig
-	}{
-		{"Lauberhorn", func() *Rig { return LauberhornRig(7, e3Cores, 1, service, size, nil, nil) }},
-		{"Bypass", func() *Rig { return BypassRig(7, e3Cores, e3Cores, service, size, nil, nil) }},
-		{"Kernel", func() *Rig { return KstackRig(7, e3Cores, 1, service, size, nil, nil) }},
-	}
 	const concurrency = 64
 	const window = 50 * sim.Millisecond
-	for _, b := range builders {
-		r := b.mk()
+	for _, b := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
+		r := StackRig(b.Stack, 7, e3Cores, e3Services(b.Stack), service, size, nil, nil)
 		m.Observe(r.S)
 		cl := workload.NewClosedLoop(r.S, genConfig(len(r.Gen.PerTarget), size, nil, nil), r.Link, 0, concurrency, 0)
 		// Substitute the closed-loop client as the link's client port.
@@ -93,7 +80,7 @@ func E3Throughput(m *sim.Meter) *stats.Table {
 		r.S.RunUntil(10*sim.Millisecond + window)
 		cl.Stop()
 		rps := float64(cl.Received-received0) / window.Seconds()
-		t.AddRow(b.name, rps,
+		t.AddRow(b.Name, rps,
 			sim.Time(cl.Latency.Percentile(0.5)).Microseconds(),
 			sim.Time(cl.Latency.Percentile(0.99)).Microseconds())
 	}

@@ -70,6 +70,8 @@ func All() []Experiment {
 			Run: one(E15Incast)},
 		{ID: "e16", Title: "Mixed-stack cluster under Zipf-skewed load", Source: "cluster layer; §1/§5.2",
 			Run: one(E16Cluster)},
+		{ID: "e17", Title: "Registered stacks incl. Hybrid, mixed sizes", Source: "stack registry; §6 (~4KiB fallback)",
+			Run: one(E17HybridCluster)},
 	}
 }
 

@@ -1,10 +1,11 @@
 // Package experiments reproduces every quantitative figure and claim of
-// the paper as a runnable experiment. Each Ex function builds the three
-// network stacks (Lauberhorn, kernel bypass, traditional kernel) on
-// identical substrates, drives them with the workload generators, and
-// returns a stats.Table whose rows correspond to the series the paper
-// reports. See DESIGN.md at the repository root for the experiment index
-// and for where each paper-vs-measured value is pinned.
+// the paper as a runnable experiment. Each Ex function builds the
+// registered network stacks (Lauberhorn, kernel bypass, traditional
+// kernel, and variants like the §6 Hybrid) on identical substrates via
+// the stack-driver registry, drives them with the workload generators,
+// and returns a stats.Table whose rows correspond to the series the
+// paper reports. See DESIGN.md at the repository root for the experiment
+// index and for where each paper-vs-measured value is pinned.
 package experiments
 
 import (
@@ -17,6 +18,7 @@ import (
 	"lauberhorn/internal/kernel"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
 )
@@ -135,12 +137,36 @@ func genConfig(n int, size workload.SizeDist, arrivals workload.ArrivalDist, pop
 	}
 }
 
-// stackRig translates the rigs' flat parameter list into a Direct
-// (point-to-point, no switch) one-host one-client cluster.Spec and
-// adapts the built universe to the Rig view. InheritRNG keeps the
-// generator's RNG stream — and therefore every pre-cluster table —
-// byte-identical to the original hand-wired construction.
-func stackRig(stack cluster.Stack, seed uint64, nCores, nSvcs int, serviceTime sim.Time,
+// stackChoice pairs a registered stack kind with the short name its
+// table rows print, as resolved from the stack-driver registry.
+type stackChoice struct {
+	Name  string
+	Stack cluster.Stack
+}
+
+// sweepStacks resolves short stack names against the stack-driver
+// registry, in the order given. Experiments that pin a comparison set
+// (for table stability) name it here; fully registry-driven sweeps (e17)
+// iterate stackdrv.All instead.
+func sweepStacks(names ...string) []stackChoice {
+	out := make([]stackChoice, len(names))
+	for i, n := range names {
+		e, ok := stackdrv.ByName(n)
+		if !ok {
+			panic(fmt.Sprintf("experiments: no stack driver named %q", n))
+		}
+		out[i] = stackChoice{Name: e.Name, Stack: e.Kind}
+	}
+	return out
+}
+
+// StackRig translates a flat parameter list into a Direct
+// (point-to-point, no switch) one-host one-client cluster.Spec for any
+// registered stack and adapts the built universe to the Rig view.
+// InheritRNG keeps the generator's RNG stream — and therefore every
+// pre-cluster table — byte-identical to the original hand-wired
+// construction. The per-stack constructors below are thin wrappers.
+func StackRig(stack cluster.Stack, seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
 	svcs := make([]cluster.ServiceSpec, nSvcs)
 	for i := range svcs {
@@ -167,7 +193,7 @@ func stackRig(stack cluster.Stack, seed uint64, nCores, nSvcs int, serviceTime s
 // services.
 func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return stackRig(cluster.Lauberhorn, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
+	return StackRig(cluster.Lauberhorn, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // BypassRig builds a kernel-bypass server: one worker per service, each
@@ -175,21 +201,21 @@ func LauberhornRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 // cores (statically provisioned, as IX/Arrakis deployments are).
 func BypassRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return stackRig(cluster.Bypass, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
+	return StackRig(cluster.Bypass, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // KstackRig builds a traditional kernel-stack server: RSS queues steered
 // to cores, one server thread per service scheduled by the kernel.
 func KstackRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return stackRig(cluster.Kernel, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
+	return StackRig(cluster.Kernel, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // KstackEnzianRig is the kernel stack over the Enzian FPGA NIC (the
 // paper's "Enzian DMA" series).
 func KstackEnzianRig(seed uint64, nCores, nSvcs int, serviceTime sim.Time,
 	size workload.SizeDist, arrivals workload.ArrivalDist, pop *workload.Zipf) *Rig {
-	return stackRig(cluster.KernelEnzian, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
+	return StackRig(cluster.KernelEnzian, seed, nCores, nSvcs, serviceTime, size, arrivals, pop)
 }
 
 // RunMeasured warms the rig for warm, resets latency statistics, runs the

@@ -1,0 +1,13 @@
+// Package builtin registers every in-tree stack driver with the stackdrv
+// registry, image/png-style: importing it (for side effects) makes the
+// Lauberhorn, Hybrid, Bypass, Kernel, and KernelEnzian drivers available
+// to cluster.Build without the importer naming any stack package. The
+// cluster layer blank-imports it so a Spec can name any in-tree stack;
+// an out-of-tree stack registers itself the same way from its own init.
+package builtin
+
+import (
+	_ "lauberhorn/internal/bypass"
+	_ "lauberhorn/internal/core"
+	_ "lauberhorn/internal/kstack"
+)

@@ -1,0 +1,90 @@
+package stackdrv
+
+import (
+	"strings"
+	"testing"
+)
+
+// This package's tests run against an empty registry (no driver package
+// is imported), so they can register freely; entries registered here stay
+// for the life of the test binary, and the tests account for that.
+
+func mustPanic(t *testing.T, frag string, f func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("no panic, want one mentioning %q", frag)
+		}
+		if !strings.Contains(strings.ToLower(strings.TrimSpace(
+			strings.ReplaceAll(sprint(p), "\n", " "))), strings.ToLower(frag)) {
+			t.Fatalf("panic %v does not mention %q", p, frag)
+		}
+	}()
+	f()
+}
+
+func sprint(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	const kind = Kind(900)
+	if got := kind.Label(); got != "stack(900)" {
+		t.Fatalf("unregistered label = %q", got)
+	}
+	if _, ok := Lookup(kind); ok {
+		t.Fatal("Lookup found an unregistered kind")
+	}
+	if _, ok := ByName("Test900"); ok {
+		t.Fatal("ByName found an unregistered name")
+	}
+
+	entry := Entry{Kind: kind, Name: "Test900", Label: "Test stack 900",
+		New: func(HostParams) Instance { return nil }}
+	Register(entry)
+
+	if got := kind.Label(); got != "Test stack 900" {
+		t.Fatalf("registered label = %q", got)
+	}
+	if e, ok := Lookup(kind); !ok || e.Name != "Test900" {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if e, ok := ByName("Test900"); !ok || e.Kind != kind {
+		t.Fatalf("ByName = %+v, %v", e, ok)
+	}
+
+	// All is sorted by kind and includes the new entry.
+	all := All()
+	found := false
+	for i, e := range all {
+		if i > 0 && all[i-1].Kind >= e.Kind {
+			t.Fatalf("All not strictly sorted at %d: %v", i, all)
+		}
+		if e.Kind == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("All misses the registered entry")
+	}
+
+	// Collisions and incomplete entries are programming errors.
+	mustPanic(t, "registered twice", func() { Register(entry) })
+	dupName := entry
+	dupName.Kind = Kind(901)
+	mustPanic(t, "registered twice", func() { Register(dupName) })
+	mustPanic(t, "incomplete", func() {
+		Register(Entry{Kind: Kind(902), Name: "x", Label: "y"})
+	})
+	mustPanic(t, "incomplete", func() {
+		Register(Entry{Kind: Kind(902), Name: "", Label: "y",
+			New: func(HostParams) Instance { return nil }})
+	})
+}

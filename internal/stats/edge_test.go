@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPercentileExactExtremes pins the documented contract that q=0 and
+// q=1 return the exact recorded extremes — not bucket midpoints — even
+// when the extremes land deep in coarse buckets.
+func TestPercentileExactExtremes(t *testing.T) {
+	h := NewHistogram()
+	samples := []int64{7, 999_983, 123_456_789, 42}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	if got := h.Percentile(0); got != 7 {
+		t.Errorf("Percentile(0) = %d, want exact min 7", got)
+	}
+	if got := h.Percentile(1); got != 123_456_789 {
+		t.Errorf("Percentile(1) = %d, want exact max 123456789", got)
+	}
+	// Out-of-range quantiles clamp to the same extremes.
+	if h.Percentile(-0.5) != 7 || h.Percentile(2) != 123_456_789 {
+		t.Error("out-of-range quantiles do not clamp to min/max")
+	}
+	// Interior quantiles stay within the recorded range.
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if v := h.Percentile(q); v < 7 || v > 123_456_789 {
+			t.Errorf("Percentile(%v) = %d escapes [min, max]", q, v)
+		}
+	}
+}
+
+// TestPercentileEmptyAndSingle covers the degenerate histogram sizes the
+// experiments hit when a stack serves nothing in a window.
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Percentile(q); v != 0 {
+			t.Errorf("empty Percentile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	h.Record(5_000_000)
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if v := h.Percentile(q); v != 5_000_000 {
+			t.Errorf("single-sample Percentile(%v) = %d, want the sample", q, v)
+		}
+	}
+	if h.Mean() != 5_000_000 || h.Min() != 5_000_000 || h.Max() != 5_000_000 {
+		t.Error("single-sample mean/min/max drifted from the sample")
+	}
+}
+
+// TestTableZeroRows pins rendering of a table that collected no rows
+// (e.g. an experiment whose filter matched nothing): title, header, and
+// separator still render, notes still attach, and nothing else appears.
+func TestTableZeroRows(t *testing.T) {
+	tb := NewTable("Empty", "a", "bb", "ccc")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("zero-row table has %d lines, want title+header+separator:\n%s", len(lines), s)
+	}
+	if lines[0] != "== Empty ==" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "ccc") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if strings.Trim(lines[2], "-") != "" || len(lines[2]) == 0 {
+		t.Errorf("separator line = %q", lines[2])
+	}
+
+	tb.AddNote("nothing matched")
+	if s := tb.String(); !strings.Contains(s, "note: nothing matched") {
+		t.Errorf("zero-row table dropped its note:\n%s", s)
+	}
+
+	// Untitled zero-row tables skip the title line entirely.
+	if s := NewTable("", "x").String(); strings.Contains(s, "==") {
+		t.Errorf("untitled table rendered a title: %q", s)
+	}
+}
