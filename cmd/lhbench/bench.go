@@ -1,0 +1,153 @@
+package main
+
+// BENCH_sim.json: the machine-readable perf artifact behind the repo's
+// performance trajectory. Every run of `lhbench -bench <path>` writes one
+// snapshot — per-experiment simulator throughput plus a self-contained
+// event-queue microbenchmark — so regressions show up as a diffable
+// number, not an impression. The schema is documented in README.md and
+// versioned through the "schema" field.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"lauberhorn/internal/experiments"
+	"lauberhorn/internal/sim"
+)
+
+// benchSchema names the current BENCH_sim.json layout.
+const benchSchema = "lauberhorn-bench/v1"
+
+// benchFile is the top-level BENCH_sim.json shape.
+type benchFile struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// Workers is the -parallel width the experiment section ran with.
+	Workers     int               `json:"workers"`
+	Queue       benchQueue        `json:"queue"`
+	Experiments []benchExperiment `json:"experiments"`
+	Totals      benchTotals       `json:"totals"`
+}
+
+// benchQueue is the event-queue microbenchmark section: the same two hot
+// loops as internal/sim's BenchmarkScheduleFire and BenchmarkFanOut,
+// rerun inline so the artifact is reproducible from this one command.
+type benchQueue struct {
+	ScheduleFireNsPerEvent float64 `json:"schedule_fire_ns_per_event"`
+	ScheduleFireEventsSec  float64 `json:"schedule_fire_events_per_sec"`
+	FanOutEventsSec        float64 `json:"fanout_events_per_sec"`
+}
+
+// benchExperiment is one experiment's row.
+type benchExperiment struct {
+	ID             string  `json:"id"`
+	Title          string  `json:"title"`
+	WallMS         float64 `json:"wall_ms"`
+	EventsFired    uint64  `json:"events_fired"`
+	EventsRecycled uint64  `json:"events_recycled"`
+	Sims           int     `json:"sims"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// benchTotals aggregates the experiment section.
+type benchTotals struct {
+	Experiments    int     `json:"experiments"`
+	WallMS         float64 `json:"wall_ms"`
+	EventsFired    uint64  `json:"events_fired"`
+	EventsRecycled uint64  `json:"events_recycled"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// benchScheduleFire measures the schedule→fire steady state: one
+// self-rescheduling event, the shape of every model timer.
+func benchScheduleFire() (nsPerEvent, eventsPerSec float64) {
+	const n = 2_000_000
+	s := sim.New(1)
+	left := n
+	var tick func()
+	tick = func() {
+		left--
+		if left > 0 {
+			s.After(sim.Nanosecond, "tick", tick)
+		}
+	}
+	s.After(0, "tick", tick)
+	start := time.Now()
+	s.Run()
+	el := time.Since(start)
+	return float64(el.Nanoseconds()) / n, n / el.Seconds()
+}
+
+// benchFanOut measures bursty scheduling: each fired event schedules a
+// small fan-out, stressing ring-bucket growth and free-list churn.
+func benchFanOut() (eventsPerSec float64) {
+	const rounds = 200
+	var fired uint64
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		s := sim.New(uint64(i))
+		n := 0
+		var burst func()
+		burst = func() {
+			n++
+			if n < 4096 {
+				for j := 0; j < 3; j++ {
+					s.After(sim.Time(1+j)*sim.Nanosecond, "burst", burst)
+				}
+			}
+		}
+		s.After(0, "burst", burst)
+		s.RunUntil(200 * sim.Nanosecond)
+		fired += s.Fired()
+	}
+	return float64(fired) / time.Since(start).Seconds()
+}
+
+// writeBench renders results into the BENCH_sim.json shape at path.
+func writeBench(path string, workers int, results []experiments.Result) error {
+	f := benchFile{
+		Schema:  benchSchema,
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Workers: workers,
+	}
+	f.Queue.ScheduleFireNsPerEvent, f.Queue.ScheduleFireEventsSec = benchScheduleFire()
+	f.Queue.FanOutEventsSec = benchFanOut()
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		wallS := r.Wall.Seconds()
+		e := benchExperiment{
+			ID:             r.Experiment.ID,
+			Title:          r.Experiment.Title,
+			WallMS:         float64(r.Wall.Microseconds()) / 1000,
+			EventsFired:    r.Events,
+			EventsRecycled: r.Recycled,
+			Sims:           r.Sims,
+		}
+		if wallS > 0 {
+			e.EventsPerSec = float64(r.Events) / wallS
+		}
+		f.Experiments = append(f.Experiments, e)
+		f.Totals.Experiments++
+		f.Totals.WallMS += e.WallMS
+		f.Totals.EventsFired += r.Events
+		f.Totals.EventsRecycled += r.Recycled
+	}
+	if f.Totals.WallMS > 0 {
+		f.Totals.EventsPerSec = float64(f.Totals.EventsFired) / (f.Totals.WallMS / 1000)
+	}
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -8,6 +8,7 @@
 //	lhbench -run all               # run everything (default)
 //	lhbench -run all -parallel 8   # run up to 8 experiments concurrently
 //	lhbench -run e3 -json          # machine-readable results
+//	lhbench -bench BENCH_sim.json  # also write the perf-trajectory artifact
 //
 // Experiments run on a bounded worker pool (-parallel, default
 // GOMAXPROCS) with one simulator universe per experiment, so results are
@@ -85,6 +86,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max experiments running concurrently (1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
+	benchOut := flag.String("bench", "",
+		"write a BENCH_sim.json perf snapshot (events/sec per experiment, queue microbenchmarks) to this path")
 	flag.Parse()
 
 	if *list {
@@ -134,6 +137,13 @@ func main() {
 	}
 
 	elapsed := time.Since(start)
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *parallel, results); err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lhbench: wrote perf snapshot to %s\n", *benchOut)
+	}
 	sum := experiments.Summarize(results)
 	fmt.Fprintf(os.Stderr,
 		"\nlhbench: %d experiments, %d tables, %d simulator events in %v (workers=%d, serial cost %v, speedup %.2fx)\n",

@@ -156,7 +156,7 @@ func (n *NIC) deliverClientResponse(msg *rpc.Message) {
 	call.done = true
 	ch := n.clientChans[call.chanID]
 	// If the core is already stalled on the channel, answer now.
-	if p, ok := n.pendingByCore[ch.coreID]; ok {
+	if p := n.pendingOn(ch.coreID); p != nil {
 		region, chID, _, _ := splitAddr(p.addr)
 		if region == regionClient && chID == ch.id {
 			n.removePending(p)

@@ -138,8 +138,8 @@ func NewHost(s *sim.Sim, cfg HostConfig) *Host {
 func (h *Host) kickForRunnable() {
 	pick := -1
 	for coreID := 0; coreID < h.cfg.Cores; coreID++ {
-		p, ok := h.NIC.pendingByCore[coreID]
-		if !ok {
+		p := h.NIC.pendingOn(coreID)
+		if p == nil {
 			continue
 		}
 		region, svc, _, _ := splitAddr(p.addr)
@@ -252,8 +252,8 @@ func (h *Host) Deschedule(coreID int) {
 // scanned in ID order for determinism.
 func (h *Host) reclaimCore() {
 	for coreID := 0; coreID < h.cfg.Cores; coreID++ {
-		p, ok := h.NIC.pendingByCore[coreID]
-		if !ok || p.kernel {
+		p := h.NIC.pendingOn(coreID)
+		if p == nil || p.kernel {
 			continue
 		}
 		if region, _, _, _ := splitAddr(p.addr); region != regionService {

@@ -163,11 +163,13 @@ type NIC struct {
 	endpoints map[uint32]*Endpoint
 	byPort    map[uint16]*Endpoint
 
-	pending map[mesi.LineAddr]*pendingLoad
-	// pendingByCore tracks the (at most one) deferred load per core.
-	pendingByCore map[int]*pendingLoad
-	// kernelOrder lists cores whose kernel loop is stalled, FIFO.
-	kernelOrder []mesi.LineAddr
+	// pendingByCore tracks the (at most one) deferred load per core,
+	// indexed by core ID — a direct array hit on every packet arrival and
+	// kick, where a map would hash. Grown on demand for out-of-range IDs.
+	pendingByCore []*pendingLoad
+	// kernelOrder lists the deferred loads of cores whose kernel loop is
+	// stalled, FIFO.
+	kernelOrder []*pendingLoad
 
 	inflights  map[uint64]*inflight
 	nextSerial uint64
@@ -187,6 +189,18 @@ type NIC struct {
 	schedPush  uint64
 	ipID       uint16
 	decodeBusy sim.Time
+
+	// Preallocated bound callbacks for the per-packet event hot paths:
+	// frames and decoded messages wait in FIFO staging queues and a single
+	// reused func value fires them, so neither transmit nor decode
+	// allocates a closure per packet. FIFO is sound because TxBuild is
+	// constant and decode completions are monotone (decodeBusy).
+	txFn    func()
+	txq     [][]byte
+	txHead  int
+	decFn   func()
+	decq    []decoded
+	decHead int
 
 	// Client (outbound RPC) state.
 	clientChans  map[uint32]*clientChanNIC
@@ -238,8 +252,7 @@ func NewNIC(s *sim.Sim, cfg Config, nCores int) *NIC {
 		cfg:           cfg,
 		endpoints:     make(map[uint32]*Endpoint),
 		byPort:        make(map[uint16]*Endpoint),
-		pending:       make(map[mesi.LineAddr]*pendingLoad),
-		pendingByCore: make(map[int]*pendingLoad),
+		pendingByCore: make([]*pendingLoad, nCores),
 		inflights:     make(map[uint64]*inflight),
 		awaiting:      make(map[mesi.LineAddr]uint64),
 		auxOut:        make(map[uint64][]byte),
@@ -256,9 +269,19 @@ func NewNIC(s *sim.Sim, cfg Config, nCores int) *NIC {
 	if cfg.DMAThreshold > 0 && !cfg.DMA.HasDMA {
 		panic("core: DMAThreshold set but DMA fabric has no DMA engine")
 	}
+	n.txFn = n.txFire
+	n.decFn = n.decodeDone
 	n.stats.Backlog = stats.NewHistogram()
 	n.dir = mesi.NewDirectory(s, cfg.Fabric, n)
 	return n
+}
+
+// pendingOn returns the deferred load parked on coreID, if any.
+func (n *NIC) pendingOn(coreID int) *pendingLoad {
+	if coreID < 0 || coreID >= len(n.pendingByCore) {
+		return nil
+	}
+	return n.pendingByCore[coreID]
 }
 
 // Directory returns the coherence directory the NIC homes.
@@ -446,24 +469,28 @@ func (n *NIC) oldestBacklog() (*inflight, *Endpoint) {
 
 // defer_ parks a load until work (or the TryAgain timer) arrives.
 func (n *NIC) defer_(addr mesi.LineAddr, coreID int, svc uint32, kernel bool, respond func([]byte)) {
-	if _, dup := n.pending[addr]; dup {
-		panic(fmt.Sprintf("core: duplicate pending load on %#x", uint64(addr)))
+	for _, q := range n.pendingByCore {
+		if q != nil && q.addr == addr {
+			panic(fmt.Sprintf("core: duplicate pending load on %#x", uint64(addr)))
+		}
 	}
-	if _, dup := n.pendingByCore[coreID]; dup {
+	if coreID >= len(n.pendingByCore) {
+		n.pendingByCore = append(n.pendingByCore, make([]*pendingLoad, coreID+1-len(n.pendingByCore))...)
+	}
+	if n.pendingByCore[coreID] != nil {
 		panic(fmt.Sprintf("core: core %d already has a pending load", coreID))
 	}
 	p := &pendingLoad{addr: addr, coreID: coreID, svc: svc, kernel: kernel, respond: respond}
 	p.timer = n.sim.After(n.cfg.TryAgainTimeout, "lauberhorn-tryagain", func() {
 		n.fireTryAgain(p)
 	})
-	n.pending[addr] = p
 	n.pendingByCore[coreID] = p
 	region, _, _, _ := splitAddr(addr)
 	switch {
 	case region == regionClient:
 		// Client-channel waits have no endpoint bookkeeping.
 	case kernel:
-		n.kernelOrder = append(n.kernelOrder, addr)
+		n.kernelOrder = append(n.kernelOrder, p)
 	default:
 		ep := n.endpoints[svc]
 		ep.waiters = append(ep.waiters, p)
@@ -472,8 +499,7 @@ func (n *NIC) defer_(addr mesi.LineAddr, coreID int, svc uint32, kernel bool, re
 
 // removePending unlinks a deferred load (it is about to be answered).
 func (n *NIC) removePending(p *pendingLoad) {
-	delete(n.pending, p.addr)
-	delete(n.pendingByCore, p.coreID)
+	n.pendingByCore[p.coreID] = nil
 	if p.timer != nil {
 		n.sim.Cancel(p.timer)
 		p.timer = nil
@@ -483,8 +509,8 @@ func (n *NIC) removePending(p *pendingLoad) {
 		return
 	}
 	if p.kernel {
-		for i, a := range n.kernelOrder {
-			if a == p.addr {
+		for i, q := range n.kernelOrder {
+			if q == p {
 				n.kernelOrder = append(n.kernelOrder[:i], n.kernelOrder[i+1:]...)
 				break
 			}
@@ -564,8 +590,8 @@ func (n *NIC) FlushChannel(svc uint32, coreID int) {
 // then "Lauberhorn can send the process a TryAgain message, unblocking
 // it").
 func (n *NIC) Kick(coreID int) bool {
-	p, ok := n.pendingByCore[coreID]
-	if !ok {
+	p := n.pendingOn(coreID)
+	if p == nil {
 		return false
 	}
 	n.removePending(p)
@@ -577,8 +603,8 @@ func (n *NIC) Kick(coreID int) bool {
 // RetireCore answers the pending load on coreID with Retire (explicit OS-
 // requested core reclamation, e.g. for a non-RPC process).
 func (n *NIC) RetireCore(coreID int) bool {
-	p, ok := n.pendingByCore[coreID]
-	if !ok {
+	p := n.pendingOn(coreID)
+	if p == nil {
 		return false
 	}
 	n.removePending(p)
@@ -716,13 +742,34 @@ func (n *NIC) DeliverFrame(frame []byte) {
 		lat += sim.Time(len(msg.Body)) * n.cfg.DecompressPerByte
 	}
 	n.decodeBusy = start + lat
-	n.sim.At(start+lat, "lauberhorn-decoded", func() {
-		if msg.IsRequest() {
-			n.admit(d, msg)
-		} else {
-			n.deliverClientResponse(msg)
-		}
-	})
+	// Completion times are monotone (each packet starts no earlier than
+	// the previous decodeBusy), so a FIFO queue plus one prebound callback
+	// replaces a per-packet closure.
+	n.decq = append(n.decq, decoded{d: d, msg: msg})
+	n.sim.At(start+lat, "lauberhorn-decoded", n.decFn)
+}
+
+// decoded is one packet staged between the decode pipeline and dispatch.
+type decoded struct {
+	d   *wire.Datagram
+	msg *rpc.Message
+}
+
+// decodeDone dispatches the oldest staged packet; it is the single bound
+// callback behind every "lauberhorn-decoded" event.
+func (n *NIC) decodeDone() {
+	dec := n.decq[n.decHead]
+	n.decq[n.decHead] = decoded{}
+	n.decHead++
+	if n.decHead == len(n.decq) {
+		n.decq = n.decq[:0]
+		n.decHead = 0
+	}
+	if dec.msg.IsRequest() {
+		n.admit(dec.d, dec.msg)
+	} else {
+		n.deliverClientResponse(dec.msg)
+	}
 }
 
 // admit demultiplexes a decoded request to its endpoint and dispatches or
@@ -773,8 +820,7 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 	// Medium path: a core's kernel loop is stalled; hand it the request
 	// with a process-switch marker. FIFO over kernel pollers.
 	if len(n.kernelOrder) > 0 && !n.NoKernelDispatch {
-		addr := n.kernelOrder[0]
-		p := n.pending[addr]
+		p := n.kernelOrder[0]
 		n.removePending(p)
 		n.stats.KernDispatch++
 		n.noteDispatch(req, true)
@@ -838,6 +884,9 @@ func (n *NIC) transmitResponse(serial uint64, line []byte) {
 }
 
 // txRPC frames and transmits an RPC message after the NIC TX build cost.
+// Built frames wait in a FIFO staging queue; TxBuild is constant, so the
+// single prebound txFn fires them in schedule order without allocating a
+// closure per packet.
 func (n *NIC) txRPC(dst wire.Endpoint, payload []byte) {
 	if n.link == nil {
 		panic("core: NIC has no link")
@@ -847,9 +896,20 @@ func (n *NIC) txRPC(dst wire.Endpoint, payload []byte) {
 	if err != nil {
 		panic(fmt.Sprintf("core: tx: %v", err))
 	}
-	n.sim.After(n.cfg.TxBuild, "lauberhorn-tx", func() {
-		n.stats.TxFrames++
-		n.emit(trace.TxFrame, uint64(len(frame)), 0, "")
-		n.link.Send(n.side, frame)
-	})
+	n.txq = append(n.txq, frame)
+	n.sim.After(n.cfg.TxBuild, "lauberhorn-tx", n.txFn)
+}
+
+// txFire sends the oldest staged frame onto the link.
+func (n *NIC) txFire() {
+	frame := n.txq[n.txHead]
+	n.txq[n.txHead] = nil
+	n.txHead++
+	if n.txHead == len(n.txq) {
+		n.txq = n.txq[:0]
+		n.txHead = 0
+	}
+	n.stats.TxFrames++
+	n.emit(trace.TxFrame, uint64(len(frame)), 0, "")
+	n.link.Send(n.side, frame)
 }

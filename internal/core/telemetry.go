@@ -103,11 +103,12 @@ func (n *NIC) TelemetryReport() string {
 	fmt.Fprintf(&b, "lauberhorn NIC telemetry (%d services)\n", len(ids))
 	for _, id := range ids {
 		tl := n.telemetry[uint32(id)]
+		p := tl.QueueDelay.Percentiles(0.5, 0.99)
 		fmt.Fprintf(&b, "  svc %-4d arrivals=%-7d fast=%-7d kernel=%-6d queued=%-6d dropped=%-4d rate=%.0f/s qdelay{p50=%v p99=%v}\n",
 			tl.Svc, tl.Arrivals, tl.Fast, tl.ViaKernel, tl.Queued, tl.Dropped,
 			tl.RateEWMA,
-			sim.Time(tl.QueueDelay.Percentile(0.5)),
-			sim.Time(tl.QueueDelay.Percentile(0.99)))
+			sim.Time(p[0]),
+			sim.Time(p[1]))
 	}
 	return b.String()
 }

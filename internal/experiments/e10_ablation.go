@@ -48,10 +48,10 @@ func E10Ablation(m *sim.Meter) *stats.Table {
 		r := mk(v.mutate)
 		m.Observe(r.S)
 		r.RunMeasured(20*sim.Millisecond, 60*sim.Millisecond)
-		lat := r.Gen.Latency
+		p := r.Gen.Latency.Percentiles(0.5, 0.99)
 		t.AddRow(v.name,
-			sim.Time(lat.Percentile(0.5)).Microseconds(),
-			sim.Time(lat.Percentile(0.99)).Microseconds(),
+			sim.Time(p[0]).Microseconds(),
+			sim.Time(p[1]).Microseconds(),
 			r.MeasuredServed(), r.MeasuredSent(), r.CyclesPerRequest())
 	}
 	t.AddNote("without NIC-driven scheduling, cores stay bound to their first service and cold services starve (served << sent);")

@@ -33,10 +33,10 @@ func E15Incast(m *sim.Meter) *stats.Table {
 			u := cluster.Build(incastSpec(15, st.Stack, k))
 			m.Observe(u.S)
 			u.RunMeasured(10*sim.Millisecond, 30*sim.Millisecond)
-			lat := u.MergedLatency()
+			p := u.MergedLatency().Percentiles(0.5, 0.99)
 			t.AddRow(st.Name, k, float64(k*e15Rate)/1000,
-				sim.Time(lat.Percentile(0.5)).Microseconds(),
-				sim.Time(lat.Percentile(0.99)).Microseconds(),
+				sim.Time(p[0]).Microseconds(),
+				sim.Time(p[1]).Microseconds(),
 				u.TotalMeasuredServed(), u.TotalMeasuredSent())
 		}
 	}

@@ -37,9 +37,10 @@ func E16Cluster(m *sim.Meter) *stats.Table {
 		if served > 0 {
 			perReq = energy / float64(served) * 1e6
 		}
+		p := lat.Percentiles(0.5, 0.99)
 		t.AddRow(h.Spec.Name, h.Label, served,
-			sim.Time(lat.Percentile(0.5)).Microseconds(),
-			sim.Time(lat.Percentile(0.99)).Microseconds(),
+			sim.Time(p[0]).Microseconds(),
+			sim.Time(p[1]).Microseconds(),
 			energy*1e3, perReq)
 	}
 	t.AddRow("TOTAL", "", u.TotalMeasuredServed(), 0, 0, 0, 0)

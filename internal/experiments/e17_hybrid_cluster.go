@@ -49,11 +49,13 @@ func E17HybridCluster(m *sim.Meter) *stats.Table {
 			small.Merge(c.Gen.PerTarget[0])
 			large.Merge(c.Gen.PerTarget[1])
 		}
+		ps := small.Percentiles(0.5, 0.99)
+		pl := large.Percentiles(0.5, 0.99)
 		t.AddRow(ent.Name,
-			sim.Time(small.Percentile(0.5)).Microseconds(),
-			sim.Time(small.Percentile(0.99)).Microseconds(),
-			sim.Time(large.Percentile(0.5)).Microseconds(),
-			sim.Time(large.Percentile(0.99)).Microseconds(),
+			sim.Time(ps[0]).Microseconds(),
+			sim.Time(ps[1]).Microseconds(),
+			sim.Time(pl[0]).Microseconds(),
+			sim.Time(pl[1]).Microseconds(),
 			u.TotalMeasuredServed(), u.TotalMeasuredSent())
 	}
 	t.AddNote("§6: hybrid = Lauberhorn + 4KiB DMA fallback; small bodies identical to Lauberhorn, large bodies")

@@ -46,10 +46,10 @@ func E3LoadLatency(m *sim.Meter) *stats.Table {
 				workload.RatePerSec(rate), nil)
 			m.Observe(r.S)
 			r.RunMeasured(20*sim.Millisecond, 50*sim.Millisecond)
-			lat := r.Gen.Latency
+			p := r.Gen.Latency.Percentiles(0.5, 0.99)
 			t.AddRow(st.Name, rate/1000,
-				sim.Time(lat.Percentile(0.5)).Microseconds(),
-				sim.Time(lat.Percentile(0.99)).Microseconds(),
+				sim.Time(p[0]).Microseconds(),
+				sim.Time(p[1]).Microseconds(),
 				r.MeasuredServed(), r.MeasuredSent(),
 				r.CyclesPerRequest())
 		}
@@ -80,9 +80,10 @@ func E3Throughput(m *sim.Meter) *stats.Table {
 		r.S.RunUntil(10*sim.Millisecond + window)
 		cl.Stop()
 		rps := float64(cl.Received-received0) / window.Seconds()
+		p := cl.Latency.Percentiles(0.5, 0.99)
 		t.AddRow(b.Name, rps,
-			sim.Time(cl.Latency.Percentile(0.5)).Microseconds(),
-			sim.Time(cl.Latency.Percentile(0.99)).Microseconds())
+			sim.Time(p[0]).Microseconds(),
+			sim.Time(p[1]).Microseconds())
 	}
 	return t
 }

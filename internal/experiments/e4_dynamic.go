@@ -66,10 +66,11 @@ func E4DynamicMix(m *sim.Meter) *stats.Table {
 		if served > 0 {
 			uJ = (r.Energy() - energy0) / float64(served) * 1e6
 		}
+		p := lat.Percentiles(0.5, 0.99, 0.999)
 		t.AddRow(b.name,
-			sim.Time(lat.Percentile(0.5)).Microseconds(),
-			sim.Time(lat.Percentile(0.99)).Microseconds(),
-			sim.Time(lat.Percentile(0.999)).Microseconds(),
+			sim.Time(p[0]).Microseconds(),
+			sim.Time(p[1]).Microseconds(),
+			sim.Time(p[2]).Microseconds(),
 			served, r.MeasuredSent(),
 			r.CyclesPerRequest(), uJ)
 	}

@@ -51,9 +51,11 @@ func E8Simulated(m *sim.Meter) *stats.Table {
 		costs.Quantum = 100 * sim.Microsecond
 		costs.ContextSwitch += push
 		k := kernel.New(s, 1, 2.5, costs)
-		var spin func(tc *kernel.TC)
-		spin = func(tc *kernel.TC) {
-			tc.RunUser(50*sim.Microsecond, func() { spin(tc) })
+		// One loop closure per thread, not one per 50us slice.
+		spin := func(tc *kernel.TC) {
+			var loop func()
+			loop = func() { tc.RunUser(50*sim.Microsecond, loop) }
+			loop()
 		}
 		k.Spawn(k.NewProcess("a"), "a", spin)
 		k.Spawn(k.NewProcess("b"), "b", spin)

@@ -22,6 +22,10 @@ type Result struct {
 	// experiment created (exact even under parallelism: each experiment
 	// gets its own Meter).
 	Events uint64
+	// Recycled counts Event allocations the simulators' free lists
+	// avoided; together with Events it describes the queue's behavior for
+	// the BENCH_sim.json perf trajectory.
+	Recycled uint64
 	// Sims counts simulators the experiment created.
 	Sims int
 	// Err records a recovered panic, leaving the other experiments'
@@ -101,6 +105,7 @@ func runOne(e Experiment) (res Result) {
 	defer func() {
 		res.Wall = time.Since(start)
 		res.Events = m.EventsFired()
+		res.Recycled = m.EventsRecycled()
 		res.Sims = m.Sims()
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)

@@ -124,6 +124,17 @@ type Thread struct {
 	sliceDur   sim.Time
 	sliceMode  cpu.State
 	sliceThen  func()
+	// sliceFire is the one bound callback behind every "thread-run"
+	// event: the slice state above carries the per-call parameters, so
+	// Run never allocates a closure on the hot path.
+	sliceFire func()
+	// resumeRun replays an interrupted slice on re-dispatch; like
+	// sliceFire it is bound once and parameterized through resumeDur/
+	// resumeMode/resumeThen.
+	resumeRun  func(tc *TC)
+	resumeDur  sim.Time
+	resumeMode cpu.State
+	resumeThen func()
 
 	stalled bool
 	// inIRQ is set while an interrupt handler borrows the thread's core;
@@ -191,6 +202,24 @@ type coreCtx struct {
 	current *Thread
 	// quantumEv fires to preempt the current thread.
 	quantumEv *sim.Event
+	// quantumFn is the bound quantum-expiry callback, created once per
+	// core so armQuantum does not allocate per context switch.
+	quantumFn func()
+	// dispatchRecs is a freelist of reusable dispatch-completion records.
+	// Each record carries its own bound callback and the thread its
+	// dispatch installed, so concurrent in-flight dispatches keep
+	// distinct identities (their completion events may fire out of
+	// schedule order when switch costs differ) while the steady state
+	// allocates nothing.
+	dispatchRecs []*dispatchRec
+}
+
+// dispatchRec is one in-flight dispatch completion: the per-event state
+// the old per-dispatch closures captured, made reusable.
+type dispatchRec struct {
+	c  *coreCtx
+	t  *Thread
+	fn func()
 }
 
 // Stats counts kernel scheduling activity.
@@ -237,7 +266,12 @@ func New(s *sim.Sim, nCores int, freqGHz float64, costs Costs) *Kernel {
 	}
 	k := &Kernel{Sim: s, Costs: costs, nextTID: 1, nextPID: 1}
 	for i := 0; i < nCores; i++ {
-		k.cores = append(k.cores, &coreCtx{cpu: cpu.NewCore(s, i, freqGHz)})
+		c := &coreCtx{cpu: cpu.NewCore(s, i, freqGHz)}
+		c.quantumFn = func() {
+			c.quantumEv = nil
+			k.quantumExpired(c)
+		}
+		k.cores = append(k.cores, c)
 	}
 	return k
 }
@@ -376,20 +410,39 @@ func (k *Kernel) dispatch(c *coreCtx, t *Thread, prev *Thread) {
 	// quantum event left over from the previous occupant must not fire
 	// against the incoming thread during the switch window.
 	k.armQuantum(c)
-	k.Sim.After(cost, "ksched-dispatch", func() {
-		if c.current != t {
-			return // raced with a preemption during the switch
-		}
-		if k.SchedHook != nil {
-			k.SchedHook(c.cpu.ID(), t)
-		}
-		resume := t.resume
-		t.resume = nil
-		if resume == nil {
-			panic(fmt.Sprintf("kernel: thread %v has no continuation", t))
-		}
-		resume(&TC{k: k, t: t})
-	})
+	var rec *dispatchRec
+	if n := len(c.dispatchRecs); n > 0 {
+		rec = c.dispatchRecs[n-1]
+		c.dispatchRecs[n-1] = nil
+		c.dispatchRecs = c.dispatchRecs[:n-1]
+	} else {
+		rec = &dispatchRec{c: c}
+		rec.fn = func() { k.dispatchDone(rec) }
+	}
+	rec.t = t
+	k.Sim.After(cost, "ksched-dispatch", rec.fn)
+}
+
+// dispatchDone completes one dispatch. The record pins the thread that
+// dispatch installed, so a completion superseded by a preemption during
+// its switch window falls through regardless of the order in-flight
+// completions fire in.
+func (k *Kernel) dispatchDone(rec *dispatchRec) {
+	c, t := rec.c, rec.t
+	rec.t = nil
+	c.dispatchRecs = append(c.dispatchRecs, rec)
+	if c.current != t {
+		return // raced with a preemption during the switch
+	}
+	if k.SchedHook != nil {
+		k.SchedHook(c.cpu.ID(), t)
+	}
+	resume := t.resume
+	t.resume = nil
+	if resume == nil {
+		panic(fmt.Sprintf("kernel: thread %v has no continuation", t))
+	}
+	resume(&TC{k: k, t: t})
 }
 
 // armQuantum schedules time-slice preemption for the core.
@@ -400,10 +453,7 @@ func (k *Kernel) armQuantum(c *coreCtx) {
 	if k.Costs.Quantum <= 0 {
 		return
 	}
-	c.quantumEv = k.Sim.After(k.Costs.Quantum, "ksched-quantum", func() {
-		c.quantumEv = nil
-		k.quantumExpired(c)
-	})
+	c.quantumEv = k.Sim.After(k.Costs.Quantum, "ksched-quantum", c.quantumFn)
 }
 
 // quantumExpired preempts the core's thread if someone is waiting.
@@ -458,11 +508,14 @@ func (k *Kernel) preemptRunning(c *coreCtx, t *Thread) {
 	if t.sliceEv != nil {
 		k.Sim.Cancel(t.sliceEv)
 		consumed := k.Sim.Now() - t.sliceStart
-		remaining := t.sliceDur - consumed
 		t.runTotal += consumed
-		mode, then := t.sliceMode, t.sliceThen
+		if t.resumeRun == nil {
+			t.resumeRun = func(tc *TC) { tc.Run(t.resumeDur, t.resumeMode, t.resumeThen) }
+		}
+		t.resumeDur = t.sliceDur - consumed
+		t.resumeMode, t.resumeThen = t.sliceMode, t.sliceThen
 		t.sliceEv, t.sliceThen = nil, nil
-		t.resume = func(tc *TC) { tc.Run(remaining, mode, then) }
+		t.resume = t.resumeRun
 	}
 	if t.resume == nil {
 		panic(fmt.Sprintf("kernel: preempting %v with no way to resume", t))

@@ -53,12 +53,16 @@ func (tc *TC) Run(d sim.Time, mode cpu.State, then func()) {
 	t.sliceDur = d
 	t.sliceMode = mode
 	t.sliceThen = then
-	t.sliceEv = tc.k.Sim.After(d, "thread-run", func() {
-		t.sliceEv = nil
-		t.sliceThen = nil
-		t.runTotal += d
-		then()
-	})
+	if t.sliceFire == nil {
+		t.sliceFire = func() {
+			then := t.sliceThen
+			t.sliceEv = nil
+			t.sliceThen = nil
+			t.runTotal += t.sliceDur
+			then()
+		}
+	}
+	t.sliceEv = tc.k.Sim.After(d, "thread-run", t.sliceFire)
 }
 
 // RunUser is shorthand for Run in user mode.

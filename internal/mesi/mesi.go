@@ -67,12 +67,12 @@ type Backing interface {
 // used for DRAM-homed lines and in tests.
 type MemBacking struct {
 	LineSize int
-	data     map[LineAddr][]byte
+	data     *addrTable[[]byte]
 }
 
 // NewMemBacking returns a zero-filled memory backing.
 func NewMemBacking(lineSize int) *MemBacking {
-	return &MemBacking{LineSize: lineSize, data: make(map[LineAddr][]byte)}
+	return &MemBacking{LineSize: lineSize, data: newAddrTable[[]byte](0)}
 }
 
 // ReadLine responds immediately with the stored (or zero) data.
@@ -84,12 +84,12 @@ func (m *MemBacking) ReadLine(addr LineAddr, excl bool, respond func([]byte)) {
 func (m *MemBacking) WriteLine(addr LineAddr, data []byte) {
 	c := make([]byte, m.LineSize)
 	copy(c, data)
-	m.data[addr] = c
+	m.data.put(addr, c)
 }
 
 // Get returns the current stored value (zeroes if never written).
 func (m *MemBacking) Get(addr LineAddr) []byte {
-	if d, ok := m.data[addr]; ok {
+	if d, ok := m.data.get(addr); ok {
 		c := make([]byte, len(d))
 		copy(c, d)
 		return c
@@ -123,7 +123,7 @@ type Directory struct {
 	sim     *sim.Sim
 	params  fabric.Params
 	backing Backing
-	lines   map[LineAddr]*dirLine
+	lines   *addrTable[*dirLine]
 	stats   Stats
 
 	// DeferTimeout bounds how long a fill may stay deferred before the
@@ -172,7 +172,7 @@ func NewDirectory(s *sim.Sim, p fabric.Params, backing Backing) *Directory {
 		sim:          s,
 		params:       p,
 		backing:      backing,
-		lines:        make(map[LineAddr]*dirLine),
+		lines:        newAddrTable[*dirLine](0),
 		DeferTimeout: 50 * sim.Millisecond,
 		BusError: func(addr LineAddr) {
 			panic(fmt.Sprintf("mesi: protocol timeout (bus error) on deferred fill of line %#x", uint64(addr)))
@@ -190,10 +190,10 @@ func (d *Directory) Stats() Stats { return d.stats }
 func (d *Directory) LineSize() int { return d.params.CacheLineSize }
 
 func (d *Directory) line(addr LineAddr) *dirLine {
-	l, ok := d.lines[addr]
+	l, ok := d.lines.get(addr)
 	if !ok {
 		l = &dirLine{sharers: make(map[*Cache]struct{})}
-		d.lines[addr] = l
+		d.lines.put(addr, l)
 	}
 	return l
 }

@@ -1,0 +1,88 @@
+package mesi
+
+import "math/bits"
+
+// addrTable is a grow-only open-addressed hash table keyed by LineAddr,
+// replacing map[LineAddr]V on the coherence hot path. Directory entries
+// and backing lines are only ever created, never deleted, so linear
+// probing needs no tombstones; lookups are one multiply, a shift, and a
+// short probe over two parallel slices — no map header, no per-access
+// hashing interface, and working sets of a few hundred lines stay in L1.
+type addrTable[V any] struct {
+	keys  []LineAddr
+	vals  []V
+	used  []bool
+	n     int
+	shift uint
+}
+
+const addrTableMinSize = 64 // power of two, comfortably above a host's control-line count
+
+// newAddrTable returns an empty table pre-sized for sizeHint entries.
+func newAddrTable[V any](sizeHint int) *addrTable[V] {
+	size := addrTableMinSize
+	for size < sizeHint*2 {
+		size *= 2
+	}
+	return &addrTable[V]{
+		keys:  make([]LineAddr, size),
+		vals:  make([]V, size),
+		used:  make([]bool, size),
+		shift: uint(64 - bits.TrailingZeros(uint(size))),
+	}
+}
+
+// slot is the preferred slot for a: Fibonacci hashing spreads the
+// structured control-line address space across the table.
+func (t *addrTable[V]) slot(a LineAddr) int {
+	return int((uint64(a) * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// get returns the value stored for a, if any.
+func (t *addrTable[V]) get(a LineAddr) (V, bool) {
+	mask := len(t.keys) - 1
+	for i := t.slot(a); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			var zero V
+			return zero, false
+		}
+		if t.keys[i] == a {
+			return t.vals[i], true
+		}
+	}
+}
+
+// put inserts or replaces the value for a.
+func (t *addrTable[V]) put(a LineAddr, v V) {
+	if (t.n+1)*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := len(t.keys) - 1
+	for i := t.slot(a); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			t.keys[i], t.vals[i], t.used[i] = a, v, true
+			t.n++
+			return
+		}
+		if t.keys[i] == a {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// grow doubles the table and rehashes every entry.
+func (t *addrTable[V]) grow() {
+	old := *t
+	size := len(old.keys) * 2
+	t.keys = make([]LineAddr, size)
+	t.vals = make([]V, size)
+	t.used = make([]bool, size)
+	t.shift--
+	t.n = 0
+	for i, u := range old.used {
+		if u {
+			t.put(old.keys[i], old.vals[i])
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package mesi
+
+import "testing"
+
+// TestAddrTable pins the open-addressed table against map semantics:
+// address zero is a valid key, overwrites replace, growth rehashes
+// everything, and misses report absence.
+func TestAddrTable(t *testing.T) {
+	tb := newAddrTable[int](0)
+	if _, ok := tb.get(0); ok {
+		t.Fatal("empty table reported a hit for address 0")
+	}
+	// Structured addresses like the control-line encoders produce, plus
+	// enough entries to force several doublings.
+	const n = 10000
+	key := func(i int) LineAddr { return LineAddr(i) << 6 }
+	for i := 0; i < n; i++ {
+		tb.put(key(i), i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tb.get(key(i))
+		if !ok || v != i {
+			t.Fatalf("get(%#x) = %d,%v after growth, want %d,true", uint64(key(i)), v, ok, i)
+		}
+	}
+	if _, ok := tb.get(key(n) + 1); ok {
+		t.Fatal("miss reported a hit")
+	}
+	tb.put(key(7), 700)
+	if v, _ := tb.get(key(7)); v != 700 {
+		t.Fatalf("overwrite: get = %d, want 700", v)
+	}
+	if tb.n != n {
+		t.Fatalf("entry count %d, want %d (overwrite must not double-count)", tb.n, n)
+	}
+}

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. Events are created with Sim.At or Sim.After
 // and may be cancelled before they fire. The zero Event is not valid.
@@ -16,7 +13,7 @@ import (
 type Event struct {
 	at    Time
 	seq   uint64
-	index int // heap index, -1 once popped (fired, drained, or free)
+	index int // heap index, ringIndex while ring-resident, -1 once popped
 	fn    func()
 	name  string
 }
@@ -30,45 +27,26 @@ func (e *Event) Name() string { return e.name }
 // Pending reports whether the event is still queued and will fire.
 func (e *Event) Pending() bool { return e.index >= 0 && e.fn != nil }
 
-// eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
-// fire in scheduling order, which keeps runs deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Sim is a discrete-event simulator: a virtual clock plus an ordered queue
 // of future events. It is single-threaded; models call back into the
 // simulator from event callbacks to schedule further work. Distinct Sim
 // instances are fully independent and may run on separate goroutines.
+//
+// The queue is a hybrid: a bucket ring for events within ringHorizon of
+// now, an inline 4-ary min-heap for the rest (see queue.go). Both order
+// events by (at, seq) so simultaneous events fire in scheduling order,
+// which keeps runs deterministic.
 type Sim struct {
-	now       Time
-	seq       uint64
-	queue     eventHeap
+	now Time
+	seq uint64
+
+	heap        []*Event             // overflow min-heap: events at or beyond the ring horizon
+	ring        *[ringSlots][]*Event // near-future buckets, bucketSpan wide each
+	occ         [occWords]uint64     // bitmap of non-empty buckets, for O(1) cursor jumps
+	ringN       int                  // events resident in the ring, dead included
+	frontB      int64                // absolute bucket number under the front cursor, -1 when the ring is empty
+	frontHeaped bool                 // front bucket has been organized as a mini-heap
+
 	free      []*Event // recycled Event structs, reused by At/After
 	rng       *RNG
 	live      int // queued events that have not been lazily cancelled
@@ -81,7 +59,7 @@ type Sim struct {
 // New returns a simulator with the clock at zero and an RNG derived from
 // seed.
 func New(seed uint64) *Sim {
-	return &Sim{rng: NewRNG(seed)}
+	return &Sim{rng: NewRNG(seed), ring: new([ringSlots][]*Event), frontB: -1}
 }
 
 // Now returns the current simulated time.
@@ -134,7 +112,7 @@ func (s *Sim) At(t Time, name string, fn func()) *Event {
 	e := s.alloc(t, s.seq, name, fn)
 	s.seq++
 	s.live++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
 }
 
@@ -148,9 +126,9 @@ func (s *Sim) After(d Time, name string, fn func()) *Event {
 
 // Cancel marks a pending event dead. Cancellation is lazy: the event stays
 // in the queue and is discarded (and its struct recycled) when it reaches
-// the front, so no mid-queue heap surgery happens on deschedule-heavy
-// paths. Cancelling an event that already fired or was already cancelled
-// is a no-op and returns false.
+// the front, so no mid-queue surgery happens on deschedule-heavy paths.
+// Cancelling an event that already fired or was already cancelled is a
+// no-op and returns false.
 func (s *Sim) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 || e.fn == nil {
 		return false
@@ -162,54 +140,22 @@ func (s *Sim) Cancel(e *Event) bool {
 	return true
 }
 
-// maybeCompact rebuilds the queue without dead events once they outnumber
-// live ones. Cancels stay amortized O(1): a compaction costing O(n) is
-// only triggered after at least n/2 cancellations, and it keeps the heap
-// from accumulating far-future corpses that would never reach the front.
-func (s *Sim) maybeCompact() {
-	dead := len(s.queue) - s.live
-	if dead <= 64 || dead <= s.live {
-		return
-	}
-	keep := s.queue[:0]
-	for _, e := range s.queue {
-		if e.fn != nil {
-			keep = append(keep, e)
-		} else {
-			e.index = -1
-			s.recycle(e)
-		}
-	}
-	for i := len(keep); i < len(s.queue); i++ {
-		s.queue[i] = nil
-	}
-	s.queue = keep
-	for i, e := range s.queue {
-		e.index = i
-	}
-	heap.Init(&s.queue)
-}
-
-// peek discards dead events at the front of the queue and returns the
-// earliest live event, or nil when none remain.
-func (s *Sim) peek() *Event {
-	for len(s.queue) > 0 && s.queue[0].fn == nil {
-		s.recycle(heap.Pop(&s.queue).(*Event))
-	}
-	if len(s.queue) == 0 {
-		return nil
-	}
-	return s.queue[0]
-}
-
 // Step fires the earliest pending event, advancing the clock to its instant.
 // It returns false when the queue is empty or the simulation was stopped.
 func (s *Sim) Step() bool {
-	if s.stopped || s.peek() == nil {
+	if s.stopped {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
+	e := s.peek()
+	if e == nil {
+		return false
+	}
+	if e.index == ringIndex {
+		s.ringPopFront(e)
+	} else {
+		s.heapPop()
+	}
+	s.advance(e.at)
 	fn := e.fn
 	s.live--
 	s.fired++
@@ -240,7 +186,7 @@ func (s *Sim) RunUntil(t Time) uint64 {
 		s.Step()
 	}
 	if !s.stopped && s.now < t {
-		s.now = t
+		s.advance(t)
 	}
 	return s.fired - start
 }

@@ -22,6 +22,10 @@ type Histogram struct {
 	sum    float64
 	min    int64
 	max    int64
+	// maxIdx is the highest occupied bucket index (-1 when empty), so
+	// percentile scans stop at the occupied prefix instead of walking all
+	// 2048 buckets.
+	maxIdx int
 }
 
 const (
@@ -38,6 +42,7 @@ func NewHistogram() *Histogram {
 		counts: make([]uint64, numBuckets),
 		min:    math.MaxInt64,
 		max:    math.MinInt64,
+		maxIdx: -1,
 	}
 }
 
@@ -58,14 +63,9 @@ func bucketIndex(v int64) int {
 // bucketLow returns the smallest value mapping to bucket i; used to convert
 // bucket indices back to representative values.
 func bucketLow(i int) int64 {
-	if i < subBuckets*2 { // first two magnitude groups are exact/linear
-		if i < subBuckets {
-			return int64(i)
-		}
-	}
 	group := i / subBuckets
 	sub := i % subBuckets
-	if group == 0 {
+	if group == 0 { // first magnitude group is exact
 		return int64(sub)
 	}
 	shift := uint(group - 1)
@@ -92,7 +92,11 @@ func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketIndex(v)]++
+	i := bucketIndex(v)
+	h.counts[i]++
+	if i > h.maxIdx {
+		h.maxIdx = i
+	}
 	h.count++
 	h.sum += float64(v)
 	if v < h.min {
@@ -111,7 +115,11 @@ func (h *Histogram) RecordN(v int64, n uint64) {
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketIndex(v)] += n
+	i := bucketIndex(v)
+	h.counts[i] += n
+	if i > h.maxIdx {
+		h.maxIdx = i
+	}
 	h.count += n
 	h.sum += float64(v) * float64(n)
 	if v < h.min {
@@ -170,20 +178,80 @@ func (h *Histogram) Percentile(q float64) int64 {
 		rank = h.count
 	}
 	var seen uint64
-	for i, c := range h.counts {
-		seen += c
+	for i := 0; i <= h.maxIdx; i++ {
+		seen += h.counts[i]
 		if seen >= rank {
-			m := bucketMid(i)
-			if m < h.min {
-				m = h.min
-			}
-			if m > h.max {
-				m = h.max
-			}
-			return m
+			return h.clampMid(i)
 		}
 	}
 	return h.max
+}
+
+// clampMid returns bucket i's midpoint clamped into the recorded range.
+func (h *Histogram) clampMid(i int) int64 {
+	m := bucketMid(i)
+	if m < h.min {
+		m = h.min
+	}
+	if m > h.max {
+		m = h.max
+	}
+	return m
+}
+
+// Percentiles returns the values at the given quantiles, each identical
+// to the corresponding Percentile call, computed in a single scan of the
+// occupied bucket prefix rather than one rescan per quantile. The result
+// is positionally aligned with qs; qs need not be sorted.
+func (h *Histogram) Percentiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if h.count == 0 || len(qs) == 0 {
+		return out
+	}
+	ranks := make([]uint64, len(qs))
+	order := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = h.min
+			continue
+		}
+		if q >= 1 {
+			out[i] = h.max
+			continue
+		}
+		r := uint64(q*float64(h.count) + 0.5)
+		if r < 1 {
+			r = 1
+		}
+		if r > h.count {
+			r = h.count
+		}
+		ranks[i] = r
+		order = append(order, i)
+	}
+	// Ascending rank order (insertion sort: qs is a handful of values).
+	for i := 1; i < len(order); i++ {
+		o := order[i]
+		j := i - 1
+		for j >= 0 && ranks[order[j]] > ranks[o] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = o
+	}
+	var seen uint64
+	k := 0
+	for i := 0; i <= h.maxIdx && k < len(order); i++ {
+		seen += h.counts[i]
+		for k < len(order) && seen >= ranks[order[k]] {
+			out[order[k]] = h.clampMid(i)
+			k++
+		}
+	}
+	for ; k < len(order); k++ {
+		out[order[k]] = h.max
+	}
+	return out
 }
 
 // Merge adds all samples from other into h.
@@ -191,8 +259,11 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {
 		return
 	}
-	for i, c := range other.counts {
-		h.counts[i] += c
+	for i := 0; i <= other.maxIdx; i++ {
+		h.counts[i] += other.counts[i]
+	}
+	if other.maxIdx > h.maxIdx {
+		h.maxIdx = other.maxIdx
 	}
 	h.count += other.count
 	h.sum += other.sum
@@ -206,13 +277,14 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Reset clears the histogram.
 func (h *Histogram) Reset() {
-	for i := range h.counts {
+	for i := 0; i <= h.maxIdx; i++ {
 		h.counts[i] = 0
 	}
 	h.count = 0
 	h.sum = 0
 	h.min = math.MaxInt64
 	h.max = math.MinInt64
+	h.maxIdx = -1
 }
 
 // Summary reports the common percentile set as a formatted string, scaling
@@ -222,15 +294,16 @@ func (h *Histogram) Summary(div float64, unit string) string {
 	if h.count == 0 {
 		return "no samples"
 	}
+	p := h.Percentiles(0.50, 0.90, 0.99, 0.999)
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%.2f%s min=%.2f%s p50=%.2f%s p90=%.2f%s p99=%.2f%s p99.9=%.2f%s max=%.2f%s",
 		h.count,
 		h.Mean()/div, unit,
 		float64(h.Min())/div, unit,
-		float64(h.Percentile(0.50))/div, unit,
-		float64(h.Percentile(0.90))/div, unit,
-		float64(h.Percentile(0.99))/div, unit,
-		float64(h.Percentile(0.999))/div, unit,
+		float64(p[0])/div, unit,
+		float64(p[1])/div, unit,
+		float64(p[2])/div, unit,
+		float64(p[3])/div, unit,
 		float64(h.Max())/div, unit)
 	return b.String()
 }

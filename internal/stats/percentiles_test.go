@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBucketRoundTrip pins bucketIndex/bucketLow as exact inverses over
+// every bucket a non-negative int64 can reach: bucketLow(i) must be the
+// smallest value mapping to bucket i, and mapping it back must yield i.
+func TestBucketRoundTrip(t *testing.T) {
+	top := bucketIndex(math.MaxInt64)
+	if top >= numBuckets {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, beyond the table (%d)", top, numBuckets)
+	}
+	for i := 0; i <= top; i++ {
+		lo := bucketLow(i)
+		if lo < 0 {
+			t.Fatalf("bucketLow(%d) = %d overflowed", i, lo)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d, want %d", i, got, i)
+		}
+		if lo > 0 {
+			if got := bucketIndex(lo - 1); got != i-1 {
+				t.Fatalf("bucketIndex(bucketLow(%d)-1) = %d, want %d (low not minimal)", i, got, i-1)
+			}
+		}
+	}
+	// Buckets beyond top are unreachable for int64 samples (they would
+	// need a 64th magnitude bit); Record clamps negatives to zero, so no
+	// sample can ever land there.
+	if top != numBuckets-subBuckets*5-1 {
+		// Not a hard requirement, just documenting the layout: 64-bit
+		// values reach mag 63, i.e. group 58, so 5 groups sit empty.
+		t.Logf("occupied prefix ends at bucket %d of %d", top, numBuckets)
+	}
+}
+
+// TestPercentilesMatchPercentile cross-checks the single-pass Percentiles
+// against per-quantile Percentile calls over randomized histograms,
+// including unsorted, duplicate, and boundary quantiles.
+func TestPercentilesMatchPercentile(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	quantiles := []float64{-0.1, 0, 0.001, 0.25, 0.5, 0.5, 0.9, 0.99, 0.999, 1, 1.7}
+	for trial := 0; trial < 200; trial++ {
+		h := NewHistogram()
+		n := r.Intn(5000)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				h.Record(int64(r.Intn(100)))
+			case 1:
+				h.Record(int64(r.Intn(1_000_000)))
+			case 2:
+				h.Record(r.Int63())
+			default:
+				h.Record(-int64(r.Intn(10))) // clamps to 0
+			}
+		}
+		// Unsorted query order exercises the rank reordering.
+		qs := append([]float64(nil), quantiles...)
+		r.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+		got := h.Percentiles(qs...)
+		for i, q := range qs {
+			if want := h.Percentile(q); got[i] != want {
+				t.Fatalf("trial %d: Percentiles(%v)[%d] = %d, Percentile(%v) = %d",
+					trial, qs, i, got[i], q, want)
+			}
+		}
+	}
+	// Empty histogram: all zeros, no panic.
+	h := NewHistogram()
+	for _, v := range h.Percentiles(0, 0.5, 1) {
+		if v != 0 {
+			t.Fatalf("empty histogram Percentiles returned %d, want 0", v)
+		}
+	}
+	if len(h.Percentiles()) != 0 {
+		t.Fatal("Percentiles() with no quantiles should return an empty slice")
+	}
+}
+
+// TestMaxIdxHighWater pins the occupied-prefix bookkeeping through
+// Record, RecordN, Merge, and Reset.
+func TestMaxIdxHighWater(t *testing.T) {
+	h := NewHistogram()
+	if h.maxIdx != -1 {
+		t.Fatalf("empty maxIdx = %d, want -1", h.maxIdx)
+	}
+	h.Record(3)
+	if h.maxIdx != bucketIndex(3) {
+		t.Fatalf("maxIdx = %d, want %d", h.maxIdx, bucketIndex(3))
+	}
+	h.RecordN(1_000_000, 10)
+	if h.maxIdx != bucketIndex(1_000_000) {
+		t.Fatalf("maxIdx = %d, want %d", h.maxIdx, bucketIndex(1_000_000))
+	}
+	h.Record(5) // lower sample must not move the high-water mark
+	if h.maxIdx != bucketIndex(1_000_000) {
+		t.Fatalf("maxIdx moved down to %d", h.maxIdx)
+	}
+	other := NewHistogram()
+	other.Record(math.MaxInt64)
+	h.Merge(other)
+	if h.maxIdx != bucketIndex(math.MaxInt64) {
+		t.Fatalf("maxIdx after merge = %d, want %d", h.maxIdx, bucketIndex(math.MaxInt64))
+	}
+	if got, want := h.Percentile(1), int64(math.MaxInt64); got != want {
+		t.Fatalf("p100 = %d, want %d", got, want)
+	}
+	h.Reset()
+	if h.maxIdx != -1 || h.Count() != 0 {
+		t.Fatalf("Reset left maxIdx=%d count=%d", h.maxIdx, h.Count())
+	}
+	for _, c := range h.counts {
+		if c != 0 {
+			t.Fatal("Reset left a non-zero bucket")
+		}
+	}
+	// After reset the histogram must behave like new.
+	h.Record(42)
+	if got := h.Percentile(0.5); got != 42 {
+		t.Fatalf("p50 after reset = %d, want 42", got)
+	}
+}

@@ -103,12 +103,21 @@ func NewMixtureSize(name string, sizes []int, weights []float64) *MixtureSize {
 
 // Sample draws one size.
 func (m *MixtureSize) Sample(r *sim.RNG) int {
+	return m.Sizes[m.SampleIndex(r)]
+}
+
+// SampleIndex draws the index of one size point. Mixtures are a handful
+// of points, so the inverse-CDF lookup is an inlineable linear scan (the
+// smallest i with cdf[i] >= u, exactly what a binary search would find)
+// rather than a sort.Search call per request.
+func (m *MixtureSize) SampleIndex(r *sim.RNG) int {
 	u := r.Float64()
-	i := sort.SearchFloat64s(m.cdf, u)
-	if i >= len(m.Sizes) {
-		i = len(m.Sizes) - 1
+	for i, c := range m.cdf {
+		if c >= u {
+			return i
+		}
 	}
-	return m.Sizes[i]
+	return len(m.Sizes) - 1
 }
 
 // String describes the distribution.
