@@ -8,6 +8,15 @@
 //	lhsim -stack kernel -size 512
 //	lhsim -stack hybrid -size 8192
 //
+// With -hosts N (N > 1) the scenario becomes a spine-leaf cluster: N
+// single-service servers and N clients spread across leaves (4 machines
+// per leaf, -spines spine switches), routed by deterministic ECMP.
+// -flap additionally flaps the uplink leaf0:spine0 during the window,
+// reproducing e19's fault shape interactively:
+//
+//	lhsim -stack kernel -hosts 8 -spines 4 -rate 20000
+//	lhsim -stack lauberhorn -hosts 4 -size 4096 -flap
+//
 // Since the stack-driver registry, "lauberhorn" is the pure cache-line
 // data path; bodies at or above 4 KiB take the §6 DMA fallback only on
 // the "hybrid" stack (previously the fallback was always armed).
@@ -67,6 +76,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	telemetry := flag.Bool("telemetry", false, "print the Lauberhorn NIC's per-service telemetry")
 	churn := flag.Duration("churn", 0, "rotate the hot service set at this period (0 = stable)")
+	hosts := flag.Int("hosts", 1, "server count; > 1 runs a spine-leaf cluster with as many clients")
+	spines := flag.Int("spines", 2, "spine switches of the -hosts cluster fabric")
+	flap := flag.Bool("flap", false, "flap uplink leaf0:spine0 during the -hosts cluster window")
 	flag.Parse()
 
 	var sz workload.SizeDist = workload.FixedSize{N: *size}
@@ -85,6 +97,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lhsim: unknown stack %q (registered: %s)\n",
 			*stack, strings.Join(stackNames(), ", "))
 		os.Exit(1)
+	}
+	if *hosts > 1 {
+		runCluster(clusterOpts{
+			kind: kind, hosts: *hosts, spines: *spines, cores: *cores,
+			services: *services, seed: *seed, rate: *rate, serviceTime: st,
+			size: sz, zipf: *zipf, flap: *flap, telemetry: *telemetry,
+			churn: sim.Time(churn.Nanoseconds()) * sim.Nanosecond,
+			warm:  sim.Time(warm.Nanoseconds()) * sim.Nanosecond,
+			dur:   sim.Time(dur.Nanoseconds()) * sim.Nanosecond,
+		})
+		return
 	}
 	rig := experiments.StackRig(kind, *seed, *cores, *services, st, sz, arr, pop)
 

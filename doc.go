@@ -12,11 +12,13 @@
 // its implementation; the registry ships Lauberhorn, Bypass, Kernel,
 // KernelEnzian, and Hybrid — Lauberhorn with the §6 4KiB DMA fallback),
 // internal/cluster for the declarative multi-host topology layer
-// (fan-in, incast, and mixed-stack scenarios as data, with every host
-// resolved through the registry), internal/experiments for the
-// per-figure reproductions, cmd/ for the CLIs, and examples/ for
-// runnable walkthroughs. DESIGN.md at the
-// repository root maps the layers and indexes the experiments.
+// (fan-in, incast, mixed-stack, and multi-tier spine-leaf/ring fabric
+// scenarios as data — with deterministic ECMP, link contention, and a
+// fault-injection schedule — every host resolved through the registry),
+// internal/experiments for the per-figure reproductions, cmd/ for the
+// CLIs, and examples/ for runnable walkthroughs. DESIGN.md at the
+// repository root maps the layers and indexes the experiments;
+// EXPERIMENTS.md catalogs each one (claim, rig, stacks, pinning test).
 // bench_test.go in this directory regenerates every table and figure via
 // `go test -bench .`.
 //

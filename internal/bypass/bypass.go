@@ -9,6 +9,10 @@
 // (Spin power), and when services outnumber cores, workers time-share
 // cores on the kernel's quantum and requests for descheduled services wait
 // out entire time slices (experiment E4).
+//
+// Determinism invariants: worker-to-core pinning is fixed round-robin at
+// provisioning time, queue steering is port-modulo-queues, and polling
+// loops advance only on simulator events — no randomness, no wall clock.
 package bypass
 
 import (

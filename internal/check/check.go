@@ -12,6 +12,10 @@
 // reachable. Injecting the bugs the protocol is designed to avoid (no
 // TryAgain; forgetting the response recall) makes the checker produce
 // counterexample traces, demonstrating that the checks have teeth.
+//
+// Determinism invariants: the breadth-first exploration expands actions
+// in declaration order from canonically hashed states, so verdicts,
+// state counts, and counterexample traces are identical on every run.
 package check
 
 import (

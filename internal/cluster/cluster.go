@@ -169,6 +169,83 @@ type ClientSpec struct {
 	InheritRNG bool
 }
 
+// FabricSpec selects the switch fabric joining the machines. The zero
+// value keeps the legacy shapes: a single learning switch (or, with
+// Spec.Direct, a point-to-point link). Setting Spines or RingSwitches
+// builds a multi-tier routed fabric via fabric.NewTopology: statically
+// programmed FDBs (no flooding), deterministic ECMP across spine
+// uplinks, and per-link contention.
+type FabricSpec struct {
+	// Spines > 0 builds a two-tier spine-leaf Clos with this many spines.
+	Spines int
+	// LeafPorts is how many machines (clients and hosts, in attach
+	// order: clients first, then hosts, each in spec order) share one
+	// leaf or ring switch. Required for multi-tier fabrics.
+	LeafPorts int
+	// RingSwitches >= 3 builds a K-switch ring instead of a Clos.
+	RingSwitches int
+	// Uplink parameterizes inter-switch links (zero = Spec.Net).
+	Uplink fabric.NetParams
+	// ECMPSeed salts the switches' flow hashing; zero derives it from
+	// the universe seed, so path selection is a pure function of the
+	// Spec either way.
+	ECMPSeed uint64
+}
+
+// multiTier reports whether the spec asks for a routed multi-switch
+// fabric.
+func (f FabricSpec) multiTier() bool { return f.Spines > 0 || f.RingSwitches > 0 }
+
+// leaves returns how many access switches the fabric will have for n
+// machines.
+func (f FabricSpec) leaves(n int) int {
+	if f.RingSwitches > 0 {
+		return f.RingSwitches
+	}
+	return (n + f.LeafPorts - 1) / f.LeafPorts
+}
+
+// FaultKind selects what a FaultSpec does to its target.
+type FaultKind int
+
+const (
+	// FaultLinkDown takes the target link's carrier down at At and —
+	// when Duration > 0 — back up at At+Duration.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkFlap cycles the target link: from At, down for DownFor
+	// and up for UpFor, Cycles times (ending up).
+	FaultLinkFlap
+	// FaultDrain drains the target switch from At to At+Duration
+	// (forever when Duration is zero): every ingress frame is dropped.
+	FaultDrain
+)
+
+// FaultSpec schedules one availability fault against a fabric element.
+// Faults become ordinary simulator events at build time, in spec order,
+// so a fault schedule is deterministic input like everything else in a
+// Spec.
+//
+// Target resolution for link faults (FaultLinkDown, FaultLinkFlap):
+// Machine, when non-empty, names a host or client whose access link is
+// the target. Otherwise Leaf/Spine name a spine-leaf uplink, or — in a
+// ring fabric — Leaf names ring segment Leaf→Leaf+1.
+//
+// Target resolution for FaultDrain: Leaf >= 0 names a leaf/ring switch
+// (the single star switch counts as leaf 0); Leaf < 0 drains spine
+// Spine.
+type FaultSpec struct {
+	Kind    FaultKind
+	Machine string
+	Leaf    int
+	Spine   int
+
+	At       sim.Time
+	Duration sim.Time
+	// Flap parameters (FaultLinkFlap only).
+	DownFor, UpFor sim.Time
+	Cycles         int
+}
+
 // Spec is a declarative multi-host scenario: Build wires it up.
 type Spec struct {
 	// Seed seeds the universe's simulator; per-client generator streams
@@ -179,10 +256,48 @@ type Spec struct {
 	Net     fabric.NetParams
 	Hosts   []HostSpec
 	Clients []ClientSpec
+	// Fabric selects the switch fabric (zero = one learning switch).
+	Fabric FabricSpec
+	// Faults schedules link/switch availability faults on the built
+	// universe.
+	Faults []FaultSpec
 	// Direct wires the (single) client straight to the (single) host over
 	// one point-to-point link with no switch — the original rig topology.
 	// It requires exactly one host and one client.
 	Direct bool
+}
+
+// fabricKind names the fabric shape for stackdrv.FabricInfo.
+func (sp *Spec) fabricKind() string {
+	switch {
+	case sp.Direct:
+		return "direct"
+	case sp.Fabric.RingSwitches > 0:
+		return "ring"
+	case sp.Fabric.Spines > 0:
+		return "spineleaf"
+	default:
+		return "star"
+	}
+}
+
+// fabricInfo places the machine with the given attach index (clients
+// first, then hosts) for driver topology checks.
+func (sp *Spec) fabricInfo(attachIdx int) stackdrv.FabricInfo {
+	info := stackdrv.FabricInfo{Kind: sp.fabricKind()}
+	switch info.Kind {
+	case "direct":
+	case "star":
+		info.Tiers = 1
+	case "ring":
+		info.Tiers = 1
+		info.Leaf = attachIdx / sp.Fabric.LeafPorts
+	case "spineleaf":
+		info.Tiers = 2
+		info.Leaf = attachIdx / sp.Fabric.LeafPorts
+		info.Spines = sp.Fabric.Spines
+	}
+	return info
 }
 
 // DeriveSeed maps (universe seed, client index) to the client's private
@@ -268,6 +383,12 @@ func (sp *Spec) Validate() error {
 		return fmt.Errorf("cluster: Direct topology needs exactly 1 host and 1 client, got %d/%d",
 			len(sp.Hosts), len(sp.Clients))
 	}
+	if err := sp.validateFabric(); err != nil {
+		return err
+	}
+	if err := sp.validateFaults(); err != nil {
+		return err
+	}
 	hostNames := make(map[string]*HostSpec, len(sp.Hosts))
 	for i := range sp.Hosts {
 		h := &sp.Hosts[i]
@@ -302,8 +423,11 @@ func (sp *Spec) Validate() error {
 		}
 		if ent.Check != nil {
 			// Driver-specific topology validation, on identity-only params
-			// (no simulator exists yet).
-			if err := ent.Check(h.checkParams()); err != nil {
+			// (no simulator exists yet). The host's fabric placement rides
+			// along so drivers can veto topologies, not just port plans.
+			p := h.checkParams()
+			p.Fabric = sp.fabricInfo(len(sp.Clients) + i)
+			if err := ent.Check(p); err != nil {
 				return err
 			}
 		}
@@ -341,6 +465,110 @@ func (sp *Spec) Validate() error {
 		}
 		if len(c.Targets) == 0 && c.Size == nil {
 			return fmt.Errorf("cluster: client %q has no size distribution", c.Name)
+		}
+	}
+	return nil
+}
+
+// validateFabric checks the FabricSpec against the machine population.
+func (sp *Spec) validateFabric() error {
+	f := sp.Fabric
+	if !f.multiTier() {
+		if f != (FabricSpec{}) {
+			return fmt.Errorf("cluster: FabricSpec sets parameters but neither Spines nor RingSwitches")
+		}
+		return nil
+	}
+	if sp.Direct {
+		return fmt.Errorf("cluster: Direct topology cannot carry a multi-tier fabric")
+	}
+	if f.Spines > 0 && f.RingSwitches > 0 {
+		return fmt.Errorf("cluster: fabric cannot be both spine-leaf (%d spines) and ring (%d switches)",
+			f.Spines, f.RingSwitches)
+	}
+	if f.LeafPorts <= 0 {
+		return fmt.Errorf("cluster: multi-tier fabric needs LeafPorts > 0")
+	}
+	n := len(sp.Clients) + len(sp.Hosts)
+	if f.RingSwitches > 0 {
+		if f.RingSwitches < 3 {
+			return fmt.Errorf("cluster: ring fabric needs >= 3 switches, got %d", f.RingSwitches)
+		}
+		if cap := f.RingSwitches * f.LeafPorts; n > cap {
+			return fmt.Errorf("cluster: %d machines exceed ring capacity %d (%d switches x %d ports)",
+				n, cap, f.RingSwitches, f.LeafPorts)
+		}
+	}
+	return nil
+}
+
+// validateFaults checks every FaultSpec's target and schedule.
+func (sp *Spec) validateFaults() error {
+	if len(sp.Faults) == 0 {
+		return nil
+	}
+	machines := make(map[string]bool, len(sp.Hosts)+len(sp.Clients))
+	for i := range sp.Hosts {
+		machines[sp.Hosts[i].Name] = true
+	}
+	for i := range sp.Clients {
+		machines[sp.Clients[i].Name] = true
+	}
+	n := len(sp.Clients) + len(sp.Hosts)
+	leaves := 1 // the single star switch counts as leaf 0
+	if sp.Fabric.multiTier() {
+		leaves = sp.Fabric.leaves(n)
+	}
+	for i, fs := range sp.Faults {
+		if fs.At < 0 || fs.Duration < 0 {
+			return fmt.Errorf("cluster: fault %d has a negative time", i)
+		}
+		switch fs.Kind {
+		case FaultLinkDown:
+		case FaultLinkFlap:
+			if fs.DownFor <= 0 || fs.UpFor < 0 || fs.Cycles <= 0 {
+				return fmt.Errorf("cluster: fault %d flap needs DownFor > 0, UpFor >= 0 and Cycles > 0", i)
+			}
+		case FaultDrain:
+			if sp.Direct {
+				return fmt.Errorf("cluster: fault %d drains a switch, but Direct has none", i)
+			}
+			if fs.Leaf >= 0 {
+				if fs.Leaf >= leaves {
+					return fmt.Errorf("cluster: fault %d drains switch %d of %d", i, fs.Leaf, leaves)
+				}
+			} else {
+				if sp.Fabric.Spines <= 0 {
+					return fmt.Errorf("cluster: fault %d drains a spine, but the fabric has none", i)
+				}
+				if fs.Spine < 0 || fs.Spine >= sp.Fabric.Spines {
+					return fmt.Errorf("cluster: fault %d drains spine %d of %d", i, fs.Spine, sp.Fabric.Spines)
+				}
+			}
+			continue
+		default:
+			return fmt.Errorf("cluster: fault %d has unknown kind %d", i, int(fs.Kind))
+		}
+		// Link-fault target.
+		if fs.Machine != "" {
+			if !machines[fs.Machine] {
+				return fmt.Errorf("cluster: fault %d targets unknown machine %q", i, fs.Machine)
+			}
+			continue
+		}
+		switch {
+		case sp.Fabric.RingSwitches > 0:
+			if fs.Leaf < 0 || fs.Leaf >= sp.Fabric.RingSwitches {
+				return fmt.Errorf("cluster: fault %d targets ring segment %d of %d",
+					i, fs.Leaf, sp.Fabric.RingSwitches)
+			}
+		case sp.Fabric.Spines > 0:
+			if fs.Leaf < 0 || fs.Leaf >= leaves || fs.Spine < 0 || fs.Spine >= sp.Fabric.Spines {
+				return fmt.Errorf("cluster: fault %d targets uplink leaf%d:spine%d (%d leaves, %d spines)",
+					i, fs.Leaf, fs.Spine, leaves, sp.Fabric.Spines)
+			}
+		default:
+			return fmt.Errorf("cluster: fault %d needs a Machine target in a single-switch fabric", i)
 		}
 	}
 	return nil
@@ -392,10 +620,13 @@ func BuildE(sp Spec) (*Universe, error) {
 		u.byName[h.Spec.Name] = h
 	}
 
-	// Phase 2: switch and clients. In a switched universe every machine
+	// Phase 2: fabric and clients. In a switched universe every machine
 	// hangs off its own link whose far side is a switch port; clients
-	// claim the low port indices.
-	if !sp.Direct {
+	// claim the low port indices (and, in multi-tier fabrics, the low
+	// leaf slots).
+	if sp.Fabric.multiTier() {
+		u.Topo = fabric.NewTopology(s, sp.topoSpec(net))
+	} else if !sp.Direct {
 		u.Switch = fabric.NewSwitch(s)
 	}
 	for i := range sp.Clients {
@@ -411,5 +642,34 @@ func BuildE(sp Spec) (*Universe, error) {
 	for _, h := range u.Hosts {
 		h.start(u)
 	}
+
+	// Phase 5: fault schedules, in spec order — deterministic input like
+	// everything else.
+	for _, f := range sp.Faults {
+		u.scheduleFault(f)
+	}
 	return u, nil
+}
+
+// topoSpec lowers the FabricSpec to the fabric package's TopoSpec.
+func (sp *Spec) topoSpec(net fabric.NetParams) fabric.TopoSpec {
+	up := sp.Fabric.Uplink
+	if up.Bandwidth == 0 {
+		up = net
+	}
+	seed := sp.Fabric.ECMPSeed
+	if seed == 0 {
+		// A private stream off the universe seed, away from any client
+		// index DeriveSeed will ever see.
+		seed = DeriveSeed(sp.Seed, 1<<16)
+	}
+	ts := fabric.TopoSpec{LeafPorts: sp.Fabric.LeafPorts, Uplink: up, ECMPSeed: seed}
+	if sp.Fabric.RingSwitches > 0 {
+		ts.Kind = fabric.TopoRing
+		ts.Switches = sp.Fabric.RingSwitches
+	} else {
+		ts.Kind = fabric.TopoSpineLeaf
+		ts.Spines = sp.Fabric.Spines
+	}
+	return ts
 }

@@ -19,8 +19,12 @@ import (
 type Universe struct {
 	S    *sim.Sim
 	Spec Spec
-	// Switch is the fabric switch joining the machines (nil for Direct).
-	Switch  *fabric.Switch
+	// Switch is the single learning switch joining the machines (nil for
+	// Direct and for multi-tier fabrics).
+	Switch *fabric.Switch
+	// Topo is the multi-tier routed fabric (nil unless Spec.Fabric asks
+	// for spine-leaf or ring).
+	Topo    *fabric.Topology
 	Hosts   []*Host
 	Clients []*Client
 
@@ -35,7 +39,10 @@ type Host struct {
 	// occupies (1 on a Direct link, 0 behind a switch).
 	Link     *fabric.Link
 	LinkSide int
-	Label    string
+	// Leaf is the index of the host's access switch (0 outside
+	// multi-tier fabrics).
+	Leaf  int
+	Label string
 
 	// Inst is the host's provisioned stack driver; the builder drives it
 	// through the stackdrv lifecycle and experiments may reach past it
@@ -60,6 +67,9 @@ type Client struct {
 	EP   wire.Endpoint
 	Gen  *workload.Generator
 	Link *fabric.Link
+	// Leaf is the index of the client's access switch (0 outside
+	// multi-tier fabrics).
+	Leaf int
 	// TargetHosts[i] names the host behind Gen's target i, for per-host
 	// result aggregation.
 	TargetHosts []string
@@ -87,6 +97,7 @@ func newHost(u *Universe, spec *HostSpec, index int) *Host {
 	h.Inst = ent.New(stackdrv.HostParams{
 		Sim: u.S, HostName: spec.Name, Endpoint: h.EP, Cores: spec.Cores,
 		Services: svcs, NIC: spec.NIC,
+		Fabric: u.Spec.fabricInfo(len(u.Spec.Clients) + index),
 	})
 	h.K = h.Inst.Kernel()
 	// Optional driver views: experiments reach for the concrete
@@ -103,13 +114,18 @@ func newHost(u *Universe, spec *HostSpec, index int) *Host {
 
 // attachLink wires the host to the network (phase 3).
 func (h *Host) attachLink(u *Universe, net fabric.NetParams) {
-	if u.Spec.Direct {
+	switch {
+	case u.Spec.Direct:
 		// The single client already owns the link; the host takes side 1,
 		// exactly as the hand-wired rigs did.
 		h.Link = u.Clients[0].Link
 		h.LinkSide = 1
 		h.Link.Attach(u.Clients[0].Gen, h.Inst.FramePort())
-	} else {
+	case u.Topo != nil:
+		h.Link = fabric.NewLink(u.S, net)
+		h.LinkSide = 0
+		h.Leaf = u.Topo.Attach(h.EP.MAC, h.Link, h.Inst.FramePort())
+	default:
 		h.Link = fabric.NewLink(u.S, net)
 		h.LinkSide = 0
 		port := u.Switch.AttachPort(h.Link, 1)
@@ -260,10 +276,14 @@ func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *
 	}
 
 	c.Link = fabric.NewLink(s, net)
-	if u.Spec.Direct {
+	switch {
+	case u.Spec.Direct:
 		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
 		// The host attaches the far side in phase 3.
-	} else {
+	case u.Topo != nil:
+		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
+		c.Leaf = u.Topo.Attach(c.EP.MAC, c.Link, c.Gen)
+	default:
 		port := u.Switch.AttachPort(c.Link, 1)
 		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
 		c.Link.Attach(c.Gen, port)
@@ -274,6 +294,97 @@ func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *
 // MeasuredSent returns requests the client sent inside the measurement
 // window of the last Universe.RunMeasured.
 func (c *Client) MeasuredSent() uint64 { return c.measuredSent }
+
+// AccessLink returns the named machine's (host or client) access link,
+// or panics — fault targets are validated with the spec, so a miss here
+// is a programming error.
+func (u *Universe) AccessLink(name string) *fabric.Link {
+	if h, ok := u.byName[name]; ok {
+		return h.Link
+	}
+	for _, c := range u.Clients {
+		if c.Spec.Name == name {
+			return c.Link
+		}
+	}
+	panic(fmt.Sprintf("cluster: no machine %q", name))
+}
+
+// scheduleFault lowers one validated FaultSpec onto the simulator.
+func (u *Universe) scheduleFault(f FaultSpec) {
+	if f.Kind == FaultDrain {
+		var sw *fabric.Switch
+		switch {
+		case f.Leaf < 0:
+			sw = u.Topo.Spines[f.Spine]
+		case u.Topo != nil:
+			sw = u.Topo.Leaves[f.Leaf]
+		default:
+			sw = u.Switch
+		}
+		until := sim.Time(0)
+		if f.Duration > 0 {
+			until = f.At + f.Duration
+		}
+		fabric.ScheduleDrain(u.S, sw, f.At, until)
+		return
+	}
+	var l *fabric.Link
+	switch {
+	case f.Machine != "":
+		l = u.AccessLink(f.Machine)
+	case u.Spec.Fabric.RingSwitches > 0:
+		l = u.Topo.RingLink(f.Leaf)
+	default:
+		l = u.Topo.Uplink(f.Leaf, f.Spine)
+	}
+	switch f.Kind {
+	case FaultLinkDown:
+		faults := []fabric.LinkFault{{At: f.At, Up: false}}
+		if f.Duration > 0 {
+			faults = append(faults, fabric.LinkFault{At: f.At + f.Duration, Up: true})
+		}
+		fabric.ScheduleLinkFaults(u.S, l, faults)
+	case FaultLinkFlap:
+		fabric.ScheduleLinkFaults(u.S, l, fabric.Flap(f.At, f.DownFor, f.UpFor, f.Cycles))
+	}
+}
+
+// DroppedFrames sums every frame the universe's network lost: inside the
+// fabric (drained switches, dead ECMP groups, downed or full inter-switch
+// links), on each machine's access link, and at each host NIC's carrier
+// check (frames the driver refused to transmit toward a downed link,
+// which never reach the link's own counters). It is the "lost" column a
+// fault experiment reports next to served counts.
+func (u *Universe) DroppedFrames() uint64 {
+	var n uint64
+	if u.Topo != nil {
+		n += u.Topo.Dropped()
+	}
+	if u.Switch != nil {
+		n += u.Switch.Dropped
+	}
+	seen := make(map[*fabric.Link]bool)
+	for _, h := range u.Hosts {
+		if !seen[h.Link] {
+			seen[h.Link] = true
+			n += h.Link.DroppedTotal()
+		}
+		if h.LH != nil {
+			n += h.LH.NIC.Stats().TxNoCarrier
+		}
+		if h.NICDMA != nil {
+			n += h.NICDMA.Stats().TxNoCarrier
+		}
+	}
+	for _, c := range u.Clients {
+		if !seen[c.Link] {
+			seen[c.Link] = true
+			n += c.Link.DroppedTotal()
+		}
+	}
+	return n
+}
 
 // Host returns the built host with the given spec name, or panics —
 // misnaming a host in an experiment is a programming error.

@@ -10,6 +10,11 @@
 // host runtime (type Host) — the kernel-side integration with per-core
 // worker loops that morph between the kernel dispatch loop and per-service
 // user-mode loops.
+//
+// Determinism invariants: dispatch choices depend only on simulated time
+// and FIFO queues of pending loads/requests; the NIC draws no randomness
+// and keeps no wall-clock state, so a request trace replays identically
+// for a given seed and frame sequence.
 package core
 
 import (

@@ -86,6 +86,7 @@ type Stats struct {
 	RxDropped    uint64
 	RxFiltered   uint64 // not addressed to this host (switched fabrics)
 	TxFrames     uint64
+	TxNoCarrier  uint64 // staged frames dropped because the link was down
 	FastDispatch uint64 // request answered a pending user-mode load
 	KernDispatch uint64 // request answered a pending kernel-mode load
 	SoftNotify   uint64 // no pending load: OS notified in software
@@ -900,7 +901,10 @@ func (n *NIC) txRPC(dst wire.Endpoint, payload []byte) {
 	n.sim.After(n.cfg.TxBuild, "lauberhorn-tx", n.txFn)
 }
 
-// txFire sends the oldest staged frame onto the link.
+// txFire sends the oldest staged frame onto the link. A carrier check
+// guards the wire (fault injection can down the access link): frames
+// staged toward a dead link are dropped at the NIC, as a real MAC does,
+// rather than burning link-layer state.
 func (n *NIC) txFire() {
 	frame := n.txq[n.txHead]
 	n.txq[n.txHead] = nil
@@ -908,6 +912,10 @@ func (n *NIC) txFire() {
 	if n.txHead == len(n.txq) {
 		n.txq = n.txq[:0]
 		n.txHead = 0
+	}
+	if !n.link.Up() {
+		n.stats.TxNoCarrier++
+		return
 	}
 	n.stats.TxFrames++
 	n.emit(trace.TxFrame, uint64(len(frame)), 0, "")

@@ -5,6 +5,10 @@
 // an outstanding cache fill, as Lauberhorn's protocol arranges) and Idle
 // (C-state after the OS parks the core) carries the paper's energy
 // argument, so it is made explicit here rather than inferred later.
+//
+// Determinism invariants: the package is pure accounting — residency and
+// energy integrate state changes at simulated times, with no clocks, no
+// randomness, and no dependence on observation order.
 package cpu
 
 import (

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/cluster"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/workload"
+)
+
+// E18Scales returns the spine-leaf scaling ladder: the number of server
+// hosts (an equal number of clients drives them, so the top rung is a
+// 64-machine universe). A fresh slice per call keeps it read-only for
+// concurrent experiments.
+func E18Scales() []int { return []int{4, 8, 32} }
+
+// e18Rate is the per-client offered load. It is held constant across the
+// ladder so the aggregate grows linearly with scale and the fabric —
+// not the servers — is what the sweep stresses.
+const e18Rate = 8_000
+
+// e18Spines and e18LeafPorts shape the Clos: 4 machines per leaf, 2
+// spines, clients filling the low leaves and servers the high ones, so
+// every request crosses the spine tier and ECMP has real work to do.
+const (
+	e18Spines    = 2
+	e18LeafPorts = 4
+)
+
+// E18SpineLeaf sweeps host count over a two-tier spine-leaf fabric, per
+// stack: N clients on their own leaves spray 64B echo requests across N
+// single-service servers under deterministic ECMP. The table reports
+// client-observed latency, aggregate throughput, and the ECMP spread
+// (max/min frames per spine), the row a fabric operator reads to see
+// whether the stack or the fabric saturates first as the universe grows
+// from 8 to 64 machines.
+func E18SpineLeaf(m *sim.Meter) *stats.Table {
+	t := stats.NewTable("E18 — spine-leaf scaling: N clients x N servers across a 2-spine Clos (64B, 1us handler, ECMP)",
+		"stack", "servers", "machines", "offered (krps)", "p50 (us)", "p99 (us)", "served", "spine spread")
+
+	for _, st := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
+		for _, n := range E18Scales() {
+			u := cluster.Build(e18Spec(18, st.Stack, n))
+			m.Observe(u.S)
+			u.RunMeasured(5*sim.Millisecond, 25*sim.Millisecond)
+			p := u.MergedLatency().Percentiles(0.5, 0.99)
+			t.AddRow(st.Name, n, 2*n, float64(n*e18Rate)/1000,
+				sim.Time(p[0]).Microseconds(),
+				sim.Time(p[1]).Microseconds(),
+				u.TotalMeasuredServed(), spineSpread(u))
+		}
+	}
+	t.AddNote("clients fill the low leaves, servers the high ones: every request and response crosses the spines")
+	t.AddNote("spine spread = max/min frames per spine; ~1.0 means the seeded flow hash balanced the uplinks")
+	return t
+}
+
+// spineSpread formats the ECMP balance ratio across spines.
+func spineSpread(u *cluster.Universe) string {
+	frames := u.Topo.UplinkFrames()
+	min, max := frames[0], frames[0]
+	for _, f := range frames[1:] {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if min == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(max)/float64(min))
+}
+
+// e18Spec declares the N x N spine-leaf universe: every client sprays
+// uniformly across every server's single echo service.
+func e18Spec(seed uint64, stack cluster.Stack, n int) cluster.Spec {
+	sp := cluster.Spec{
+		Seed: seed,
+		Fabric: cluster.FabricSpec{
+			Spines:    e18Spines,
+			LeafPorts: e18LeafPorts,
+		},
+	}
+	for i := 0; i < n; i++ {
+		sp.Hosts = append(sp.Hosts, cluster.HostSpec{
+			Name: fmt.Sprintf("srv%d", i), Stack: stack, Cores: 1,
+			Services: []cluster.ServiceSpec{
+				{ID: uint32(i + 1), Port: 9000 + uint16(i), Time: sim.Microsecond},
+			},
+		})
+		sp.Clients = append(sp.Clients, cluster.ClientSpec{
+			Name:     fmt.Sprintf("cli%d", i),
+			Size:     workload.FixedSize{N: fig2Body},
+			Arrivals: workload.RatePerSec(e18Rate),
+		})
+	}
+	return sp
+}

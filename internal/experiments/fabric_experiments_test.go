@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestE18Claims checks the spine-leaf scaling table: rows per stack and
+// scale, everything serves, aggregate served grows with scale, and the
+// seeded ECMP hash keeps the spines within 25% of each other at every
+// rung.
+func TestE18Claims(t *testing.T) {
+	tb := E18SpineLeaf(nil)
+	scales := E18Scales()
+	if len(tb.Rows) != 3*len(scales) {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	get := func(r, c int) float64 {
+		var v float64
+		if _, err := sscan(tb.Rows[r][c], &v); err != nil {
+			t.Fatalf("row %d col %d %q", r, c, tb.Rows[r][c])
+		}
+		return v
+	}
+	n := len(scales)
+	for s := 0; s < 3; s++ {
+		for i := 0; i < n; i++ {
+			r := s*n + i
+			if get(r, 6) == 0 {
+				t.Errorf("row %d served nothing", r)
+			}
+			if spread := get(r, 7); spread > 1.25 {
+				t.Errorf("row %d ECMP spread %.2f > 1.25", r, spread)
+			}
+			if i > 0 && get(r, 6) <= get(r-1, 6) {
+				t.Errorf("stack %s: served did not grow with scale (%v -> %v)",
+					tb.Rows[r][0], get(r-1, 6), get(r, 6))
+			}
+		}
+	}
+	// The top rung really is a >= 32-host (64-machine) universe.
+	if got := get(n-1, 2); got < 64 {
+		t.Errorf("top rung has %v machines, want >= 64", got)
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestE19Claims checks the fault-injection table: per stack, the flap
+// run must stretch the p99 tail, complete fewer RPCs than it served
+// (blackholed responses = wasted server work), and report network
+// drops, while the steady run drops nothing.
+func TestE19Claims(t *testing.T) {
+	tb := E19Faults(nil)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	get := func(r, c int) float64 {
+		var v float64
+		if _, err := sscan(tb.Rows[r][c], &v); err != nil {
+			t.Fatalf("row %d col %d %q", r, c, tb.Rows[r][c])
+		}
+		return v
+	}
+	for s := 0; s < 3; s++ {
+		steady, flap := 2*s, 2*s+1
+		name := tb.Rows[steady][0]
+		if get(steady, 7) != 0 {
+			t.Errorf("%s steady dropped %v frames", name, get(steady, 7))
+		}
+		if get(flap, 7) == 0 {
+			t.Errorf("%s flap dropped nothing", name)
+		}
+		if get(flap, 3) < 1.3*get(steady, 3) {
+			t.Errorf("%s flap p99 %v not well above steady %v", name, get(flap, 3), get(steady, 3))
+		}
+		if get(flap, 4) >= get(steady, 4) {
+			t.Errorf("%s flap completed %v, steady %v — no dip", name, get(flap, 4), get(steady, 4))
+		}
+		if get(flap, 4) >= get(flap, 5) {
+			t.Errorf("%s flap completed %v >= served %v — no wasted work visible",
+				name, get(flap, 4), get(flap, 5))
+		}
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestFabricExperimentsSerialParallelIdentical is the e18/e19 half of
+// the determinism acceptance gate: a serial and a 4-way parallel run of
+// both experiments must render byte-identical tables.
+func TestFabricExperimentsSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	exps, err := Select("e18,e19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := (&Runner{Workers: 1}).Run(exps)
+	parallel := (&Runner{Workers: 4}).Run(exps)
+	for _, r := range append(serial, parallel...) {
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", r.Experiment.ID, r.Err)
+		}
+	}
+	a, b := renderAll(serial), renderAll(parallel)
+	if a == "" || a != b {
+		t.Fatalf("serial and parallel fabric tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

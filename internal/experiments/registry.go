@@ -72,6 +72,10 @@ func All() []Experiment {
 			Run: one(E16Cluster)},
 		{ID: "e17", Title: "Registered stacks incl. Hybrid, mixed sizes", Source: "stack registry; §6 (~4KiB fallback)",
 			Run: one(E17HybridCluster)},
+		{ID: "e18", Title: "Spine-leaf scaling under ECMP", Source: "fabric layer; §1 rack-scale fan-out",
+			Run: one(E18SpineLeaf)},
+		{ID: "e19", Title: "Link-flap fault injection, tail + served", Source: "fabric layer; §1 heavy traffic",
+			Run: one(E19Faults)},
 	}
 }
 

@@ -4,8 +4,14 @@
 // kernel, and variants like the §6 Hybrid) on identical substrates via
 // the stack-driver registry, drives them with the workload generators,
 // and returns a stats.Table whose rows correspond to the series the
-// paper reports. See DESIGN.md at the repository root for the experiment
-// index and for where each paper-vs-measured value is pinned.
+// paper reports. See EXPERIMENTS.md at the repository root for the
+// per-experiment catalog and DESIGN.md for where each paper-vs-measured
+// value is pinned.
+//
+// Determinism invariants: every experiment builds its own simulators and
+// draws randomness only from fixed seeds, so its tables are pure
+// functions of the code — byte-identical run to run and at any Runner
+// parallelism.
 package experiments
 
 import (

@@ -8,6 +8,19 @@
 // sets below encode published orders of magnitude for each technology; the
 // experiments sweep and compare them (see DESIGN.md at the repository
 // root for the experiment index).
+//
+// Between hosts, the package models links (FIFO serialization per
+// direction, carrier state, bounded transmit queues), switches (learning
+// star mode or routed mode with static FDBs), multi-tier topologies
+// (spine-leaf Clos and K-switch rings, built by Topology), and scheduled
+// faults (fault.go).
+//
+// Determinism invariants: a frame's path through a routed fabric is a
+// pure function of its bytes, the topology's ECMP seed, and the carrier
+// state of the uplinks at forwarding time — never of event interleaving
+// or map order. Links deliver each direction in FIFO order at simulated
+// times, and fault schedules are ordinary simulator events, so the whole
+// fabric replays identically for a given spec and seed.
 package fabric
 
 import (

@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+// linkPair builds an attached point-to-point link between two recorders.
+func linkPair(t *testing.T, params NetParams) (*sim.Sim, *Link, *portRecorder, *portRecorder) {
+	t.Helper()
+	s := sim.New(1)
+	a, b := &portRecorder{name: "a"}, &portRecorder{name: "b"}
+	l := NewLink(s, params)
+	l.Attach(a, b)
+	return s, l, a, b
+}
+
+func TestLinkDownDropsAndRecovers(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	l.Send(0, frameTo(macN(2), macN(1)))
+	l.SetUp(false)
+	l.Send(0, frameTo(macN(2), macN(1)))
+	l.Send(0, frameTo(macN(2), macN(1)))
+	l.SetUp(true)
+	l.Send(0, frameTo(macN(2), macN(1)))
+	s.Run()
+	if len(b.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(b.frames))
+	}
+	if l.Dropped(0) != 2 || l.DroppedTotal() != 2 {
+		t.Fatalf("dropped %d/%d, want 2/2", l.Dropped(0), l.DroppedTotal())
+	}
+}
+
+// TestLinkDownDoesNotCancelInFlight: bits that left the sender before
+// the cut still arrive.
+func TestLinkDownDoesNotCancelInFlight(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	l.Send(0, frameTo(macN(2), macN(1)))
+	s.After(10*sim.Nanosecond, "cut", func() { l.SetUp(false) })
+	s.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("in-flight frame lost by a later cut")
+	}
+}
+
+func TestLinkQueueLimitTailDrops(t *testing.T) {
+	params := Net100G
+	params.QueueLimit = 100 * sim.Nanosecond
+	s, l, _, b := linkPair(t, params)
+	// 1500B at 12.5 B/ns = 120ns serialization each, so a back-to-back
+	// burst exceeds the 100ns queue limit from the second frame on.
+	sent := 8
+	for i := 0; i < sent; i++ {
+		f := make([]byte, 1500)
+		dst, src := macN(2), macN(1)
+		copy(f[0:6], dst[:])
+		copy(f[6:12], src[:])
+		l.Send(0, f)
+	}
+	s.Run()
+	if l.Dropped(0) == 0 {
+		t.Fatal("no tail drops despite a saturating burst")
+	}
+	if uint64(len(b.frames))+l.Dropped(0) != uint64(sent) {
+		t.Fatalf("delivered %d + dropped %d != %d", len(b.frames), l.Dropped(0), sent)
+	}
+	if l.PeakBacklog(0) == 0 {
+		t.Fatal("peak backlog not tracked")
+	}
+	if l.PeakBacklog(0) > params.QueueLimit+120*sim.Nanosecond+1 {
+		t.Fatalf("backlog %v exceeded limit+one-frame", l.PeakBacklog(0))
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	faults := Flap(100, 10, 5, 3)
+	want := []LinkFault{
+		{100, false}, {110, true},
+		{115, false}, {125, true},
+		{130, false}, {140, true},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("%d events, want %d", len(faults), len(want))
+	}
+	for i, f := range faults {
+		if f != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}
+
+func TestScheduleLinkFaultsTiming(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	ScheduleLinkFaults(s, l, Flap(1*sim.Microsecond, 1*sim.Microsecond, 1*sim.Microsecond, 2))
+	send := func(at sim.Time) {
+		s.At(at, "tx", func() { l.Send(0, frameTo(macN(2), macN(1))) })
+	}
+	send(500 * sim.Nanosecond)  // up
+	send(1500 * sim.Nanosecond) // down (cycle 1)
+	send(2500 * sim.Nanosecond) // up
+	send(3500 * sim.Nanosecond) // down (cycle 2)
+	send(4500 * sim.Nanosecond) // up again, for good
+	s.Run()
+	if len(b.frames) != 3 || l.Dropped(0) != 2 {
+		t.Fatalf("delivered %d dropped %d, want 3/2", len(b.frames), l.Dropped(0))
+	}
+	if !l.Up() {
+		t.Fatal("flap schedule must end with the link up")
+	}
+}
+
+func TestScheduleDrainWindow(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s)
+	var hosts [2]*portRecorder
+	var links [2]*Link
+	for i := 0; i < 2; i++ {
+		hosts[i] = &portRecorder{}
+		links[i] = NewLink(s, Net100G)
+		port := sw.AttachPort(links[i], 1)
+		links[i].Attach(hosts[i], port)
+	}
+	ScheduleDrain(s, sw, 1*sim.Microsecond, 2*sim.Microsecond)
+	for _, at := range []sim.Time{500 * sim.Nanosecond, 1500 * sim.Nanosecond, 2500 * sim.Nanosecond} {
+		at := at
+		s.At(at, "tx", func() { links[0].Send(0, frameTo(macN(2), macN(1))) })
+	}
+	s.Run()
+	if len(hosts[1].frames) != 2 {
+		t.Fatalf("delivered %d, want 2 (one eaten by the drain window)", len(hosts[1].frames))
+	}
+	if sw.Dropped != 1 {
+		t.Fatalf("switch dropped %d, want 1", sw.Dropped)
+	}
+	if sw.Draining() {
+		t.Fatal("drain window did not close")
+	}
+}
+
+// TestSwitchFloodNeverEchoesIngress is the regression test the issue
+// asks for: on an FDB miss the flood must not echo the frame back out
+// the ingress port, whether or not the source was already learned, and
+// the destination counts as learned-behind-ingress must be dropped
+// entirely.
+func TestSwitchFloodNeverEchoesIngress(t *testing.T) {
+	s, sw, hosts, links := swRig(t)
+	// Fresh FDB: a -> unknown floods to b and c only.
+	links[0].Send(0, frameTo(macN(7), macN(1)))
+	s.Run()
+	if len(hosts[0].frames) != 0 {
+		t.Fatal("FDB-miss flood echoed out the ingress port")
+	}
+	// Source already learned, destination still unknown: same property.
+	links[0].Send(0, frameTo(macN(8), macN(1)))
+	s.Run()
+	if len(hosts[0].frames) != 0 {
+		t.Fatal("flood echoed after the source was learned")
+	}
+	if sw.Flooded != 2 {
+		t.Fatalf("flooded %d, want 2", sw.Flooded)
+	}
+	// Destination learned behind the ingress port: dropped, not echoed,
+	// and not counted as forwarded.
+	links[0].Send(0, frameTo(macN(1), macN(1)))
+	s.Run()
+	if len(hosts[0].frames) != 0 || sw.Forwarded != 0 {
+		t.Fatalf("hairpin escaped: %d frames, fwd=%d", len(hosts[0].frames), sw.Forwarded)
+	}
+}

@@ -16,6 +16,11 @@ type NetParams struct {
 	PropDelay sim.Time
 	// SwitchDelay is the store-and-forward/switching delay per hop.
 	SwitchDelay sim.Time
+	// QueueLimit bounds each direction's transmit backlog: a frame whose
+	// serialization could not start within QueueLimit of its send time is
+	// tail-dropped (counted per direction). Zero means an unbounded
+	// queue, the pre-contention behavior every existing experiment keeps.
+	QueueLimit sim.Time
 }
 
 // Net100G is a 100 Gb/s link through a single cut-through switch, typical
@@ -51,9 +56,18 @@ type Link struct {
 	// txIdle[i] is when direction i->other becomes free to start
 	// serializing the next frame.
 	txIdle [2]sim.Time
+	// down is the fault-injection carrier state: while true, frames
+	// offered to either side are dropped (frames already serialized keep
+	// their delivery events — the bits left the sender before the cut).
+	down bool
 	// counters
-	frames [2]uint64
-	bytes  [2]uint64
+	frames  [2]uint64
+	bytes   [2]uint64
+	dropped [2]uint64
+	// peakBacklog[i] is the worst transmit-queue depth (in serialization
+	// time) direction i has seen, the congestion signal incast and ECMP
+	// imbalance leave behind.
+	peakBacklog [2]sim.Time
 }
 
 // NewLink creates a link with the given parameters; attach ports with
@@ -92,7 +106,9 @@ func (l *Link) ReplacePort(side int, p FramePort) {
 
 // Send transmits a frame from the given side (0 or 1) to the other side.
 // The frame is delivered to the peer port after serialization, propagation
-// and switching delays; back-to-back sends queue behind each other.
+// and switching delays; back-to-back sends queue behind each other. A
+// frame offered while the link is down, or while the transmit backlog
+// exceeds QueueLimit, is dropped and counted.
 func (l *Link) Send(from int, frame []byte) {
 	if from != 0 && from != 1 {
 		panic(fmt.Sprintf("fabric: bad link side %d", from))
@@ -102,13 +118,24 @@ func (l *Link) Send(from int, frame []byte) {
 		panic("fabric: link not attached")
 	}
 	now := l.sim.Now()
+	if l.down {
+		l.dropped[from]++
+		return
+	}
 	start := now
 	if l.txIdle[from] > start {
 		start = l.txIdle[from] // wait for the wire
 	}
+	if l.params.QueueLimit > 0 && start-now > l.params.QueueLimit {
+		l.dropped[from]++ // tail drop: the queue is QueueLimit deep
+		return
+	}
 	ser := sim.PerByte(len(frame), l.params.Bandwidth)
 	txEnd := start + ser
 	l.txIdle[from] = txEnd
+	if backlog := txEnd - now; backlog > l.peakBacklog[from] {
+		l.peakBacklog[from] = backlog
+	}
 	l.frames[from]++
 	l.bytes[from] += uint64(len(frame))
 	arrive := txEnd + l.params.PropDelay + l.params.SwitchDelay
@@ -119,3 +146,21 @@ func (l *Link) Send(from int, frame []byte) {
 func (l *Link) Stats(from int) (frames, bytes uint64) {
 	return l.frames[from], l.bytes[from]
 }
+
+// SetUp flips the link's carrier state (fault injection). Taking a link
+// down does not cancel deliveries already serialized onto the wire.
+func (l *Link) SetUp(up bool) { l.down = !up }
+
+// Up reports whether the link currently has carrier.
+func (l *Link) Up() bool { return !l.down }
+
+// Dropped reports frames dropped on the given side — offered while the
+// link was down or while the transmit queue was full.
+func (l *Link) Dropped(from int) uint64 { return l.dropped[from] }
+
+// DroppedTotal sums drops over both sides.
+func (l *Link) DroppedTotal() uint64 { return l.dropped[0] + l.dropped[1] }
+
+// PeakBacklog reports the worst transmit-queue depth (as serialization
+// time) the given side has seen.
+func (l *Link) PeakBacklog(from int) sim.Time { return l.peakBacklog[from] }

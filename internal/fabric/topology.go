@@ -1,0 +1,298 @@
+package fabric
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// TopoKind selects the multi-switch fabric shape a Topology builds.
+type TopoKind int
+
+const (
+	// TopoSpineLeaf is a two-tier Clos: machines attach to leaf switches
+	// (LeafPorts per leaf, leaves created on demand in attach order) and
+	// every leaf has one uplink to every spine. Leaves route unknown
+	// destinations up via deterministic ECMP over the live uplinks;
+	// spines know, statically, which leaf every endpoint is behind.
+	TopoSpineLeaf TopoKind = iota
+	// TopoRing is K switches in a ring (LeafPorts machines per switch),
+	// each frame statically routed the shorter way around; ties break
+	// clockwise. It models the small K-switch fabrics of testbeds like
+	// Enzian clusters, and gives experiments a second, path-diverse
+	// shape to contrast with the Clos.
+	TopoRing
+)
+
+// TopoSpec declares a multi-switch fabric.
+type TopoSpec struct {
+	Kind TopoKind
+	// Spines is the number of spine switches (TopoSpineLeaf).
+	Spines int
+	// LeafPorts is how many machines attach to one leaf (or one ring
+	// switch) before the next is used.
+	LeafPorts int
+	// Switches is the ring size K (TopoRing, K >= 3).
+	Switches int
+	// Uplink parameterizes the inter-switch links.
+	Uplink NetParams
+	// ECMPSeed salts every switch's flow hash. Path selection is a pure
+	// function of (frame bytes, seed, link carrier states), so two
+	// topologies built from equal specs route identically regardless of
+	// event interleaving — the fabric half of the repo-wide determinism
+	// contract.
+	ECMPSeed uint64
+}
+
+// Validate rejects malformed specs with a descriptive error.
+func (ts TopoSpec) Validate() error {
+	if ts.LeafPorts <= 0 {
+		return fmt.Errorf("fabric: topology needs LeafPorts > 0, got %d", ts.LeafPorts)
+	}
+	if ts.Uplink.Bandwidth <= 0 {
+		return fmt.Errorf("fabric: topology needs uplink bandwidth")
+	}
+	switch ts.Kind {
+	case TopoSpineLeaf:
+		if ts.Spines <= 0 {
+			return fmt.Errorf("fabric: spine-leaf needs Spines > 0, got %d", ts.Spines)
+		}
+	case TopoRing:
+		if ts.Switches < 3 {
+			return fmt.Errorf("fabric: ring needs >= 3 switches, got %d", ts.Switches)
+		}
+	default:
+		return fmt.Errorf("fabric: unknown topology kind %d", int(ts.Kind))
+	}
+	return nil
+}
+
+// Topology is a built multi-switch fabric. Machines attach in a
+// deterministic order (Attach fills leaves sequentially); every switch
+// runs routed with a statically programmed FDB, so a multi-tier fabric
+// never floods and every path decision is reproducible from the spec.
+type Topology struct {
+	Spec TopoSpec
+	// Leaves are the access switches (ring: the ring switches).
+	Leaves []*Switch
+	// Spines are the spine switches (empty for rings).
+	Spines []*Switch
+
+	s *sim.Sim
+	// uplinks[l][sp] is the leaf l <-> spine sp link (leaf on side 0).
+	uplinks [][]*Link
+	// ringLinks[i] joins ring switch i (side 0) to switch (i+1)%K.
+	ringLinks []*Link
+	// spinePort[l][sp] is leaf l's port index on spine sp.
+	spinePort [][]int
+	// ringNext/ringPrev are each ring switch's trunk port indices.
+	ringNext, ringPrev []int
+	attached           int
+	macs               []wire.MAC
+}
+
+// NewTopology builds the switch tiers and inter-switch links. Ring
+// fabrics are wired completely up front; spine-leaf fabrics create
+// leaves (and their uplinks) on demand as machines attach, so the leaf
+// count is ceil(machines / LeafPorts).
+func NewTopology(s *sim.Sim, spec TopoSpec) *Topology {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Topology{Spec: spec, s: s}
+	switch spec.Kind {
+	case TopoSpineLeaf:
+		for i := 0; i < spec.Spines; i++ {
+			t.Spines = append(t.Spines, NewSwitch(s))
+		}
+	case TopoRing:
+		k := spec.Switches
+		for i := 0; i < k; i++ {
+			t.Leaves = append(t.Leaves, NewSwitch(s))
+		}
+		t.ringNext = make([]int, k)
+		t.ringPrev = make([]int, k)
+		// Segment i joins switch i to i+1: port 0 on each switch is
+		// "next", port 1 is "prev" (both trunks).
+		for i := 0; i < k; i++ {
+			t.ringLinks = append(t.ringLinks, NewLink(s, spec.Uplink))
+		}
+		for i := 0; i < k; i++ {
+			next := t.Leaves[i].AttachPort(t.ringLinks[i], 0)
+			t.ringNext[i] = next.idx
+			t.Leaves[i].MarkTrunk(next.idx)
+		}
+		for i := 0; i < k; i++ {
+			j := (i + 1) % k
+			prev := t.Leaves[j].AttachPort(t.ringLinks[i], 1)
+			t.ringPrev[j] = prev.idx
+			t.Leaves[j].MarkTrunk(prev.idx)
+			t.ringLinks[i].Attach(t.Leaves[i].ports[t.ringNext[i]], prev)
+		}
+	}
+	return t
+}
+
+// newLeaf appends a spine-leaf access switch with one uplink per spine,
+// registering the ECMP group on the leaf and the leaf's port on every
+// spine.
+func (t *Topology) newLeaf() *Switch {
+	leaf := NewSwitch(t.s)
+	l := len(t.Leaves)
+	t.Leaves = append(t.Leaves, leaf)
+	links := make([]*Link, t.Spec.Spines)
+	sports := make([]int, t.Spec.Spines)
+	var group []int
+	for sp := 0; sp < t.Spec.Spines; sp++ {
+		link := NewLink(t.s, t.Spec.Uplink)
+		links[sp] = link
+		up := leaf.AttachPort(link, 0)
+		down := t.Spines[sp].AttachPort(link, 1)
+		link.Attach(up, down)
+		t.Spines[sp].MarkTrunk(down.idx)
+		sports[sp] = down.idx
+		group = append(group, up.idx)
+	}
+	// Per-leaf seed variation keeps two leaves from making correlated
+	// hash choices for the same flow.
+	leaf.SetUplinks(group, t.Spec.ECMPSeed+uint64(l)*0x9e3779b97f4a7c15)
+	t.uplinks = append(t.uplinks, links)
+	t.spinePort = append(t.spinePort, sports)
+	return leaf
+}
+
+// Attach wires a machine's access link into the fabric: the machine's
+// FramePort fp owns link side 0, the access switch side 1 (machines are
+// placed in attach order, LeafPorts per switch). It programs the static
+// FDB on every switch so the fabric routes to mac without flooding, and
+// returns the index of the access switch the machine landed on.
+func (t *Topology) Attach(mac wire.MAC, l *Link, fp FramePort) int {
+	port, leafIdx := t.accessPort(l)
+	l.Attach(fp, port)
+	t.route(mac, leafIdx, port.idx)
+	t.macs = append(t.macs, mac)
+	return leafIdx
+}
+
+// accessPort allocates the next access port in fill order.
+func (t *Topology) accessPort(l *Link) (*SwitchPort, int) {
+	idx := t.attached
+	t.attached++
+	leafIdx := idx / t.Spec.LeafPorts
+	switch t.Spec.Kind {
+	case TopoSpineLeaf:
+		for leafIdx >= len(t.Leaves) {
+			t.newLeaf()
+		}
+	case TopoRing:
+		if leafIdx >= len(t.Leaves) {
+			panic(fmt.Sprintf("fabric: ring of %d switches x %d ports is full",
+				t.Spec.Switches, t.Spec.LeafPorts))
+		}
+	}
+	return t.Leaves[leafIdx].AttachPort(l, 1), leafIdx
+}
+
+// route programs every switch's static FDB for a machine on leafIdx.
+func (t *Topology) route(mac wire.MAC, leafIdx, accessPort int) {
+	t.Leaves[leafIdx].Learn(mac, accessPort)
+	switch t.Spec.Kind {
+	case TopoSpineLeaf:
+		// Every spine knows which leaf the machine is behind; other
+		// leaves ECMP unknown destinations upward, so they need nothing.
+		for sp, spine := range t.Spines {
+			spine.Learn(mac, t.spinePort[leafIdx][sp])
+		}
+	case TopoRing:
+		// Every other ring switch routes the shorter way around; the tie
+		// at K/2 breaks clockwise ("next") so the choice is explicit.
+		k := t.Spec.Switches
+		for j := 0; j < k; j++ {
+			if j == leafIdx {
+				continue
+			}
+			cw := (leafIdx - j + k) % k // hops going clockwise (via next)
+			if cw <= k-cw {
+				t.Leaves[j].Learn(mac, t.ringNext[j])
+			} else {
+				t.Leaves[j].Learn(mac, t.ringPrev[j])
+			}
+		}
+	}
+}
+
+// Uplink returns the leaf <-> spine link of a spine-leaf fabric — the
+// fault-injection targets e19-style experiments flap.
+func (t *Topology) Uplink(leaf, spine int) *Link {
+	if t.Spec.Kind != TopoSpineLeaf {
+		panic("fabric: Uplink on a non-spine-leaf topology")
+	}
+	if leaf < 0 || leaf >= len(t.uplinks) || spine < 0 || spine >= t.Spec.Spines {
+		panic(fmt.Sprintf("fabric: no uplink leaf%d:spine%d (%d leaves, %d spines)",
+			leaf, spine, len(t.uplinks), t.Spec.Spines))
+	}
+	return t.uplinks[leaf][spine]
+}
+
+// RingLink returns ring segment i (joining switch i to i+1 mod K).
+func (t *Topology) RingLink(i int) *Link {
+	if t.Spec.Kind != TopoRing {
+		panic("fabric: RingLink on a non-ring topology")
+	}
+	if i < 0 || i >= len(t.ringLinks) {
+		panic(fmt.Sprintf("fabric: no ring segment %d of %d", i, len(t.ringLinks)))
+	}
+	return t.ringLinks[i]
+}
+
+// Attached reports how many machines are wired in.
+func (t *Topology) Attached() int { return t.attached }
+
+// Dropped sums frames lost inside the fabric: switch drops (drain, dead
+// ECMP groups) plus drops on inter-switch links (carrier-down or full
+// queues). Access-link drops are the attached machine's to report.
+func (t *Topology) Dropped() uint64 {
+	var n uint64
+	for _, sw := range t.Leaves {
+		n += sw.Dropped
+	}
+	for _, sw := range t.Spines {
+		n += sw.Dropped
+	}
+	for _, row := range t.uplinks {
+		for _, l := range row {
+			n += l.DroppedTotal()
+		}
+	}
+	for _, l := range t.ringLinks {
+		n += l.DroppedTotal()
+	}
+	return n
+}
+
+// UplinkFrames reports, per spine, the frames leaf->spine plus
+// spine->leaf carried over all of that spine's uplinks — the series an
+// experiment prints to show ECMP spread.
+func (t *Topology) UplinkFrames() []uint64 {
+	out := make([]uint64, len(t.Spines))
+	for _, row := range t.uplinks {
+		for sp, l := range row {
+			f0, _ := l.Stats(0)
+			f1, _ := l.Stats(1)
+			out[sp] += f0 + f1
+		}
+	}
+	return out
+}
+
+// String summarizes the fabric shape.
+func (t *Topology) String() string {
+	switch t.Spec.Kind {
+	case TopoRing:
+		return fmt.Sprintf("ring{switches=%d machines=%d}", t.Spec.Switches, t.attached)
+	default:
+		return fmt.Sprintf("spineleaf{leaves=%d spines=%d machines=%d}",
+			len(t.Leaves), len(t.Spines), t.attached)
+	}
+}

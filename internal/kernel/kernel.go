@@ -9,6 +9,11 @@
 // mechanism), and so on. The kernel charges every OS operation to a core in
 // cpu.Kernel state so that experiments can attribute cycles precisely to
 // the twelve receive-path steps of the paper's §2.
+//
+// Determinism invariants: scheduling decisions depend only on simulated
+// time, FIFO ready queues, and fixed cost constants — the kernel reads no
+// wall clock and draws no randomness, so thread interleavings are a pure
+// function of the event sequence that drives them.
 package kernel
 
 import (

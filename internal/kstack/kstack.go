@@ -6,6 +6,10 @@
 // It is the "Linux" series in the experiments: the most flexible of the
 // three stacks (any thread on any core, no pinning, no spinning) and the
 // one with the most software on the critical path.
+//
+// Determinism invariants: softirq and server-thread wakeups are ordinary
+// kernel scheduling (FIFO, timer-driven, randomness-free), so the stack
+// replays identically for a given seed and frame sequence.
 package kstack
 
 import (

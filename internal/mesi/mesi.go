@@ -11,6 +11,12 @@
 // a watchdog models the interconnect's protocol timeout (the "unrecoverable
 // bus error" of §5.1) if the home defers too long, which is exactly why
 // Lauberhorn must emit TryAgain messages.
+//
+// Determinism invariants: every protocol transition fires as a simulator
+// event at a simulated time (ties broken by schedule order), line state
+// lives in an open-addressed table whose behavior never depends on Go map
+// iteration, and no randomness is drawn — a coherence trace replays
+// identically for a given seed.
 package mesi
 
 import (

@@ -7,6 +7,11 @@
 // The model charges every hardware interaction with the latencies of the
 // configured fabric (PCIe x86, PCIe Enzian, ...): payload DMA, completion
 // writes, descriptor fetches, doorbells, and interrupt delivery.
+//
+// Determinism invariants: RSS queue selection hashes frame bytes (or
+// steers by port), every DMA/IRQ completion fires at a simulated time,
+// and no randomness is drawn — the NIC replays identically for a given
+// frame sequence.
 package nicdma
 
 import (
@@ -76,6 +81,7 @@ type Stats struct {
 	RxDropped   uint64
 	RxFiltered  uint64 // not addressed to this host (switched fabrics)
 	TxFrames    uint64
+	TxNoCarrier uint64 // frames dropped at the driver's carrier check
 	IRQs        uint64
 }
 
@@ -279,6 +285,12 @@ func (n *NIC) DeliverFrame(frame []byte) {
 func (n *NIC) Transmit(frame []byte) {
 	if n.link == nil {
 		panic("nicdma: transmit with no link attached")
+	}
+	if !n.link.Up() {
+		// The driver's carrier check (netif_carrier_ok): a frame offered
+		// toward a downed link is dropped before any DMA is spent on it.
+		n.stats.TxNoCarrier++
+		return
 	}
 	// Serialize the TX DMA engine.
 	start := n.sim.Now()

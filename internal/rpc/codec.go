@@ -7,6 +7,10 @@
 // Lauberhorn's NIC-resident decoder (whose cost the host does not pay) can
 // parse it. This mirrors the paper's use of hardware RPC deserialization in
 // the style of Optimus Prime / Cerebros / ProtoAcc.
+//
+// Determinism invariants: encoding and decoding are pure functions of
+// their byte inputs, and the service registry iterates in registration
+// order — nothing here can perturb a replay.
 package rpc
 
 import (

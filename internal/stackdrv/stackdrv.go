@@ -17,6 +17,11 @@
 //
 // Registration happens at init time; lookups are safe from any goroutine
 // afterwards (experiments build universes concurrently).
+//
+// Determinism invariants: All() returns entries ordered by Kind, so
+// registry-driven sweeps are stable; a driver's New must schedule no
+// events and draw no randomness (the cluster builder's construction-order
+// contract), and Check must be a pure function of its HostParams.
 package stackdrv
 
 import (
@@ -79,6 +84,23 @@ type Service struct {
 	Desc *rpc.ServiceDesc
 }
 
+// FabricInfo describes where a host sits in the cluster fabric, so a
+// driver's topology Check (and its provisioning decisions) can see past
+// its own access link: how many switch tiers the fabric has, which
+// access switch the host lands on, and how many redundant spine paths
+// exist. A zero value means the legacy shapes — a direct point-to-point
+// link or a single-switch star.
+type FabricInfo struct {
+	// Kind names the fabric shape: "direct", "star", "spineleaf", "ring".
+	Kind string
+	// Tiers is the switch-tier count: 0 direct, 1 star/ring, 2 spine-leaf.
+	Tiers int
+	// Leaf is the index of the host's access switch (0 for direct/star).
+	Leaf int
+	// Spines is the redundant-path count between leaves (spine-leaf only).
+	Spines int
+}
+
 // HostParams carries everything a driver factory needs to provision one
 // host. During spec validation (Entry.Check) only the topology fields are
 // set: Sim is nil and Services carry no Desc.
@@ -95,6 +117,9 @@ type HostParams struct {
 	// steering, destination-IP filter) and overwrite them; drivers
 	// without a DMA NIC ignore it.
 	NIC *nicdma.Config
+	// Fabric places the host in the cluster's switch fabric. It is set
+	// both at validation time (Check) and at provisioning time (New).
+	Fabric FabricInfo
 }
 
 // Instance is one provisioned host-side stack. The cluster builder calls

@@ -2,6 +2,12 @@
 // experiment in this repository: log-bucketed latency histograms with
 // percentile queries, streaming mean/variance accumulators, and simple
 // counters, all allocation-free on the record path.
+//
+// Determinism invariants: bucketing is a pure function of the recorded
+// value, percentiles and merges are independent of record order, and
+// Table renders rows exactly as added — so any table built from the same
+// samples is byte-identical, which is what the harness's serial-vs-
+// parallel diffs rest on.
 package stats
 
 import (

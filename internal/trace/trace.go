@@ -4,6 +4,10 @@
 // (one branch); the paper's §6 calls out tracing/debugging as a feature
 // that benefits from close NIC/OS integration, and the experiment harness
 // uses this package to explain latency outliers.
+//
+// Determinism invariants: tracing is observation only — enabling or
+// disabling it never changes simulation state, and events are recorded in
+// emission order with simulated timestamps.
 package trace
 
 import (

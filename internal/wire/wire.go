@@ -3,6 +3,10 @@
 // checksums. Packets flow between hosts as genuine byte slices so that both
 // NIC models (the traditional DMA NIC and Lauberhorn's decoder pipeline)
 // parse exactly what a hardware implementation would.
+//
+// Determinism invariants: builders, parsers, and the RSS flow hash are
+// pure functions of their byte inputs — the same frame always hashes,
+// steers, and parses the same way.
 package wire
 
 import (

@@ -5,6 +5,13 @@
 // small"), Zipf service popularity, and open- and closed-loop client
 // generators that drive a server over a fabric.Link and collect latency
 // histograms.
+//
+// Determinism invariants: all randomness comes from seeded sim.RNG
+// streams. A generator with Config.Seed set draws a private stream that
+// is a pure function of that seed — independent of construction order
+// and of every other generator — which is what lets multi-client
+// clusters add or remove machines without perturbing anyone else's
+// arrivals, sizes, or popularity draws.
 package workload
 
 import (

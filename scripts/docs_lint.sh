@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# docs-lint: structural checks that keep the documentation honest.
+#
+#  1. Every Go package under internal/ and cmd/ must carry a package
+#     comment ("// Package ..." on a non-test file).
+#  2. README.md, DESIGN.md and EXPERIMENTS.md must not reference files or
+#     directories that do not exist. Scanned references are inline
+#     backticked tokens that look like paths: anything containing a
+#     slash, or a bare *.md/*.json/*.yml name at the repository root.
+#
+# Run from anywhere; exits non-zero with one line per violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+for dir in $(find internal cmd -type d | sort); do
+    gofiles=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    [ -z "$gofiles" ] && continue
+    # Library packages document "// Package x ..."; main packages follow
+    # the godoc convention "// Command x ...".
+    if ! grep -lE '^// (Package|Command) ' $gofiles >/dev/null; then
+        echo "docs-lint: package in $dir/ has no package comment" >&2
+        fail=1
+    fi
+done
+
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+    if [ ! -f "$doc" ]; then
+        echo "docs-lint: $doc is missing" >&2
+        fail=1
+        continue
+    fi
+    refs=$(grep -o '`[^`]*`' "$doc" | tr -d '`' | tr ' ' '\n' |
+        grep -E '^\.?/?([A-Za-z0-9_.-]+/)+[A-Za-z0-9_.-]+$|^[A-Za-z0-9_-]+\.(md|json|yml)$' |
+        sort -u || true)
+    for ref in $refs; do
+        path="${ref#./}"
+        case "$path" in
+        internal/* | cmd/* | examples/* | scripts/* | .github/* | *.md | *.json | *.yml) ;;
+        *)
+            # Not a repository path shape (stdlib packages, schema names,
+            # package-relative mentions): out of scope.
+            continue
+            ;;
+        esac
+        if [ ! -e "$path" ]; then
+            echo "docs-lint: $doc references missing path: $ref" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs-lint: OK"
+fi
+exit $fail
