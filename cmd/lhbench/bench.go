@@ -108,8 +108,9 @@ func benchFanOut() (eventsPerSec float64) {
 	return float64(fired) / time.Since(start).Seconds()
 }
 
-// writeBench renders results into the BENCH_sim.json shape at path.
-func writeBench(path string, workers int, results []experiments.Result) error {
+// buildBench measures the queue microbenchmarks and renders results into
+// the BENCH_sim.json shape.
+func buildBench(workers int, results []experiments.Result) benchFile {
 	f := benchFile{
 		Schema:  benchSchema,
 		Go:      runtime.Version(),
@@ -145,6 +146,11 @@ func writeBench(path string, workers int, results []experiments.Result) error {
 	if f.Totals.WallMS > 0 {
 		f.Totals.EventsPerSec = float64(f.Totals.EventsFired) / (f.Totals.WallMS / 1000)
 	}
+	return f
+}
+
+// writeBench serializes a snapshot to path.
+func writeBench(path string, f benchFile) error {
 	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err

@@ -22,7 +22,7 @@ func TestWriteBench(t *testing.T) {
 	}
 	results := (&experiments.Runner{Workers: 1}).Run(exps)
 	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
-	if err := writeBench(path, 1, results); err != nil {
+	if err := writeBench(path, buildBench(1, results)); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(path)
@@ -32,6 +32,15 @@ func TestWriteBench(t *testing.T) {
 	var f benchFile
 	if err := json.Unmarshal(blob, &f); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	// Round-trip through the ratchet loader: a fresh artifact is a valid
+	// baseline and never regresses against itself.
+	base, err := loadBench(path)
+	if err != nil {
+		t.Fatalf("fresh artifact rejected as ratchet baseline: %v", err)
+	}
+	if failures, _ := compareBench(base, f, 0.10); len(failures) != 0 {
+		t.Errorf("snapshot regresses against itself: %v", failures)
 	}
 	if f.Schema != benchSchema {
 		t.Errorf("schema = %q, want %q", f.Schema, benchSchema)

@@ -9,6 +9,9 @@
 //	lhbench -run all -parallel 8   # run up to 8 experiments concurrently
 //	lhbench -run e3 -json          # machine-readable results
 //	lhbench -bench BENCH_sim.json  # also write the perf-trajectory artifact
+//	lhbench -bench fresh.json -ratchet BENCH_sim.json
+//	                               # fail if fresh throughput regressed >10%
+//	                               # against the committed baseline
 //
 // Experiments run on a bounded worker pool (-parallel, default
 // GOMAXPROCS) with one simulator universe per experiment, so results are
@@ -88,6 +91,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
 	benchOut := flag.String("bench", "",
 		"write a BENCH_sim.json perf snapshot (events/sec per experiment, queue microbenchmarks) to this path")
+	ratchet := flag.String("ratchet", "",
+		"compare the fresh -bench snapshot against this committed baseline and fail on >10% aggregate events/sec regression")
 	flag.Parse()
 
 	if *list {
@@ -137,12 +142,36 @@ func main() {
 	}
 
 	elapsed := time.Since(start)
+	if *ratchet != "" && *benchOut == "" {
+		fmt.Fprintf(os.Stderr, "lhbench: -ratchet needs -bench to measure a fresh snapshot\n")
+		os.Exit(1)
+	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, *parallel, results); err != nil {
+		fresh := buildBench(*parallel, results)
+		if err := writeBench(*benchOut, fresh); err != nil {
 			fmt.Fprintf(os.Stderr, "lhbench: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "lhbench: wrote perf snapshot to %s\n", *benchOut)
+		if *ratchet != "" {
+			base, err := loadBench(*ratchet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lhbench: loading ratchet baseline: %v\n", err)
+				os.Exit(1)
+			}
+			failures, notes := compareBench(base, fresh, ratchetTolerance)
+			for _, n := range notes {
+				fmt.Fprintf(os.Stderr, "lhbench: %s\n", n)
+			}
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "lhbench: RATCHET %s\n", f)
+			}
+			if len(failures) > 0 {
+				fmt.Fprintf(os.Stderr, "lhbench: perf ratchet failed against %s (fix the regression or commit a refreshed baseline)\n", *ratchet)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "lhbench: perf ratchet ok against %s\n", *ratchet)
+		}
 	}
 	sum := experiments.Summarize(results)
 	fmt.Fprintf(os.Stderr,

@@ -1,0 +1,70 @@
+package main
+
+// The perf ratchet: `lhbench -bench fresh.json -ratchet BENCH_sim.json`
+// compares the snapshot it just measured against the committed baseline
+// and fails when aggregate simulator throughput regressed beyond
+// tolerance. This turns BENCH_sim.json from a passive artifact into a
+// gate: the number may drift up freely, but a change that costs more
+// than the tolerance in events/sec has to either get fixed or ship with
+// a refreshed baseline — an explicit, reviewable diff.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ratchetTolerance is the fraction of baseline throughput a fresh run may
+// lose before the ratchet fails. CI machines are noisy, so only the
+// aggregates gate; per-experiment drift is reported informationally.
+const ratchetTolerance = 0.10
+
+// loadBench reads and validates a committed BENCH_sim.json baseline.
+func loadBench(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return f, fmt.Errorf("%s has schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return f, nil
+}
+
+// compareBench returns hard failures for aggregate regressions beyond tol
+// and informational notes for per-experiment drift. Notes follow the
+// fresh snapshot's experiment order, so output is deterministic.
+func compareBench(base, fresh benchFile, tol float64) (failures, notes []string) {
+	check := func(name string, baseV, freshV float64) {
+		if baseV <= 0 {
+			return
+		}
+		if freshV < baseV*(1-tol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed %.1f%%: %.0f events/sec, baseline %.0f",
+				name, 100*(1-freshV/baseV), freshV, baseV))
+		}
+	}
+	check("totals.events_per_sec", base.Totals.EventsPerSec, fresh.Totals.EventsPerSec)
+	check("queue.schedule_fire_events_per_sec", base.Queue.ScheduleFireEventsSec, fresh.Queue.ScheduleFireEventsSec)
+	check("queue.fanout_events_per_sec", base.Queue.FanOutEventsSec, fresh.Queue.FanOutEventsSec)
+
+	baseByID := make(map[string]benchExperiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+	for _, e := range fresh.Experiments {
+		b, ok := baseByID[e.ID]
+		if !ok || b.EventsPerSec <= 0 || e.EventsPerSec >= b.EventsPerSec*(1-tol) {
+			continue
+		}
+		notes = append(notes, fmt.Sprintf(
+			"note: %s at %.0f events/sec is %.1f%% below baseline %.0f (informational; only aggregates gate)",
+			e.ID, e.EventsPerSec, 100*(1-e.EventsPerSec/b.EventsPerSec), b.EventsPerSec))
+	}
+	return failures, notes
+}

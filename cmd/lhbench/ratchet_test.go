@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func ratchetBase() benchFile {
+	f := benchFile{Schema: benchSchema}
+	f.Totals.EventsPerSec = 1_000_000
+	f.Queue.ScheduleFireEventsSec = 2_000_000
+	f.Queue.FanOutEventsSec = 3_000_000
+	f.Experiments = []benchExperiment{
+		{ID: "e1", EventsPerSec: 500_000},
+		{ID: "e2", EventsPerSec: 400_000},
+	}
+	return f
+}
+
+func TestCompareBenchClean(t *testing.T) {
+	base := ratchetBase()
+	fresh := ratchetBase()
+	// Within tolerance (and faster is always fine).
+	fresh.Totals.EventsPerSec *= 0.95
+	fresh.Queue.ScheduleFireEventsSec *= 1.5
+	failures, notes := compareBench(base, fresh, 0.10)
+	if len(failures) != 0 || len(notes) != 0 {
+		t.Fatalf("clean compare produced failures=%v notes=%v", failures, notes)
+	}
+}
+
+func TestCompareBenchAggregateRegression(t *testing.T) {
+	base := ratchetBase()
+	fresh := ratchetBase()
+	fresh.Totals.EventsPerSec *= 0.80
+	fresh.Queue.FanOutEventsSec *= 0.50
+	failures, _ := compareBench(base, fresh, 0.10)
+	if len(failures) != 2 {
+		t.Fatalf("want 2 failures, got %v", failures)
+	}
+	if !strings.Contains(failures[0], "totals.events_per_sec regressed 20.0%") {
+		t.Errorf("unexpected totals failure text: %s", failures[0])
+	}
+	if !strings.Contains(failures[1], "queue.fanout_events_per_sec regressed 50.0%") {
+		t.Errorf("unexpected queue failure text: %s", failures[1])
+	}
+}
+
+func TestCompareBenchPerExperimentIsInformational(t *testing.T) {
+	base := ratchetBase()
+	fresh := ratchetBase()
+	fresh.Experiments[1].EventsPerSec *= 0.5
+	failures, notes := compareBench(base, fresh, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("per-experiment drift must not gate, got failures %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "e2") {
+		t.Fatalf("want one informational note about e2, got %v", notes)
+	}
+}
+
+func TestCompareBenchMissingBaselineEntries(t *testing.T) {
+	base := ratchetBase()
+	base.Totals.EventsPerSec = 0 // e.g. hand-edited baseline
+	fresh := ratchetBase()
+	fresh.Totals.EventsPerSec = 1
+	fresh.Experiments = append(fresh.Experiments, benchExperiment{ID: "e9", EventsPerSec: 1})
+	failures, notes := compareBench(base, fresh, 0.10)
+	if len(failures) != 0 || len(notes) != 0 {
+		t.Fatalf("zero/missing baseline entries must be skipped, got failures=%v notes=%v", failures, notes)
+	}
+}

@@ -1,0 +1,128 @@
+// Command lhlint runs the repository's determinism and hot-path
+// static-analysis suite (internal/lint) over the whole module.
+//
+// Usage:
+//
+//	lhlint ./...            # analyze every package (the default)
+//	lhlint ./internal/sim   # only report findings under a directory
+//	lhlint -json ./...      # machine-readable findings
+//	lhlint -list            # describe the analyzer suite
+//
+// lhlint always loads and type-checks the entire module (the analyzers
+// are cross-package by nature); positional arguments only filter which
+// findings are reported. Output is sorted by file:line:col and uses
+// root-relative paths, so it is byte-identical across runs and machines.
+// The exit status is 0 when no findings survive, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lauberhorn/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	list := flag.Bool("list", false, "describe the analyzer suite, then exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhlint: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(m, lint.Suite())
+	diags = filterArgs(diags, root, flag.Args())
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // encode no findings as [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "lhlint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lhlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterArgs restricts findings to the requested package patterns. The
+// module is always analyzed whole; "./..." (or no arguments) keeps
+// everything, "./dir" and "./dir/..." keep findings under dir.
+func filterArgs(diags []lint.Diagnostic, root string, args []string) []lint.Diagnostic {
+	var prefixes []string
+	for _, arg := range args {
+		arg = strings.TrimSuffix(arg, "...")
+		arg = strings.TrimSuffix(arg, "/")
+		if arg == "." || arg == "./" || arg == "" {
+			return diags
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || rel == "." || strings.HasPrefix(rel, "..") {
+			return diags
+		}
+		prefixes = append(prefixes, filepath.ToSlash(rel)+"/")
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if strings.HasPrefix(d.File, p) || d.File == strings.TrimSuffix(p, "/") {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}

@@ -30,4 +30,13 @@
 // sim.Meter. The simulator itself recycles events through a free list
 // with lazy cancellation, so the schedule->fire and schedule->cancel hot
 // paths allocate nothing in steady state (see internal/sim benchmarks).
+//
+// Those contracts are statically enforced: internal/lint (run as
+// cmd/lhlint) is a stdlib-only analyzer suite that forbids map
+// iteration, wall-clock reads, global randomness, and goroutines in
+// model code, checks //lhlint:hotpath-annotated functions for
+// allocating constructs, and cross-checks the experiment registry
+// against EXPERIMENTS.md. `go run ./cmd/lhlint ./...` must exit clean;
+// CI gates on it alongside a perf ratchet (`lhbench -ratchet`) that
+// fails on aggregate events/sec regressions against BENCH_sim.json.
 package lauberhorn

@@ -712,6 +712,8 @@ func (n *NIC) DMABody(serial uint64) []byte {
 
 // DeliverFrame implements fabric.FramePort: run the decode pipeline, then
 // dispatch (Fig. 3).
+//
+//lhlint:hotpath
 func (n *NIC) DeliverFrame(frame []byte) {
 	// The pipeline accepts a new packet each initiation interval; model
 	// the engine as busy until the current packet clears the slowest
@@ -758,6 +760,8 @@ type decoded struct {
 
 // decodeDone dispatches the oldest staged packet; it is the single bound
 // callback behind every "lauberhorn-decoded" event.
+//
+//lhlint:hotpath
 func (n *NIC) decodeDone() {
 	dec := n.decq[n.decHead]
 	n.decq[n.decHead] = decoded{}
@@ -775,6 +779,8 @@ func (n *NIC) decodeDone() {
 
 // admit demultiplexes a decoded request to its endpoint and dispatches or
 // queues it.
+//
+//lhlint:hotpath
 func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 	ep := n.byPort[d.UDP.DstPort]
 	if ep == nil || ep.Svc != msg.Service {
@@ -852,6 +858,8 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 
 // transmitResponse parses the recalled response line, merges aux bytes,
 // and sends the RPC response to the client.
+//
+//lhlint:hotpath
 func (n *NIC) transmitResponse(serial uint64, line []byte) {
 	req := n.inflights[serial]
 	if req == nil {
@@ -876,6 +884,7 @@ func (n *NIC) transmitResponse(serial uint64, line []byte) {
 	payload := rpc.EncodeResponse(req.svc, req.method, req.rpcID, pr.Status, body)
 	if pr.Buf && req.dmaResp {
 		// Pull the buffer out of host memory before transmitting.
+		//lhlint:allow hotpath DMA-buffer fallback path, not the cache-line fast path; the closure models the pending descriptor
 		n.sim.After(n.cfg.DMA.DMARead+n.cfg.DMA.DMATransfer(len(body)), "lh-dma-out", func() {
 			n.txRPC(req.client, payload)
 		})
@@ -888,6 +897,8 @@ func (n *NIC) transmitResponse(serial uint64, line []byte) {
 // Built frames wait in a FIFO staging queue; TxBuild is constant, so the
 // single prebound txFn fires them in schedule order without allocating a
 // closure per packet.
+//
+//lhlint:hotpath
 func (n *NIC) txRPC(dst wire.Endpoint, payload []byte) {
 	if n.link == nil {
 		panic("core: NIC has no link")
@@ -905,6 +916,8 @@ func (n *NIC) txRPC(dst wire.Endpoint, payload []byte) {
 // guards the wire (fault injection can down the access link): frames
 // staged toward a dead link are dropped at the NIC, as a real MAC does,
 // rather than burning link-layer state.
+//
+//lhlint:hotpath
 func (n *NIC) txFire() {
 	frame := n.txq[n.txHead]
 	n.txq[n.txHead] = nil

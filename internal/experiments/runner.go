@@ -101,8 +101,10 @@ func (r *Runner) RunStream(exps []Experiment, emit func(Result)) []Result {
 func runOne(e Experiment) (res Result) {
 	res.Experiment = e
 	m := &sim.Meter{}
+	//lhlint:allow detsource Wall is the one documented nondeterministic Result field; it never feeds model behavior
 	start := time.Now()
 	defer func() {
+		//lhlint:allow detsource Wall is the one documented nondeterministic Result field; it never feeds model behavior
 		res.Wall = time.Since(start)
 		res.Events = m.EventsFired()
 		res.Recycled = m.EventsRecycled()

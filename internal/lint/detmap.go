@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPackages are the packages whose output, event ordering, or hashed
+// state feeds the serial-vs-parallel determinism contract: iterating a Go
+// map there injects randomized order straight into tables, schedules, or
+// traces.
+var detPackages = map[string]bool{
+	"lauberhorn/internal/experiments": true,
+	"lauberhorn/internal/sim":         true,
+	"lauberhorn/internal/fabric":      true,
+	"lauberhorn/internal/cluster":     true,
+	"lauberhorn/internal/stats":       true,
+	"lauberhorn/internal/check":       true,
+}
+
+// DetMap flags `range` over a map in determinism-critical packages. Map
+// iteration order is randomized per run, so any such loop that feeds
+// output, event scheduling, or state hashing breaks the byte-identical
+// serial/parallel contract. Iterations that feed a sort or a commutative
+// reduction are annotated //lhlint:allow detmap <reason>.
+var DetMap = &Analyzer{
+	Name:    "detmap",
+	Doc:     "flags map iteration in packages with deterministic-output contracts",
+	Applies: func(pkgPath string) bool { return detPackages[pkgPath] },
+	Run:     runDetMap,
+}
+
+func runDetMap(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				p.Reportf(rng.Pos(),
+					"range over %s: map iteration order is randomized; sort the keys first or annotate //lhlint:allow detmap <reason>",
+					types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)))
+			}
+			return true
+		})
+	}
+}

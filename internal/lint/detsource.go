@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetSource flags nondeterministic inputs in model and experiment code:
+// wall-clock reads, the global math/rand generators, and environment
+// lookups. Simulated time comes from sim.Time and randomness from the
+// per-universe RNG streams, so any of these in internal/ packages either
+// breaks replayability or silently forks behavior between runs.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbids wall-clock time, math/rand, and environment reads in model code",
+	Applies: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "lauberhorn/internal/")
+	},
+	Run: runDetSource,
+}
+
+// detBanned maps package path -> banned member -> steer text. An empty
+// member set ("*") bans every reference to the package.
+var detBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read; use the simulator clock (sim.Time)",
+		"Since":     "wall-clock read; use the simulator clock (sim.Time)",
+		"Until":     "wall-clock read; use the simulator clock (sim.Time)",
+		"Sleep":     "wall-clock wait; schedule a sim event instead",
+		"After":     "wall-clock timer; schedule a sim event instead",
+		"Tick":      "wall-clock ticker; schedule a sim event instead",
+		"NewTimer":  "wall-clock timer; schedule a sim event instead",
+		"NewTicker": "wall-clock ticker; schedule a sim event instead",
+		"AfterFunc": "wall-clock timer; schedule a sim event instead",
+	},
+	"math/rand": {
+		"*": "unseeded process-global randomness; use the per-universe sim.RNG streams",
+	},
+	"math/rand/v2": {
+		"*": "unseeded process-global randomness; use the per-universe sim.RNG streams",
+	},
+	"os": {
+		"Getenv":    "environment-derived behavior; thread configuration through explicit parameters",
+		"LookupEnv": "environment-derived behavior; thread configuration through explicit parameters",
+		"Environ":   "environment-derived behavior; thread configuration through explicit parameters",
+		"ExpandEnv": "environment-derived behavior; thread configuration through explicit parameters",
+	},
+}
+
+func runDetSource(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			members, banned := detBanned[obj.Pkg().Path()]
+			if !banned {
+				return true
+			}
+			// Methods (e.g. (*rand.Rand).Intn) resolve to the package too;
+			// keep them covered — a seeded *rand.Rand still isn't one of the
+			// universe's RNG streams.
+			steer, hit := members[obj.Name()]
+			if !hit {
+				steer, hit = members["*"]
+			}
+			if hit {
+				p.Reportf(id.Pos(), "%s.%s: %s (or annotate //lhlint:allow detsource <reason>)",
+					obj.Pkg().Path(), obj.Name(), steer)
+			}
+			return true
+		})
+	}
+}

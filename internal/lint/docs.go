@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Docs verifies that backticked repository paths in the top-level
+// documents resolve to files that exist — the doc-reference half of the
+// old scripts/docs_lint.sh, folded into lhlint so it ships with line
+// numbers and the same deterministic output; the script keeps only the
+// prose-level package-comment check.
+var Docs = &Analyzer{
+	Name:      "docs",
+	Doc:       "backticked repository paths in top-level docs must exist",
+	RunModule: runDocs,
+}
+
+// docFiles are the documents whose path references are checked; they are
+// also required to exist themselves.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+var (
+	backtickRE = regexp.MustCompile("`([^`]*)`")
+	// pathShapeRE matches tokens that look like file paths: anything with
+	// a slash, or a bare *.md/*.json/*.yml name at the repository root.
+	pathShapeRE = regexp.MustCompile(`^\.?/?([A-Za-z0-9_.-]+/)+[A-Za-z0-9_.-]+$|^[A-Za-z0-9_-]+\.(md|json|yml)$`)
+)
+
+// repoPathPrefixes limits existence checks to repository-shaped paths;
+// stdlib packages, schema names, and package-relative mentions are out of
+// scope.
+var repoPathPrefixes = []string{"internal/", "cmd/", "examples/", "scripts/", ".github/"}
+
+func runDocs(m *Module, report func(Diagnostic)) {
+	for _, doc := range docFiles {
+		content, err := os.ReadFile(filepath.Join(m.Root, doc))
+		if err != nil {
+			report(Diagnostic{File: doc, Line: 1, Col: 1,
+				Message: fmt.Sprintf("required document is missing: %v", err)})
+			continue
+		}
+		for i, line := range strings.Split(string(content), "\n") {
+			for _, tick := range backtickRE.FindAllStringSubmatch(line, -1) {
+				for _, token := range strings.Fields(tick[1]) {
+					ref := strings.TrimPrefix(token, "./")
+					if !pathShapeRE.MatchString(token) || !isRepoPath(ref) {
+						continue
+					}
+					if _, err := os.Stat(filepath.Join(m.Root, filepath.FromSlash(ref))); err != nil {
+						report(Diagnostic{File: doc, Line: i + 1, Col: 1,
+							Message: fmt.Sprintf("references missing path %s", token)})
+					}
+				}
+			}
+		}
+	}
+}
+
+// isRepoPath reports whether ref is shaped like a repository path this
+// check owns.
+func isRepoPath(ref string) bool {
+	for _, p := range repoPathPrefixes {
+		if strings.HasPrefix(ref, p) {
+			return true
+		}
+	}
+	switch filepath.Ext(ref) {
+	case ".md", ".json", ".yml":
+		return !strings.Contains(ref, "/")
+	}
+	return false
+}

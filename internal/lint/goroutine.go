@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goroutine confines concurrency to the experiment Runner and the
+// command-line harnesses. Model code is single-threaded by contract —
+// distinct Sim instances on distinct goroutines share nothing — and
+// ROADMAP item 1 (intra-universe sharding) depends on that staying true:
+// when a sharding layer lands, internal/experiments must be the only
+// place a goroutine can start. go statements and sync primitives
+// anywhere else in internal/ are therefore rejected outright.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "forbids go statements and sync primitives outside the Runner and cmd/",
+	Applies: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "lauberhorn/internal/") &&
+			pkgPath != "lauberhorn/internal/experiments"
+	},
+	Run: runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(),
+					"go statement outside internal/experiments and cmd/: model code is single-threaded by contract")
+			case *ast.Ident:
+				obj := p.Pkg.Info.Uses[n]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				pkgPath := obj.Pkg().Path()
+				if pkgPath != "sync" && pkgPath != "sync/atomic" {
+					return true
+				}
+				// Skip method references (mu.Lock and friends): the mutex is
+				// already flagged once where its type is named.
+				if fn, ok := obj.(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+				}
+				p.Reportf(n.Pos(),
+					"%s.%s outside internal/experiments and cmd/: concurrency is confined to the Runner (future sharding enters there)",
+					pkgPath, obj.Name())
+			}
+			return true
+		})
+	}
+}

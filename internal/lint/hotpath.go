@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath checks functions annotated //lhlint:hotpath for constructs
+// that allocate or box. The annotation is seeded on the event-queue
+// schedule/fire/cancel path, NIC tx/rx, the MESI line tables, and stats
+// recording — the paths whose 0 allocs/op contract the internal/sim
+// benchmarks pin. Flagged constructs:
+//
+//   - function literals capturing variables (each call allocates a
+//     context struct),
+//   - implicit conversions of concrete values to interface types
+//     (boxing),
+//   - append inside a loop to a slice with no preallocated capacity,
+//   - string concatenation,
+//   - map literals and make(map) (a map header per call).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "rejects allocating/boxing constructs in //lhlint:hotpath functions",
+	Run:  runHotPath,
+}
+
+// hotAnnotated reports whether the function's doc comment carries the
+// //lhlint:hotpath annotation.
+func hotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lhlint:")
+		if ok && strings.TrimSpace(rest) == "hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotAnnotated(fd) {
+				continue
+			}
+			c := &hotChecker{p: p, fn: fd, info: p.Pkg.Info}
+			c.prepass()
+			c.check()
+		}
+	}
+}
+
+// hotChecker checks one annotated function.
+type hotChecker struct {
+	p    *Pass
+	fn   *ast.FuncDecl
+	info *types.Info
+
+	loops []posRange     // bodies of for/range statements
+	lits  []*ast.FuncLit // function literals, in traversal order
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+
+// prepass records loop-body and closure extents so the main walk can
+// answer "is this inside a loop?" and "which signature does this return
+// to?" by position.
+func (c *hotChecker) prepass() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.loops = append(c.loops, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			c.loops = append(c.loops, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.FuncLit:
+			c.lits = append(c.lits, n)
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) inLoop(p token.Pos) bool {
+	for _, r := range c.loops {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingSig returns the signature a return statement at p returns to:
+// the innermost enclosing function literal, or the annotated function.
+func (c *hotChecker) enclosingSig(p token.Pos) *types.Signature {
+	var best *ast.FuncLit
+	for _, lit := range c.lits {
+		if lit.Body.Pos() <= p && p < lit.Body.End() {
+			if best == nil || lit.Pos() > best.Pos() {
+				best = lit
+			}
+		}
+	}
+	if best != nil {
+		if tv, ok := c.info.Types[best]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok {
+				return sig
+			}
+		}
+		return nil
+	}
+	if obj := c.info.Defs[c.fn.Name]; obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+func (c *hotChecker) check() {
+	name := c.fn.Name.Name
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkClosure(n, name)
+		case *ast.CallExpr:
+			c.checkCall(n, name)
+		case *ast.AssignStmt:
+			c.checkAssign(n, name)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n, name)
+		case *ast.ReturnStmt:
+			c.checkReturn(n, name)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isStringExpr(n) {
+				c.p.Reportf(n.OpPos, "hot path %s: string concatenation allocates; use a preallocated buffer", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkClosure flags function literals that capture outer variables: each
+// evaluation allocates a context struct (and usually the func value too).
+func (c *hotChecker) checkClosure(lit *ast.FuncLit, name string) {
+	var captured []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= c.fn.Pos() && pos < c.fn.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			seen[v] = true
+			captured = append(captured, v.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		c.p.Reportf(lit.Pos(), "hot path %s: closure captures %s and allocates per call; prebind the callback",
+			name, strings.Join(captured, ", "))
+	}
+}
+
+// checkCall flags interface-boxing argument conversions, hot map
+// allocation via make, and unbounded appends in loops.
+func (c *hotChecker) checkCall(call *ast.CallExpr, name string) {
+	tv, ok := c.info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): only interface targets box.
+		if len(call.Args) == 1 {
+			c.convert(call.Args[0], tv.Type, name)
+		}
+		return
+	}
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if rtv, ok := c.info.Types[call]; ok {
+					if _, isMap := rtv.Type.Underlying().(*types.Map); isMap {
+						c.p.Reportf(call.Pos(), "hot path %s: make(map) allocates; hoist the map out of the hot path", name)
+					}
+				}
+			case "append":
+				if c.inLoop(call.Pos()) && !c.appendPreallocated(call) {
+					c.p.Reportf(call.Pos(),
+						"hot path %s: append inside a loop without preallocated capacity; size the slice up front", name)
+				}
+			}
+			return
+		}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var want types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				want = sig.Params().At(np - 1).Type() // s... passes the slice itself
+			} else if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				want = sl.Elem()
+			}
+		case i < np:
+			want = sig.Params().At(i).Type()
+		}
+		c.convert(arg, want, name)
+	}
+}
+
+// calleeIdent unwraps the identifier a call resolves through, if any.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.ParenExpr:
+		return calleeIdent(fun.X)
+	}
+	return nil
+}
+
+// appendPreallocated reports whether the append target is a local slice
+// declared with explicit capacity (3-arg make), as a reslice of existing
+// storage (x[:0]), or as the result of another append — the shapes whose
+// amortized growth is deliberate.
+func (c *hotChecker) appendPreallocated(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := c.info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return false
+	}
+	rhs := c.declRHS(v)
+	switch rhs := rhs.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if cid := calleeIdent(rhs.Fun); cid != nil {
+			if b, ok := c.info.Uses[cid].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					return len(rhs.Args) == 3
+				case "append":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// declRHS finds the expression v was declared from inside the annotated
+// function, or nil.
+func (c *hotChecker) declRHS(v *types.Var) (rhs ast.Expr) {
+	ast.Inspect(c.fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && c.info.Defs[id] == v {
+					rhs = n.Rhs[i]
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, nm := range n.Names {
+				if c.info.Defs[nm] == v && i < len(n.Values) {
+					rhs = n.Values[i]
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// checkAssign flags boxing conversions in plain assignments and string
+// concatenation via +=.
+func (c *hotChecker) checkAssign(as *ast.AssignStmt, name string) {
+	switch as.Tok {
+	case token.ASSIGN:
+		if len(as.Lhs) != len(as.Rhs) {
+			return // multi-value call assignment: no per-operand conversion node
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if tv, ok := c.info.Types[lhs]; ok {
+				c.convert(as.Rhs[i], tv.Type, name)
+			}
+		}
+	case token.ADD_ASSIGN:
+		if c.isStringExpr(as.Lhs[0]) {
+			c.p.Reportf(as.TokPos, "hot path %s: string concatenation allocates; use a preallocated buffer", name)
+		}
+	}
+}
+
+// checkValueSpec flags boxing in `var x I = concrete` declarations.
+func (c *hotChecker) checkValueSpec(spec *ast.ValueSpec, name string) {
+	if spec.Type == nil {
+		return
+	}
+	tv, ok := c.info.Types[spec.Type]
+	if !ok {
+		return
+	}
+	for _, val := range spec.Values {
+		c.convert(val, tv.Type, name)
+	}
+}
+
+// checkReturn flags boxing conversions at return statements.
+func (c *hotChecker) checkReturn(ret *ast.ReturnStmt, name string) {
+	sig := c.enclosingSig(ret.Pos())
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		c.convert(res, sig.Results().At(i).Type(), name)
+	}
+}
+
+// checkCompositeLit flags map literals and boxing into interface-typed
+// fields or elements.
+func (c *hotChecker) checkCompositeLit(lit *ast.CompositeLit, name string) {
+	tv, ok := c.info.Types[lit]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.p.Reportf(lit.Pos(), "hot path %s: map literal allocates; hoist the map out of the hot path", name)
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for j := 0; j < t.NumFields(); j++ {
+					if t.Field(j).Name() == key.Name {
+						c.convert(kv.Value, t.Field(j).Type(), name)
+						break
+					}
+				}
+			} else if i < t.NumFields() {
+				c.convert(elt, t.Field(i).Type(), name)
+			}
+		}
+	case *types.Slice:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			c.convert(elt, t.Elem(), name)
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			c.convert(elt, t.Elem(), name)
+		}
+	}
+}
+
+// convert reports an implicit concrete-to-interface conversion of expr to
+// want. Interface-to-interface widening carries the existing word pair
+// and constant conversions are materialized statically, so neither is
+// flagged.
+func (c *hotChecker) convert(expr ast.Expr, want types.Type, name string) {
+	if want == nil {
+		return
+	}
+	if _, ok := want.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := c.info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+		return
+	}
+	c.p.Reportf(expr.Pos(), "hot path %s: %s converted to %s boxes on the hot path; keep the call monomorphic",
+		name, types.TypeString(tv.Type, types.RelativeTo(c.p.Pkg.Types)),
+		types.TypeString(want, types.RelativeTo(c.p.Pkg.Types)))
+}
+
+// isStringExpr reports whether e has (non-constant) string type.
+func (c *hotChecker) isStringExpr(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry cross-checks the experiment registry against its operational
+// paperwork: every experiment registered in internal/experiments must
+// have an EXPERIMENTS.md catalog row whose "Pinned by" column names at
+// least one test function that actually exists, and every catalog row
+// must correspond to a registered experiment. This replaces the
+// stringly-typed half of scripts/docs_lint.sh with a typed check over the
+// parsed registry and the parsed test files.
+var Registry = &Analyzer{
+	Name:      "registry",
+	Doc:       "every registered experiment has an EXPERIMENTS.md row and an existing pinning test",
+	RunModule: runRegistry,
+}
+
+const experimentsDoc = "EXPERIMENTS.md"
+
+// regEntry is one experiment registration site.
+type regEntry struct {
+	ID   string
+	File string
+	Line int
+	Col  int
+}
+
+// mdRow is one parsed EXPERIMENTS.md table row.
+type mdRow struct {
+	ID    string
+	Tests []string
+	Line  int
+}
+
+func runRegistry(m *Module, report func(Diagnostic)) {
+	pkg := m.byPath[m.Path+"/internal/experiments"]
+	if pkg == nil {
+		return // nothing to cross-check in this module
+	}
+	entries := registryEntries(m, pkg)
+	if len(entries) == 0 {
+		report(Diagnostic{File: pkg.Dir, Line: 1, Col: 1,
+			Message: "no experiment registrations found in internal/experiments; the registry analyzer cannot cross-check " + experimentsDoc})
+		return
+	}
+	content, err := os.ReadFile(filepath.Join(m.Root, experimentsDoc))
+	if err != nil {
+		report(Diagnostic{File: experimentsDoc, Line: 1, Col: 1,
+			Message: fmt.Sprintf("cannot read %s: %v", experimentsDoc, err)})
+		return
+	}
+	rows := experimentsRows(string(content))
+	for _, d := range checkRegistry(entries, rows, moduleTestFuncs(m)) {
+		report(d)
+	}
+}
+
+// registryEntries extracts every Experiment literal carrying an ID field
+// from the experiments package.
+func registryEntries(m *Module, pkg *Package) []regEntry {
+	var out []regEntry
+	idRE := regexp.MustCompile(`^e[0-9]+$`)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[lit]; !ok || !strings.HasSuffix(tv.Type.String(), "Experiment") {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "ID" {
+					continue
+				}
+				bl, ok := kv.Value.(*ast.BasicLit)
+				if !ok {
+					continue
+				}
+				id, err := strconv.Unquote(bl.Value)
+				if err != nil || !idRE.MatchString(id) {
+					continue
+				}
+				pos := m.Fset.Position(kv.Pos())
+				out = append(out, regEntry{ID: id, File: pos.Filename, Line: pos.Line, Col: pos.Column})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+var backtickedTest = regexp.MustCompile("`(Test[A-Za-z0-9_]*)`")
+
+// experimentsRows parses the catalog table: rows whose first cell is an
+// e-number; the backticked Test names anywhere in the row are its
+// pinning tests.
+func experimentsRows(content string) []mdRow {
+	var out []mdRow
+	rowRE := regexp.MustCompile(`^\|\s*(e[0-9]+)\s*\|`)
+	for i, line := range strings.Split(content, "\n") {
+		match := rowRE.FindStringSubmatch(line)
+		if match == nil {
+			continue
+		}
+		row := mdRow{ID: match[1], Line: i + 1}
+		for _, t := range backtickedTest.FindAllStringSubmatch(line, -1) {
+			row.Tests = append(row.Tests, t[1])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// moduleTestFuncs collects every declared TestXxx function name across
+// the module's _test.go files.
+func moduleTestFuncs(m *Module) map[string]bool {
+	tests := map[string]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.TestFiles {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
+					tests[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	return tests
+}
+
+// checkRegistry is the pure cross-check over registrations, catalog rows,
+// and existing test names.
+func checkRegistry(entries []regEntry, rows []mdRow, tests map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	rowByID := map[string]mdRow{}
+	for _, r := range rows {
+		if prev, dup := rowByID[r.ID]; dup {
+			out = append(out, Diagnostic{File: experimentsDoc, Line: r.Line, Col: 1,
+				Message: fmt.Sprintf("duplicate %s row for %s (first at line %d)", experimentsDoc, r.ID, prev.Line)})
+			continue
+		}
+		rowByID[r.ID] = r
+	}
+	registered := map[string]bool{}
+	for _, e := range entries {
+		registered[e.ID] = true
+		row, ok := rowByID[e.ID]
+		if !ok {
+			out = append(out, Diagnostic{File: e.File, Line: e.Line, Col: e.Col,
+				Message: fmt.Sprintf("experiment %s is registered but has no %s catalog row", e.ID, experimentsDoc)})
+			continue
+		}
+		if len(row.Tests) == 0 {
+			out = append(out, Diagnostic{File: experimentsDoc, Line: row.Line, Col: 1,
+				Message: fmt.Sprintf("catalog row for %s names no pinning test (backticked TestXxx) in its Pinned-by column", e.ID)})
+			continue
+		}
+		exists := false
+		var missing []string
+		for _, t := range row.Tests {
+			if tests[t] {
+				exists = true
+			} else {
+				missing = append(missing, t)
+			}
+		}
+		if !exists {
+			out = append(out, Diagnostic{File: experimentsDoc, Line: row.Line, Col: 1,
+				Message: fmt.Sprintf("catalog row for %s: none of its pinning tests exist (%s)", e.ID, strings.Join(missing, ", "))})
+		} else if len(missing) > 0 {
+			out = append(out, Diagnostic{File: experimentsDoc, Line: row.Line, Col: 1,
+				Message: fmt.Sprintf("catalog row for %s names nonexistent pinning test %s", e.ID, strings.Join(missing, ", "))})
+		}
+	}
+	var ids []string
+	for id := range rowByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !registered[id] {
+			row := rowByID[id]
+			out = append(out, Diagnostic{File: experimentsDoc, Line: row.Line, Col: 1,
+				Message: fmt.Sprintf("catalog row for %s does not match any registered experiment", id)})
+		}
+	}
+	return out
+}

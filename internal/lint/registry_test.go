@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diagMessages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func wantOne(t *testing.T, diags []Diagnostic, substr string) {
+	t.Helper()
+	n := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("want exactly one diagnostic containing %q, got %d in %q", substr, n, diagMessages(diags))
+	}
+}
+
+func TestCheckRegistryClean(t *testing.T) {
+	entries := []regEntry{{ID: "e1", File: "internal/experiments/e1.go", Line: 10, Col: 3}}
+	rows := []mdRow{{ID: "e1", Tests: []string{"TestE1Claims"}, Line: 5}}
+	tests := map[string]bool{"TestE1Claims": true}
+	if diags := checkRegistry(entries, rows, tests); len(diags) != 0 {
+		t.Fatalf("clean registry produced %q", diagMessages(diags))
+	}
+}
+
+func TestCheckRegistryCrossChecks(t *testing.T) {
+	entries := []regEntry{
+		{ID: "e1", File: "internal/experiments/e1.go", Line: 10, Col: 3},
+		{ID: "e2", File: "internal/experiments/e2.go", Line: 12, Col: 3}, // no row
+		{ID: "e4", File: "internal/experiments/e4.go", Line: 14, Col: 3}, // row has no tests
+		{ID: "e5", File: "internal/experiments/e5.go", Line: 16, Col: 3}, // row's tests missing
+		{ID: "e6", File: "internal/experiments/e6.go", Line: 18, Col: 3}, // one test of two missing
+	}
+	rows := []mdRow{
+		{ID: "e1", Tests: []string{"TestE1Claims"}, Line: 5},
+		{ID: "e3", Tests: []string{"TestE3Claims"}, Line: 6}, // no registration
+		{ID: "e4", Line: 7},
+		{ID: "e5", Tests: []string{"TestGone"}, Line: 8},
+		{ID: "e6", Tests: []string{"TestE6Claims", "TestAlsoGone"}, Line: 9},
+	}
+	tests := map[string]bool{"TestE1Claims": true, "TestE3Claims": true, "TestE6Claims": true}
+	diags := checkRegistry(entries, rows, tests)
+	wantOne(t, diags, "e2 is registered but has no EXPERIMENTS.md catalog row")
+	wantOne(t, diags, "e3 does not match any registered experiment")
+	wantOne(t, diags, "e4 names no pinning test")
+	wantOne(t, diags, "e5: none of its pinning tests exist (TestGone)")
+	wantOne(t, diags, "e6 names nonexistent pinning test TestAlsoGone")
+	if len(diags) != 5 {
+		t.Errorf("want 5 diagnostics, got %d: %q", len(diags), diagMessages(diags))
+	}
+}
+
+func TestCheckRegistryDuplicateRow(t *testing.T) {
+	entries := []regEntry{{ID: "e1", File: "f.go", Line: 1, Col: 1}}
+	rows := []mdRow{
+		{ID: "e1", Tests: []string{"TestE1Claims"}, Line: 5},
+		{ID: "e1", Tests: []string{"TestE1Claims"}, Line: 9},
+	}
+	tests := map[string]bool{"TestE1Claims": true}
+	diags := checkRegistry(entries, rows, tests)
+	wantOne(t, diags, "duplicate EXPERIMENTS.md row for e1 (first at line 5)")
+}
+
+func TestExperimentsRows(t *testing.T) {
+	content := strings.Join([]string{
+		"| ID | Claim | Pinned by |",
+		"|----|-------|-----------|",
+		"| e1 | dispatch beats DMA | `TestE1Claims`, `TestE1Table` |",
+		"| e12 | something else | `TestE12Claims` |",
+		"not a row | e9 |",
+	}, "\n")
+	rows := experimentsRows(content)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d: %+v", len(rows), rows)
+	}
+	if rows[0].ID != "e1" || len(rows[0].Tests) != 2 || rows[0].Tests[1] != "TestE1Table" || rows[0].Line != 3 {
+		t.Errorf("row 0 parsed wrong: %+v", rows[0])
+	}
+	if rows[1].ID != "e12" || len(rows[1].Tests) != 1 {
+		t.Errorf("row 1 parsed wrong: %+v", rows[1])
+	}
+}
+
+// TestDirectiveValidation pins the directive analyzer: unknown verbs,
+// unknown analyzer names, and bare reason-less allows are themselves
+// diagnostics, so suppressions can never silently rot.
+func TestDirectiveValidation(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fix
+
+//lhlint:allow hotpath
+func a() {}
+
+//lhlint:allow bogus because reasons
+func b() {}
+
+//lhlint:frobnicate
+func c() {}
+
+//lhlint:allow
+func d() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset, pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(fset, pkg, "lauberhorn/internal/fix", Suite())
+	wantOne(t, diags, "//lhlint:allow hotpath needs a reason")
+	wantOne(t, diags, `names unknown analyzer "bogus"`)
+	wantOne(t, diags, "unknown directive //lhlint:frobnicate")
+	wantOne(t, diags, "//lhlint:allow needs an analyzer name and a reason")
+	if len(diags) != 4 {
+		t.Errorf("want 4 diagnostics, got %d: %q", len(diags), diagMessages(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("diagnostic %s not attributed to the directive analyzer", d)
+		}
+	}
+}
+
+// TestAllowSuppression pins the suppression window: an allow covers its
+// own line and the line below, nothing else.
+func TestAllowSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fix
+
+import "time"
+
+//lhlint:allow detsource fixture: covered by the line-below rule
+func covered() time.Time { return time.Now() }
+
+func trailing() time.Time { return time.Now() } //lhlint:allow detsource fixture: covered same-line
+
+func uncovered() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset, pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(fset, pkg, "lauberhorn/internal/fix", Suite())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the uncovered finding, got %q", diagMessages(diags))
+	}
+	if diags[0].Line != 10 {
+		t.Errorf("finding at line %d, want 10 (the uncovered call)", diags[0].Line)
+	}
+}

@@ -1,0 +1,33 @@
+// Package detmap is a lint fixture analyzed as if it were
+// lauberhorn/internal/experiments: map iteration is forbidden unless
+// annotated.
+package detmap
+
+// sum feeds map iteration order straight into an accumulated result.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+// keys shows the sanctioned form: iterate under an allow, sort at the
+// caller.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lhlint:allow detmap keys are sorted by the caller before any output
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// overSlice ranges over a slice, which is always ordered and always fine.
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,28 @@
+// Package detsource is a lint fixture analyzed as if it were a model
+// package under lauberhorn/internal/: wall-clock time, global math/rand,
+// and environment reads are forbidden.
+package detsource
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now: wall-clock read"
+}
+
+func jitter() int {
+	return rand.Intn(8) // want "math/rand.Intn: unseeded process-global randomness"
+}
+
+func debugging() bool {
+	return os.Getenv("LH_DEBUG") != "" // want "os.Getenv: environment-derived behavior"
+}
+
+// tick uses a time constant, which carries no nondeterminism.
+const tick = time.Millisecond
+
+//lhlint:allow detsource fixture shows a reasoned suppression on the line below
+func allowed() time.Time { return time.Now() }

@@ -1,0 +1,25 @@
+// Package goroutine is a lint fixture analyzed as if it were
+// lauberhorn/internal/fabric: go statements and sync primitives are
+// forbidden in single-threaded model code.
+package goroutine
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside"
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "go statement outside"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+// serial is the sanctioned form: just run the work in order.
+func serial(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

@@ -1,0 +1,67 @@
+// Package hotpath is a lint fixture: functions annotated
+// //lhlint:hotpath must not contain allocating or boxing constructs.
+package hotpath
+
+type counter struct {
+	n     int
+	names []string
+	idx   map[string]int
+}
+
+func sink(v any) { _ = v }
+
+//lhlint:hotpath
+func (c *counter) closureCapture(k int) func() int {
+	return func() int { // want "closure captures"
+		return c.n + k
+	}
+}
+
+//lhlint:hotpath
+func (c *counter) box(v int) any {
+	return v // want "boxes on the hot path"
+}
+
+//lhlint:hotpath
+func callBox(n int) {
+	sink(n) // want "boxes on the hot path"
+}
+
+//lhlint:hotpath
+func (c *counter) appendLoop(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v) // want "append inside a loop without preallocated capacity"
+	}
+	return out
+}
+
+//lhlint:hotpath
+func (c *counter) makeMap() {
+	c.idx = make(map[string]int) // want "make.map. allocates"
+}
+
+//lhlint:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// appendPrealloc is the sanctioned loop shape: capacity sized up front.
+//
+//lhlint:hotpath
+func (c *counter) appendPrealloc(vs []int) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// unannotated may do all of these things freely.
+func unannotated(vs []int) any {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

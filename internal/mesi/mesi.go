@@ -195,9 +195,11 @@ func (d *Directory) Stats() Stats { return d.stats }
 // LineSize returns the coherence granule in bytes.
 func (d *Directory) LineSize() int { return d.params.CacheLineSize }
 
+//lhlint:hotpath
 func (d *Directory) line(addr LineAddr) *dirLine {
 	l, ok := d.lines.get(addr)
 	if !ok {
+		//lhlint:allow hotpath sharer map is built once per directory line on first touch, then reused for the line's lifetime
 		l = &dirLine{sharers: make(map[*Cache]struct{})}
 		d.lines.put(addr, l)
 	}

@@ -34,11 +34,15 @@ func newAddrTable[V any](sizeHint int) *addrTable[V] {
 
 // slot is the preferred slot for a: Fibonacci hashing spreads the
 // structured control-line address space across the table.
+//
+//lhlint:hotpath
 func (t *addrTable[V]) slot(a LineAddr) int {
 	return int((uint64(a) * 0x9E3779B97F4A7C15) >> t.shift)
 }
 
 // get returns the value stored for a, if any.
+//
+//lhlint:hotpath
 func (t *addrTable[V]) get(a LineAddr) (V, bool) {
 	mask := len(t.keys) - 1
 	for i := t.slot(a); ; i = (i + 1) & mask {
@@ -53,6 +57,8 @@ func (t *addrTable[V]) get(a LineAddr) (V, bool) {
 }
 
 // put inserts or replaces the value for a.
+//
+//lhlint:hotpath
 func (t *addrTable[V]) put(a LineAddr, v V) {
 	if (t.n+1)*4 >= len(t.keys)*3 {
 		t.grow()

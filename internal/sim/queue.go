@@ -46,6 +46,8 @@ const (
 
 // eventBefore is the queue's total order: time, then scheduling sequence,
 // so simultaneous events fire in scheduling order.
+//
+//lhlint:hotpath
 func eventBefore(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -55,6 +57,8 @@ func eventBefore(a, b *Event) bool {
 
 // push routes a freshly scheduled (or migrating) event to the ring or the
 // overflow heap.
+//
+//lhlint:hotpath
 func (s *Sim) push(e *Event) {
 	b := int64(uint64(e.at) >> bucketBits)
 	if b-int64(uint64(s.now)>>bucketBits) >= ringSlots {
@@ -67,6 +71,8 @@ func (s *Sim) push(e *Event) {
 // ringPush inserts an event into absolute bucket b, which must lie within
 // the horizon. The front bucket keeps its heap order; other buckets are
 // plain appends, heapified lazily when the cursor arrives.
+//
+//lhlint:hotpath
 func (s *Sim) ringPush(e *Event, b int64) {
 	e.index = ringIndex
 	slot := &s.ring[uint64(b)&ringMask]
@@ -94,6 +100,8 @@ func (s *Sim) ringPush(e *Event, b int64) {
 
 // ringPopFront removes the front bucket's minimum (already located by
 // peek: e is (*slot)[0]). The caller recycles or fires it.
+//
+//lhlint:hotpath
 func (s *Sim) ringPopFront(e *Event) {
 	slot := &s.ring[uint64(s.frontB)&ringMask]
 	ev := *slot
@@ -116,6 +124,8 @@ func (s *Sim) ringPopFront(e *Event) {
 // nextOccupied returns the first absolute bucket at or after `from` whose
 // slot holds events, by scanning the occupancy bitmap a word at a time.
 // Only valid while ringN > 0 (some bit is set).
+//
+//lhlint:hotpath
 func (s *Sim) nextOccupied(from int64) int64 {
 	slot := uint64(from) & ringMask
 	w := int(slot >> 6)
@@ -137,6 +147,8 @@ func (s *Sim) nextOccupied(from int64) int64 {
 // lazily-cancelled events it passes over. Ring events always precede heap
 // events (see the invariant above), so the two structures never need a
 // cross-comparison.
+//
+//lhlint:hotpath
 func (s *Sim) peek() *Event {
 	for s.ringN > 0 {
 		slot := &s.ring[uint64(s.frontB)&ringMask]
@@ -175,6 +187,8 @@ func (s *Sim) peek() *Event {
 // advance moves the clock to t and migrates heap events that the sliding
 // horizon now covers into the ring, restoring the ring-before-heap
 // invariant peek relies on. The empty-heap fast path inlines into Step.
+//
+//lhlint:hotpath
 func (s *Sim) advance(t Time) {
 	s.now = t
 	if len(s.heap) > 0 {
@@ -183,6 +197,8 @@ func (s *Sim) advance(t Time) {
 }
 
 // migrate moves heap events inside the horizon of now into the ring.
+//
+//lhlint:hotpath
 func (s *Sim) migrate() {
 	horizon := int64(uint64(s.now)>>bucketBits) + ringSlots
 	for len(s.heap) > 0 {
@@ -206,6 +222,8 @@ func (s *Sim) migrate() {
 // index maintenance (lazy cancellation never removes from the middle).
 
 // bucketHeapPush appends e and sifts it up.
+//
+//lhlint:hotpath
 func bucketHeapPush(slot *[]*Event, e *Event) {
 	ev := append(*slot, e)
 	i := len(ev) - 1
@@ -222,6 +240,8 @@ func bucketHeapPush(slot *[]*Event, e *Event) {
 }
 
 // bucketSiftDown places e at index i of the bucket heap ev.
+//
+//lhlint:hotpath
 func bucketSiftDown(ev []*Event, e *Event, i int) {
 	n := len(ev)
 	for {
@@ -255,6 +275,8 @@ func bucketSiftDown(ev []*Event, e *Event, i int) {
 // []*Event so no comparison or move goes through an interface.
 
 // heapPush inserts e, sifting up with a hole instead of pairwise swaps.
+//
+//lhlint:hotpath
 func (s *Sim) heapPush(e *Event) {
 	h := append(s.heap, e)
 	i := len(h) - 1
@@ -273,6 +295,8 @@ func (s *Sim) heapPush(e *Event) {
 }
 
 // heapPop removes and returns the minimum.
+//
+//lhlint:hotpath
 func (s *Sim) heapPop() *Event {
 	h := s.heap
 	top := h[0]
@@ -289,6 +313,8 @@ func (s *Sim) heapPop() *Event {
 
 // heapSiftDown places e at index i, sifting the smallest child up into the
 // hole until the heap order holds.
+//
+//lhlint:hotpath
 func (s *Sim) heapSiftDown(e *Event, i int) {
 	h := s.heap
 	n := len(h)

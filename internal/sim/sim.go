@@ -81,6 +81,8 @@ func (s *Sim) Recycled() uint64 { return s.recycled }
 func (s *Sim) Pending() int { return s.live }
 
 // alloc returns an Event from the free list, or a fresh one.
+//
+//lhlint:hotpath
 func (s *Sim) alloc(at Time, seq uint64, name string, fn func()) *Event {
 	if n := len(s.free); n > 0 {
 		e := s.free[n-1]
@@ -94,6 +96,8 @@ func (s *Sim) alloc(at Time, seq uint64, name string, fn func()) *Event {
 }
 
 // recycle returns a popped (index == -1) dead event to the free list.
+//
+//lhlint:hotpath
 func (s *Sim) recycle(e *Event) {
 	e.fn = nil
 	e.name = ""
@@ -102,9 +106,11 @@ func (s *Sim) recycle(e *Event) {
 
 // At schedules fn to run at instant t, which must not be in the past.
 // The name is a diagnostic label reported by String and tracing.
+//
+//lhlint:hotpath
 func (s *Sim) At(t Time, name string, fn func()) *Event {
 	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, s.now))
+		panicPastSchedule(name, t, s.now)
 	}
 	if fn == nil {
 		panic("sim: nil event function")
@@ -117,11 +123,23 @@ func (s *Sim) At(t Time, name string, fn func()) *Event {
 }
 
 // After schedules fn to run d from now. Negative d panics.
+//
+//lhlint:hotpath
 func (s *Sim) After(d Time, name string, fn func()) *Event {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+		panicNegativeDelay(name, d)
 	}
 	return s.At(s.now+d, name, fn)
+}
+
+// panicPastSchedule and panicNegativeDelay keep the fmt boxing of the
+// scheduling panics off the hot path; they never return.
+func panicPastSchedule(name string, t, now Time) {
+	panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, now))
+}
+
+func panicNegativeDelay(name string, d Time) {
+	panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 }
 
 // Cancel marks a pending event dead. Cancellation is lazy: the event stays
@@ -129,6 +147,8 @@ func (s *Sim) After(d Time, name string, fn func()) *Event {
 // the front, so no mid-queue surgery happens on deschedule-heavy paths.
 // Cancelling an event that already fired or was already cancelled is a
 // no-op and returns false.
+//
+//lhlint:hotpath
 func (s *Sim) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 || e.fn == nil {
 		return false
@@ -142,6 +162,8 @@ func (s *Sim) Cancel(e *Event) bool {
 
 // Step fires the earliest pending event, advancing the clock to its instant.
 // It returns false when the queue is empty or the simulation was stopped.
+//
+//lhlint:hotpath
 func (s *Sim) Step() bool {
 	if s.stopped {
 		return false

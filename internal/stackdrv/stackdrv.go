@@ -167,6 +167,7 @@ type Entry struct {
 }
 
 var (
+	//lhlint:allow goroutine guards the init-time driver registry, not simulation state; models never touch it mid-run
 	regMu     sync.RWMutex
 	registry  = make(map[Kind]Entry)
 	byName    = make(map[string]Kind)

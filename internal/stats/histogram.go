@@ -94,6 +94,8 @@ func bucketMid(i int) int64 {
 }
 
 // Record adds one sample. Negative samples are clamped to zero.
+//
+//lhlint:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -114,6 +116,8 @@ func (h *Histogram) Record(v int64) {
 }
 
 // RecordN adds n identical samples.
+//
+//lhlint:hotpath
 func (h *Histogram) RecordN(v int64, n uint64) {
 	if n == 0 {
 		return

@@ -13,6 +13,8 @@ type Welford struct {
 }
 
 // Add records one sample.
+//
+//lhlint:hotpath
 func (w *Welford) Add(x float64) {
 	if w.n == 0 {
 		w.min, w.max = x, x
@@ -90,9 +92,13 @@ func (w *Welford) Merge(other *Welford) {
 type Counter struct{ n uint64 }
 
 // Inc adds one.
+//
+//lhlint:hotpath
 func (c *Counter) Inc() { c.n++ }
 
 // Add adds n.
+//
+//lhlint:hotpath
 func (c *Counter) Add(n uint64) { c.n += n }
 
 // Value returns the current count.
@@ -119,6 +125,8 @@ func NewEWMA(alpha float64) *EWMA {
 }
 
 // Observe folds in a new sample.
+//
+//lhlint:hotpath
 func (e *EWMA) Observe(x float64) {
 	if !e.init {
 		e.value = x
