@@ -22,7 +22,7 @@ func TestWriteBench(t *testing.T) {
 	}
 	results := (&experiments.Runner{Workers: 1}).Run(exps)
 	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
-	if err := writeBench(path, buildBench(1, results)); err != nil {
+	if err := writeBench(path, buildBench(1, 1, results)); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(path)

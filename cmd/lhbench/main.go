@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -93,7 +95,20 @@ func main() {
 		"write a BENCH_sim.json perf snapshot (events/sec per experiment, queue microbenchmarks) to this path")
 	ratchet := flag.String("ratchet", "",
 		"compare the fresh -bench snapshot against this committed baseline and fail on >10% aggregate events/sec regression")
+	benchReps := flag.Int("benchreps", 3,
+		"with -bench: run the experiment set N times and record min wall time per experiment (noise floor for the ratchet)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
 	flag.Parse()
+
+	// The simulator's live heap is small (per-universe state) while its
+	// allocation rate is high (frames whose ownership transfers through
+	// the fabric), so the default GOGC=100 spends ~25% of wall time in
+	// collection cycles that reclaim almost nothing live. Relax the
+	// target unless the user set GOGC explicitly.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 
 	if *list {
 		fmt.Print(listText())
@@ -108,6 +123,20 @@ func main() {
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "lhbench: -parallel must be >= 1, got %d\n", *parallel)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	runner := &experiments.Runner{Workers: *parallel}
@@ -147,7 +176,22 @@ func main() {
 		os.Exit(1)
 	}
 	if *benchOut != "" {
-		fresh := buildBench(*parallel, results)
+		if *benchReps < 1 {
+			fmt.Fprintf(os.Stderr, "lhbench: -benchreps must be >= 1, got %d\n", *benchReps)
+			os.Exit(1)
+		}
+		// Multi-sample benching: rerun the experiment set silently and keep
+		// the fastest wall time per experiment. Tables are deterministic, so
+		// the reruns only refine the timing; min-of-N filters scheduler and
+		// cache noise out of the snapshot.
+		for rep := 1; rep < *benchReps; rep++ {
+			for i, r := range runner.Run(selected) {
+				if r.Err == nil && (results[i].Err != nil || r.Wall < results[i].Wall) {
+					results[i].Wall = r.Wall
+				}
+			}
+		}
+		fresh := buildBench(*parallel, *benchReps, results)
 		if err := writeBench(*benchOut, fresh); err != nil {
 			fmt.Fprintf(os.Stderr, "lhbench: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
@@ -172,6 +216,19 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "lhbench: perf ratchet ok against %s\n", *ratchet)
 		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "lhbench: writing allocation profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	sum := experiments.Summarize(results)
 	fmt.Fprintf(os.Stderr,

@@ -72,11 +72,34 @@ type Stats struct {
 	NoMethod uint64
 }
 
-// Worker is the state of one bypass poll-loop thread.
+// Worker is the state of one bypass poll-loop thread. The run-to-
+// completion pipeline is flattened into prebound stage continuations: a
+// worker serves one request at a time, so the per-request fields are
+// reused across iterations and the steady state allocates only the
+// response frame (whose ownership transfers to the NIC).
 type Worker struct {
 	cfg   WorkerConfig
 	stats Stats
 	ipID  uint16
+
+	tc *kernel.TC // current thread context, refreshed on (re)dispatch
+
+	// per-request state
+	d       *wire.Datagram
+	msg     rpc.Message
+	status  uint16
+	body    []byte
+	encScr  []byte // response-encoding scratch; copied into the frame
+	respMsg rpc.Message
+
+	// continuations, bound once
+	pollFn       func()
+	resumeFn     func(*kernel.TC)
+	arrivalIssue func(func())
+	discovered   func()
+	afterRx      func()
+	afterSvc     func()
+	afterTx      func()
 }
 
 // NewWorker validates the configuration and returns a worker whose Loop is
@@ -86,7 +109,15 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		panic("bypass: incomplete worker config")
 	}
 	cfg.Queue.DisableIRQ()
-	return &Worker{cfg: cfg}
+	w := &Worker{cfg: cfg}
+	w.pollFn = w.poll
+	w.resumeFn = func(tc2 *kernel.TC) { w.tc = tc2; w.poll() }
+	w.arrivalIssue = func(complete func()) { w.cfg.Queue.OnArrival(complete) }
+	w.discovered = func() { w.tc.Run(w.cfg.Costs.PollDiscover, cpu.Spin, w.pollFn) }
+	w.afterRx = w.dispatch
+	w.afterSvc = w.encode
+	w.afterTx = w.transmit
+	return w
 }
 
 // Stats returns a snapshot of the worker's counters.
@@ -94,15 +125,18 @@ func (w *Worker) Stats() Stats { return w.stats }
 
 // Loop is the run-to-completion poll loop (a thread body).
 func (w *Worker) Loop(tc *kernel.TC) {
-	w.poll(tc)
+	w.tc = tc
+	w.poll()
 }
 
-func (w *Worker) poll(tc *kernel.TC) {
+//lhlint:hotpath
+func (w *Worker) poll() {
+	tc := w.tc
 	// Honour a deferred preemption (we might have been spinning when the
 	// kernel decided to take the core away).
 	if tc.Thread().PreemptPending() {
 		tc.Thread().ClearPreempt()
-		tc.Yield(func(tc2 *kernel.TC) { w.poll(tc2) })
+		tc.Yield(w.resumeFn)
 		return
 	}
 	d := w.cfg.Queue.Poll()
@@ -111,65 +145,92 @@ func (w *Worker) poll(tc *kernel.TC) {
 		// lands, then pay the discovery cost. The wait is preemptible:
 		// if the kernel time-slices us out (services > cores), we
 		// re-enter the poll loop when rescheduled.
-		tc.SpinWait(func(complete func()) {
-			w.cfg.Queue.OnArrival(complete)
-		}, func() {
-			tc.Run(w.cfg.Costs.PollDiscover, cpu.Spin, func() { w.poll(tc) })
-		}, func(tc2 *kernel.TC) {
-			w.poll(tc2)
-		})
+		tc.SpinWait(w.arrivalIssue, w.discovered, w.resumeFn)
 		return
 	}
-	w.serve(tc, d)
+	w.serve(d)
 }
 
-func (w *Worker) serve(tc *kernel.TC, d *wire.Datagram) {
-	msg, err := rpc.Decode(d.Payload)
-	if err != nil {
+// serve starts one request: decode, then charge receive-side processing.
+//
+//lhlint:hotpath
+func (w *Worker) serve(d *wire.Datagram) {
+	if err := rpc.DecodeInto(d.Payload, &w.msg); err != nil {
 		w.stats.BadRPC++
-		w.poll(tc)
+		w.poll()
 		return
 	}
-	c := w.cfg
-	work := c.Costs.RxProcess + c.Codec.Unmarshal(len(msg.Body)) + c.Codec.DispatchLookup
-	tc.RunUser(work, func() {
-		svc := c.Registry.Lookup(msg.Service)
-		var m *rpc.MethodDesc
-		if svc != nil {
-			m = svc.Method(msg.Method)
+	w.d = d
+	c := &w.cfg
+	work := c.Costs.RxProcess + c.Codec.Unmarshal(len(w.msg.Body)) + c.Codec.DispatchLookup
+	w.tc.RunUser(work, w.afterRx)
+}
+
+// dispatch looks up the handler, runs it, and charges its service time.
+//
+//lhlint:hotpath
+func (w *Worker) dispatch() {
+	c := &w.cfg
+	svc := c.Registry.Lookup(w.msg.Service)
+	var m *rpc.MethodDesc
+	if svc != nil {
+		m = svc.Method(w.msg.Method)
+	}
+	w.status = rpc.StatusOK
+	w.body = nil
+	var service sim.Time
+	if m == nil {
+		w.stats.NoMethod++
+		w.status = rpc.StatusNoSuchMethod
+	} else {
+		w.body, service = m.Handler(w.msg.Body)
+	}
+	w.tc.RunUser(service, w.afterSvc)
+}
+
+// encode serializes the response into the worker's scratch buffer and
+// charges marshalling plus TX descriptor costs. The scratch is safe to
+// reuse because BuildUDP copies the payload into the frame.
+//
+//lhlint:hotpath
+func (w *Worker) encode() {
+	c := &w.cfg
+	w.encScr = rpc.AppendMessage(w.encScr[:0], rpc.Header{
+		Kind: rpc.KindResponse, Service: w.msg.Service, Method: w.msg.Method,
+		ID: w.msg.ID, Status: w.status,
+	}, w.body)
+	tx := c.Codec.Marshal(len(w.body)) + c.Costs.TxBuild + c.NIC.DoorbellCost()
+	w.tc.RunUser(tx, w.afterTx)
+}
+
+// transmit builds the response frame, hands it to the NIC, and re-enters
+// the poll loop.
+//
+//lhlint:hotpath
+func (w *Worker) transmit() {
+	c := &w.cfg
+	d := w.d
+	w.ipID++
+	dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
+	frame, err := wire.BuildUDP(c.Local, dst, w.ipID, w.encScr)
+	if err != nil {
+		panicTx(err)
+	}
+	if c.OnResponse != nil {
+		if err := rpc.DecodeInto(w.encScr, &w.respMsg); err == nil {
+			c.OnResponse(&w.respMsg)
 		}
-		status := uint16(rpc.StatusOK)
-		var body []byte
-		var service sim.Time
-		if m == nil {
-			w.stats.NoMethod++
-			status = rpc.StatusNoSuchMethod
-		} else {
-			body, service = m.Handler(msg.Body)
-		}
-		tc.RunUser(service, func() {
-			resp := rpc.EncodeResponse(msg.Service, msg.Method, msg.ID, status, body)
-			tx := c.Codec.Marshal(len(body)) + c.Costs.TxBuild + c.NIC.DoorbellCost()
-			tc.RunUser(tx, func() {
-				w.ipID++
-				src := c.Local
-				dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
-				frame, err := wire.BuildUDP(src, dst, w.ipID, resp)
-				if err != nil {
-					panic(fmt.Sprintf("bypass: tx: %v", err))
-				}
-				if c.OnResponse != nil {
-					if rm, err := rpc.Decode(resp); err == nil {
-						c.OnResponse(rm)
-					}
-				}
-				c.NIC.Transmit(frame)
-				w.stats.Served++
-				if c.OnServed != nil {
-					c.OnServed(msg)
-				}
-				w.poll(tc)
-			})
-		})
-	})
+	}
+	c.NIC.Transmit(frame)
+	w.stats.Served++
+	if c.OnServed != nil {
+		c.OnServed(&w.msg)
+	}
+	w.poll()
+}
+
+// panicTx keeps the fmt boxing of the oversized-response panic off the
+// transmit hot path; it never returns.
+func panicTx(err error) {
+	panic(fmt.Sprintf("bypass: tx: %v", err))
 }

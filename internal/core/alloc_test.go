@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"lauberhorn/internal/rpc"
+)
+
+// The NIC and host hot paths build control lines into reused scratch
+// buffers (NIC.lineScr, worker.respLine) under the copy-before-next-build
+// contract: every respond path copies the line into the cache model before
+// the next build overwrites it. This pin keeps the line builders
+// allocation-free once the scratch has capacity — a regression means a
+// builder started reallocating per event and the staging contract is moot.
+func TestLineScratchZeroAlloc(t *testing.T) {
+	const lineSize = 128
+	body := []byte("scratch-pin")
+	scr := scratchLine(nil, lineSize)
+	allocs := testing.AllocsPerRun(1000, func() {
+		scr, _ = dispatchLine(scr, lineSize, MarkerDispatch, 7, 3, 99, 0x10, 0x20, body)
+		scr = markerLine(scr, lineSize, MarkerTryAgain)
+		scr, _ = responseLine(scr, lineSize, rpc.StatusOK, 99, body)
+		scr = responseBufLine(scr, lineSize, rpc.StatusOK, 99, len(body))
+	})
+	if allocs != 0 {
+		t.Errorf("warm line builders allocate %v per op, want 0", allocs)
+	}
+	if p := parseDispatchLine(markerLine(scr, lineSize, MarkerRetire)); p.Marker != MarkerRetire {
+		t.Fatalf("scratch line corrupted: marker %v", p.Marker)
+	}
+}

@@ -75,7 +75,7 @@ func (n *NIC) OpenClientChannel(coreID int) uint32 {
 func (n *NIC) clientReadLine(addr mesi.LineAddr, chanID uint32, coreID, idx int, respond func([]byte)) {
 	ch := n.clientChans[chanID]
 	if ch == nil {
-		respond(markerLine(n.lineSize(), MarkerTryAgain))
+		respond(markerLine(nil, n.lineSize(), MarkerTryAgain))
 		return
 	}
 	pair := clientCtrl(chanID, coreID, 1-idx)
@@ -86,7 +86,7 @@ func (n *NIC) clientReadLine(addr mesi.LineAddr, chanID uint32, coreID, idx int,
 			if !ok {
 				// The CPU never finished writing the request; answer
 				// TryAgain so the core can recover.
-				respond(markerLine(n.lineSize(), MarkerTryAgain))
+				respond(markerLine(nil, n.lineSize(), MarkerTryAgain))
 				return
 			}
 			n.transmitClientReq(ch, req)
@@ -134,8 +134,11 @@ func (n *NIC) transmitClientReq(ch *clientChanNIC, req parsedClientReq) {
 	if mac, ok := n.arp[req.DstIP]; ok {
 		dst.MAC = mac
 	}
-	payload := rpc.EncodeRequest(req.Svc, req.Method, req.Serial, 0, body)
-	n.txRPC(dst, payload)
+	// Encode into the reused scratch: txRPC copies the payload into the
+	// frame before returning.
+	n.encScr = rpc.AppendMessage(n.encScr[:0],
+		rpc.Header{Kind: rpc.KindRequest, Service: req.Svc, Method: req.Method, ID: req.Serial}, body)
+	n.txRPC(dst, n.encScr)
 }
 
 // AddARP installs a static IP→MAC mapping for outbound calls (the control

@@ -345,7 +345,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestLineCodecs(t *testing.T) {
 	body := []byte("abcdef")
-	l, inline := dispatchLine(128, MarkerDispatch, 7, 3, 99, 0x1000, 0x2000, body)
+	l, inline := dispatchLine(nil, 128, MarkerDispatch, 7, 3, 99, 0x1000, 0x2000, body)
 	if inline != len(body) {
 		t.Fatalf("inline %d", inline)
 	}
@@ -355,7 +355,7 @@ func TestLineCodecs(t *testing.T) {
 		t.Fatalf("parsed %+v", p)
 	}
 
-	rl, rInline := responseLine(128, rpc.StatusOK, 99, body)
+	rl, rInline := responseLine(nil, 128, rpc.StatusOK, 99, body)
 	if rInline != len(body) {
 		t.Fatalf("resp inline %d", rInline)
 	}
@@ -363,7 +363,7 @@ func TestLineCodecs(t *testing.T) {
 	if !ok || pr.Status != rpc.StatusOK || pr.Serial != 99 || string(pr.Inline) != "abcdef" {
 		t.Fatalf("parsed resp %+v ok=%v", pr, ok)
 	}
-	if _, ok := parseResponseLine(markerLine(128, MarkerTryAgain)); ok {
+	if _, ok := parseResponseLine(markerLine(nil, 128, MarkerTryAgain)); ok {
 		t.Fatal("TryAgain line parsed as response")
 	}
 }
@@ -388,13 +388,13 @@ func TestInlineBodyTruncationBoundary(t *testing.T) {
 	// Body exactly at the inline capacity.
 	cap := 128 - dispatchHeaderLen
 	body := make([]byte, cap)
-	_, inline := dispatchLine(128, MarkerDispatch, 1, 1, 1, 0, 0, body)
+	_, inline := dispatchLine(nil, 128, MarkerDispatch, 1, 1, 1, 0, 0, body)
 	if inline != cap {
 		t.Fatalf("inline %d, want %d", inline, cap)
 	}
 	// One byte over: inline caps out.
 	body = make([]byte, cap+1)
-	_, inline = dispatchLine(128, MarkerDispatch, 1, 1, 1, 0, 0, body)
+	_, inline = dispatchLine(nil, 128, MarkerDispatch, 1, 1, 1, 0, 0, body)
 	if inline != cap {
 		t.Fatalf("inline %d, want %d", inline, cap)
 	}

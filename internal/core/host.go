@@ -192,9 +192,9 @@ func (h *Host) Start() {
 	}
 	h.NIC.RetirePolicy = true
 	for i := 0; i < h.cfg.Cores; i++ {
-		coreID := i
-		t := h.K.SpawnPinned(kernel.KernelProc, fmt.Sprintf("lh-worker%d", coreID), coreID,
-			func(tc *kernel.TC) { h.kernelLoop(tc, coreID, 0) })
+		w := newWorker(h, i)
+		t := h.K.SpawnPinned(kernel.KernelProc, fmt.Sprintf("lh-worker%d", w.coreID), w.coreID,
+			w.enter)
 		h.workers = append(h.workers, t)
 	}
 }
@@ -275,200 +275,370 @@ func (h *Host) reclaimCore() {
 
 // ---- the Fig. 5 loops ----
 
+// worker is one core's dispatch-loop state machine: the Fig. 5 kernel and
+// user loops plus the serve path, flattened so every steady-state
+// continuation is a closure bound once at construction and parameterized
+// through the fields below. A core runs one request at a time, so the
+// per-request fields are safe to reuse across iterations.
+type worker struct {
+	h      *Host
+	tc     *kernel.TC
+	coreID int
+	cache  *mesi.Cache
+
+	// loop position
+	svc uint32 // service whose user loop the core runs
+	cur int    // control-line index (0/1) the next poll loads
+
+	// per-iteration state
+	line []byte // last control line filled by the NIC
+
+	// per-request (serve) state
+	p        parsedDispatch
+	respAddr mesi.LineAddr
+	body     []byte
+	handler  func(req []byte) (resp []byte, service sim.Time)
+	status   uint16
+	respBody []byte
+	respLine []byte // response-line scratch, rebuilt per request
+	auxStall sim.Time
+
+	// continuations, bound once
+	kIssue     func(func())
+	kDone      func()
+	kAgain     func()
+	kEnter     func()
+	uIssue     func(func())
+	uDone      func()
+	uAgain     func()
+	onLoad     func([]byte)
+	complete   func()
+	runFn      func()
+	handled    func()
+	finishOK   func()
+	respond    func(uint16, []byte)
+	writeResp  func()
+	storeIssue func(func())
+	stored     func()
+	afterServe func()
+	auxIssue   func(func())
+	yieldK     func(*kernel.TC)
+}
+
+// newWorker builds a core's loop state machine and binds its
+// continuations.
+func newWorker(h *Host, coreID int) *worker {
+	w := &worker{h: h, coreID: coreID, cache: h.caches[coreID]}
+	w.kIssue = func(complete func()) {
+		w.complete = complete
+		w.cache.Load(kernelCtrl(w.coreID, w.cur), w.onLoad)
+	}
+	w.uIssue = func(complete func()) {
+		w.complete = complete
+		w.cache.Load(svcCtrl(w.svc, w.coreID, w.cur), w.onLoad)
+	}
+	w.onLoad = func(data []byte) { w.line = data; w.complete() }
+	w.kDone = w.kernelDone
+	w.uDone = w.userDone
+	w.kAgain = func() { w.cur ^= 1; w.kernelLoop() }
+	w.uAgain = w.userLoop
+	w.kEnter = w.enterService
+	w.runFn = w.run
+	w.handled = w.runHandler
+	w.finishOK = w.finish
+	w.respond = func(status uint16, respBody []byte) {
+		w.status = status
+		w.respBody = respBody
+		w.finish()
+	}
+	w.writeResp = w.doWriteResp
+	w.storeIssue = func(complete func()) {
+		w.cache.Store(w.respAddr, w.respLine, complete)
+	}
+	w.stored = w.afterStore
+	w.afterServe = func() { w.userLoop() }
+	w.auxIssue = func(complete func()) {
+		w.tc.Sim().After(w.auxStall, "lh-aux-stream", complete)
+	}
+	w.yieldK = func(tc2 *kernel.TC) {
+		w.tc = tc2
+		w.kernelLoop()
+	}
+	return w
+}
+
+// enter is the thread body: start in the kernel loop on line 0.
+func (w *worker) enter(tc *kernel.TC) {
+	w.tc = tc
+	w.cur = 0
+	w.kernelLoop()
+}
+
 // kernelLoop is the per-core kernel dispatch loop: stall on the kernel
 // control line; on KDispatch, switch into the target process and serve.
-func (h *Host) kernelLoop(tc *kernel.TC, coreID, cur int) {
+//
+//lhlint:hotpath
+func (w *worker) kernelLoop() {
+	tc := w.tc
 	if tc.Thread().PreemptPending() {
 		tc.Thread().ClearPreempt()
-		tc.Yield(func(tc2 *kernel.TC) { h.kernelLoop(tc2, coreID, cur) })
+		tc.Yield(w.yieldK)
 		return
 	}
-	addr := kernelCtrl(coreID, cur)
-	cache := h.caches[coreID]
-	cache.Evict(addr, nil)
-	var line []byte
-	tc.StallOn(func(complete func()) {
-		cache.Load(addr, func(data []byte) { line = data; complete() })
-	}, func() {
-		p := parseDispatchLine(line)
-		switch p.Marker {
-		case MarkerTryAgain, MarkerRetire:
-			// Nothing to do; re-poll (this is where a conventional
-			// kernel thread would run RCU callbacks, schedule(), etc.).
-			tc.Run(h.cfg.LoopOverhead, cpu.Kernel, func() { h.kernelLoop(tc, coreID, cur^1) })
-		case MarkerKDispatch:
-			// Switch into the service's process and serve the request;
-			// afterwards the core stays in the process's user loop.
-			proc := h.procs[p.Svc]
-			if proc == nil {
-				panic(fmt.Sprintf("core: KDispatch for unknown service %d", p.Svc))
-			}
-			cost := h.K.Costs.AddrSpaceSwitch + h.cfg.SchedPushCost
-			tc.Run(cost, cpu.Kernel, func() {
-				tc.Thread().SetProc(proc)
-				h.NIC.SchedUpdate(coreID, proc.PID)
-				// Response goes to the service channel's line 0 (the NIC
-				// registered that expectation at dispatch); continue in
-				// the user loop on line 1.
-				h.serve(tc, coreID, p, svcCtrl(p.Svc, coreID, 0), func() {
-					h.userLoop(tc, coreID, p.Svc, 1)
-				})
-			})
-		default:
-			panic(fmt.Sprintf("core: unexpected marker %d on kernel line", p.Marker))
+	w.cache.Evict(kernelCtrl(w.coreID, w.cur), nil)
+	tc.StallOn(w.kIssue, w.kDone)
+}
+
+// kernelDone handles the kernel control line the NIC just filled.
+//
+//lhlint:hotpath
+func (w *worker) kernelDone() {
+	h := w.h
+	tc := w.tc
+	p := parseDispatchLine(w.line)
+	switch p.Marker {
+	case MarkerTryAgain, MarkerRetire:
+		// Nothing to do; re-poll (this is where a conventional
+		// kernel thread would run RCU callbacks, schedule(), etc.).
+		tc.Run(h.cfg.LoopOverhead, cpu.Kernel, w.kAgain)
+	case MarkerKDispatch:
+		// Switch into the service's process and serve the request;
+		// afterwards the core stays in the process's user loop.
+		if h.procs[p.Svc] == nil {
+			panicUnknownService("KDispatch for", p.Svc)
 		}
-	})
+		w.p = p
+		cost := h.K.Costs.AddrSpaceSwitch + h.cfg.SchedPushCost
+		tc.Run(cost, cpu.Kernel, w.kEnter)
+	default:
+		panicBadMarker(p.Marker, "kernel")
+	}
+}
+
+// enterService finishes a KDispatch: assume the service's identity, then
+// serve with the response expected on the service channel's line 0 (the
+// NIC registered that expectation at dispatch); afterwards continue in the
+// user loop on line 1.
+func (w *worker) enterService() {
+	h := w.h
+	proc := h.procs[w.p.Svc]
+	w.tc.Thread().SetProc(proc)
+	h.NIC.SchedUpdate(w.coreID, proc.PID)
+	w.svc = w.p.Svc
+	w.respAddr = svcCtrl(w.p.Svc, w.coreID, 0)
+	w.cur = 1
+	w.serve()
 }
 
 // userLoop is the per-(service, core) user-mode loop: stall on the service
 // control line; dispatches arrive with essentially zero software overhead.
-func (h *Host) userLoop(tc *kernel.TC, coreID int, svc uint32, cur int) {
+//
+//lhlint:hotpath
+func (w *worker) userLoop() {
+	tc := w.tc
 	if tc.Thread().PreemptPending() {
 		// Enter the kernel via a voluntary yield (the §5.2 "process can
 		// voluntarily yield the CPU by executing a system call"). The
 		// kernel first has the NIC flush any response still parked in
 		// this channel — yielding without the flush would strand it in
-		// this core's cache (see NIC.FlushChannel).
+		// this core's cache (see NIC.FlushChannel). Preemption is rare;
+		// this path may allocate.
 		tc.Thread().ClearPreempt()
+		//lhlint:allow hotpath preemption path, off the steady-state poll loop
 		tc.Syscall(0, func() {
-			h.NIC.FlushChannel(svc, coreID)
-			h.leaveUser(tc, coreID, func() {
-				tc.Yield(func(tc2 *kernel.TC) { h.kernelLoop(tc2, coreID, 0) })
+			w.h.NIC.FlushChannel(w.svc, w.coreID)
+			//lhlint:allow hotpath preemption path, off the steady-state poll loop
+			w.leaveUser(func() {
+				w.cur = 0
+				w.tc.Yield(w.yieldK)
 			})
 		})
 		return
 	}
-	addr := svcCtrl(svc, coreID, cur)
-	cache := h.caches[coreID]
-	cache.Evict(addr, nil)
-	var line []byte
-	tc.StallOn(func(complete func()) {
-		cache.Load(addr, func(data []byte) { line = data; complete() })
-	}, func() {
-		p := parseDispatchLine(line)
-		switch p.Marker {
-		case MarkerTryAgain:
-			tc.Run(h.cfg.LoopOverhead, cpu.User, func() { h.userLoop(tc, coreID, svc, cur) })
-		case MarkerRetire:
-			// The NIC wants this core for a starved service: return to
-			// the kernel loop.
-			h.leaveUser(tc, coreID, func() {
-				tc.Run(h.cfg.LoopOverhead, cpu.Kernel, func() { h.kernelLoop(tc, coreID, 0) })
-			})
-		case MarkerDispatch:
-			h.serve(tc, coreID, p, addr, func() {
-				h.userLoop(tc, coreID, svc, cur^1)
-			})
-		default:
-			panic(fmt.Sprintf("core: unexpected marker %d on service line", p.Marker))
-		}
-	})
+	w.cache.Evict(svcCtrl(w.svc, w.coreID, w.cur), nil)
+	tc.StallOn(w.uIssue, w.uDone)
+}
+
+// userDone handles the service control line the NIC just filled.
+//
+//lhlint:hotpath
+func (w *worker) userDone() {
+	h := w.h
+	tc := w.tc
+	p := parseDispatchLine(w.line)
+	switch p.Marker {
+	case MarkerTryAgain:
+		tc.Run(h.cfg.LoopOverhead, cpu.User, w.uAgain)
+	case MarkerRetire:
+		// The NIC wants this core for a starved service: return to
+		// the kernel loop. Rare; may allocate.
+		//lhlint:allow hotpath retire is a scheduling transition, not the steady-state serve path
+		w.leaveUser(func() {
+			w.cur = 0
+			w.tc.Run(h.cfg.LoopOverhead, cpu.Kernel, w.kernelLoop)
+		})
+	case MarkerDispatch:
+		w.p = p
+		w.respAddr = svcCtrl(w.svc, w.coreID, w.cur)
+		w.cur ^= 1
+		w.serve()
+	default:
+		panicBadMarker(p.Marker, "service")
+	}
 }
 
 // leaveUser switches the worker back to the kernel's identity, charging
 // the crossing plus the scheduler push.
-func (h *Host) leaveUser(tc *kernel.TC, coreID int, then func()) {
-	tc.Run(h.K.Costs.AddrSpaceSwitch/2+h.cfg.SchedPushCost, cpu.Kernel, func() {
-		tc.Thread().SetProc(kernel.KernelProc)
-		h.NIC.SchedUpdate(coreID, 0)
+func (w *worker) leaveUser(then func()) {
+	h := w.h
+	//lhlint:allow hotpath deschedule transitions are rare; the closure carries the caller's continuation
+	w.tc.Run(h.K.Costs.AddrSpaceSwitch/2+h.cfg.SchedPushCost, cpu.Kernel, func() {
+		w.tc.Thread().SetProc(kernel.KernelProc)
+		h.NIC.SchedUpdate(w.coreID, 0)
 		then()
 	})
 }
 
-// serve executes one dispatched request: jump to the handler, stream any
-// aux lines, run the handler, write the response line (+ aux), and load
-// the paired line so the NIC can recall and transmit the response.
-func (h *Host) serve(tc *kernel.TC, coreID int, p parsedDispatch, respAddr mesi.LineAddr, then func()) {
+// serve executes one dispatched request (w.p): jump to the handler, stream
+// any aux lines, run the handler, write the response line (+ aux), and
+// load the paired line so the NIC can recall and transmit the response.
+//
+//lhlint:hotpath
+func (w *worker) serve() {
+	h := w.h
+	p := &w.p
 	svcDesc := h.registry.Lookup(p.Svc)
 	if svcDesc == nil {
-		panic(fmt.Sprintf("core: dispatched unknown service %d", p.Svc))
+		panicUnknownService("dispatched", p.Svc)
 	}
 	m := svcDesc.Method(p.Method)
 	if m == nil {
-		panic(fmt.Sprintf("core: dispatched unknown method %d", p.Method))
+		panicUnknownMethod(p.Method)
 	}
+	w.handler = m.Handler
 	// Reassemble the body: for buffer dispatches it is already in host
 	// memory (the NIC DMA'd it before answering the load); otherwise
 	// inline bytes from the control line plus aux lines (streamed,
 	// pipelined fills).
-	body := p.Inline
-	var auxStall sim.Time
+	w.body = p.Inline
+	w.auxStall = 0
 	switch {
 	case p.Buf:
-		body = h.NIC.DMABody(p.Serial)
+		w.body = h.NIC.DMABody(p.Serial)
 	case p.BodyLen > len(p.Inline):
 		aux := h.NIC.AuxBody(p.Serial)
 		full := make([]byte, 0, p.BodyLen)
 		full = append(full, p.Inline...)
 		full = append(full, aux...)
-		body = full
-		auxStall = sim.Time(h.NIC.AuxLines(p.BodyLen)) * h.cfg.NIC.Fabric.PerLineStream
+		w.body = full
+		w.auxStall = sim.Time(h.NIC.AuxLines(p.BodyLen)) * h.cfg.NIC.Fabric.PerLineStream
 	}
-	// Ablation: without the NIC deserializer, the host pays software
-	// unmarshal/marshal like the other stacks.
-	var swDecode, swEncode sim.Time
-	if h.cfg.SoftwareCodec {
-		swDecode = h.cfg.Codec.Unmarshal(len(body)) + h.cfg.Codec.DispatchLookup
-	}
-	// finish writes the response into the channel line (or a DMA buffer)
-	// and resumes the loop.
-	finish := func(status uint16, respBody []byte) {
-		var line []byte
-		var auxCost sim.Time
-		thr := h.cfg.NIC.DMAThreshold
-		if thr > 0 && len(respBody) >= thr {
-			// Large response: leave it in a DMA buffer; the NIC pulls
-			// it. Host cost is just the descriptor write.
-			h.NIC.WriteDMAResponse(p.Serial, respBody)
-			line = responseBufLine(h.NIC.lineSize(), status, p.Serial, len(respBody))
-			auxCost = 50 * sim.Nanosecond
-		} else {
-			var inline int
-			line, inline = responseLine(h.NIC.lineSize(), status, p.Serial, respBody)
-			if inline < len(respBody) {
-				h.NIC.WriteAuxResponse(p.Serial, respBody[inline:])
-				auxCost = sim.Time(h.NIC.AuxLines(len(respBody))) * h.cfg.NIC.Fabric.PerLineStream
-			}
-		}
-		writeResp := func() {
-			tc.StallOn(func(complete func()) {
-				h.caches[coreID].Store(respAddr, line, complete)
-			}, func() {
-				h.served[p.Svc]++
-				if h.OnServed != nil {
-					h.OnServed(p.Svc, p.Serial)
-				}
-				tc.Run(h.cfg.LoopOverhead, cpu.User, then)
-			})
-		}
-		if auxCost > 0 {
-			tc.Run(auxCost, cpu.User, writeResp)
-		} else {
-			writeResp()
-		}
-	}
-	run := func() {
-		tc.Run(h.cfg.DispatchJump+swDecode, cpu.User, func() {
-			// Suspending handler (nested RPC) takes precedence.
-			if fn := h.async[uint64(p.Svc)<<16|uint64(p.Method)]; fn != nil {
-				fn(tc, coreID, body, func(status uint16, respBody []byte) {
-					finish(status, respBody)
-				})
-				return
-			}
-			respBody, service := m.Handler(body)
-			if h.cfg.SoftwareCodec {
-				swEncode = h.cfg.Codec.Marshal(len(respBody))
-			}
-			service += swEncode
-			tc.Run(service, cpu.User, func() { finish(rpc.StatusOK, respBody) })
-		})
-	}
-	if auxStall > 0 {
-		tc.StallOn(func(complete func()) {
-			tc.Sim().After(auxStall, "lh-aux-stream", complete)
-		}, run)
+	if w.auxStall > 0 {
+		w.tc.StallOn(w.auxIssue, w.runFn)
 	} else {
-		run()
+		w.run()
 	}
+}
+
+// run charges the dispatch jump (plus the software-codec ablation's
+// unmarshal cost) and continues into the handler.
+//
+//lhlint:hotpath
+func (w *worker) run() {
+	h := w.h
+	var swDecode sim.Time
+	if h.cfg.SoftwareCodec {
+		// Ablation: without the NIC deserializer, the host pays software
+		// unmarshal/marshal like the other stacks.
+		swDecode = h.cfg.Codec.Unmarshal(len(w.body)) + h.cfg.Codec.DispatchLookup
+	}
+	w.tc.Run(h.cfg.DispatchJump+swDecode, cpu.User, w.handled)
+}
+
+// runHandler executes the request handler (or hands off to a suspending
+// async handler) and charges its service time.
+//
+//lhlint:hotpath
+func (w *worker) runHandler() {
+	h := w.h
+	p := &w.p
+	// Suspending handler (nested RPC) takes precedence.
+	if fn := h.async[uint64(p.Svc)<<16|uint64(p.Method)]; fn != nil {
+		fn(w.tc, w.coreID, w.body, w.respond)
+		return
+	}
+	respBody, service := w.handler(w.body)
+	if h.cfg.SoftwareCodec {
+		service += h.cfg.Codec.Marshal(len(respBody))
+	}
+	w.status = rpc.StatusOK
+	w.respBody = respBody
+	w.tc.Run(service, cpu.User, w.finishOK)
+}
+
+// finish writes the response (w.status, w.respBody) into the channel line
+// (or a DMA buffer) and resumes the loop.
+//
+//lhlint:hotpath
+func (w *worker) finish() {
+	h := w.h
+	p := &w.p
+	respBody := w.respBody
+	var auxCost sim.Time
+	thr := h.cfg.NIC.DMAThreshold
+	if thr > 0 && len(respBody) >= thr {
+		// Large response: leave it in a DMA buffer; the NIC pulls
+		// it. Host cost is just the descriptor write.
+		h.NIC.WriteDMAResponse(p.Serial, respBody)
+		w.respLine = responseBufLine(w.respLine, h.NIC.lineSize(), w.status, p.Serial, len(respBody))
+		auxCost = 50 * sim.Nanosecond
+	} else {
+		var inline int
+		w.respLine, inline = responseLine(w.respLine, h.NIC.lineSize(), w.status, p.Serial, respBody)
+		if inline < len(respBody) {
+			h.NIC.WriteAuxResponse(p.Serial, respBody[inline:])
+			auxCost = sim.Time(h.NIC.AuxLines(len(respBody))) * h.cfg.NIC.Fabric.PerLineStream
+		}
+	}
+	if auxCost > 0 {
+		w.tc.Run(auxCost, cpu.User, w.writeResp)
+	} else {
+		w.doWriteResp()
+	}
+}
+
+// doWriteResp stores the response line into the channel; the directory
+// copies it when ownership is granted, and the worker stalls until then,
+// so the scratch line is free for the next request by the time it runs.
+//
+//lhlint:hotpath
+func (w *worker) doWriteResp() {
+	w.tc.StallOn(w.storeIssue, w.stored)
+}
+
+// panicUnknownService, panicUnknownMethod, and panicBadMarker keep the
+// fmt boxing of fatal-dispatch panics off the loop hot paths; none of
+// them returns.
+func panicUnknownService(what string, svc uint32) {
+	panic(fmt.Sprintf("core: %s unknown service %d", what, svc))
+}
+
+func panicUnknownMethod(method uint16) {
+	panic(fmt.Sprintf("core: dispatched unknown method %d", method))
+}
+
+func panicBadMarker(m byte, line string) {
+	panic(fmt.Sprintf("core: unexpected marker %d on %s line", m, line))
+}
+
+// afterStore counts the served request and resumes the user loop.
+//
+//lhlint:hotpath
+func (w *worker) afterStore() {
+	h := w.h
+	h.served[w.p.Svc]++
+	if h.OnServed != nil {
+		h.OnServed(w.p.Svc, w.p.Serial)
+	}
+	w.tc.Run(h.cfg.LoopOverhead, cpu.User, w.afterServe)
 }

@@ -114,13 +114,16 @@ const respHeaderLen = 1 + 2 + 2 + 8
 // dispatchLine encodes a request dispatch into a control line of size
 // lineSize. Body bytes beyond the inline capacity travel in aux lines
 // (modelled by the NIC's side table; the timing is charged separately).
-// Returns the line and the number of inline body bytes.
-func dispatchLine(lineSize int, marker byte, svc uint32, method uint16, serial uint64,
+// Returns the line and the number of inline body bytes. The line is built
+// into scr when its capacity allows — safe whenever the consumer copies it
+// before the next build (the directory's deliver path does); callers that
+// retain the line across simulated time must pass nil.
+func dispatchLine(scr []byte, lineSize int, marker byte, svc uint32, method uint16, serial uint64,
 	code, data uint64, body []byte) ([]byte, int) {
 	if lineSize < dispatchHeaderLen {
 		panic("core: line too small for dispatch header")
 	}
-	l := make([]byte, lineSize)
+	l := scratchLine(scr, lineSize)
 	l[0] = marker
 	binary.BigEndian.PutUint32(l[1:5], svc)
 	binary.BigEndian.PutUint16(l[5:7], method)
@@ -170,16 +173,32 @@ func parseDispatchLine(l []byte) parsedDispatch {
 	return p
 }
 
-// markerLine builds a line carrying only a marker (TryAgain, Retire).
-func markerLine(lineSize int, marker byte) []byte {
-	l := make([]byte, lineSize)
+// markerLine builds a line carrying only a marker (TryAgain, Retire) into
+// scr under the same copy-before-next-build contract as dispatchLine.
+func markerLine(scr []byte, lineSize int, marker byte) []byte {
+	l := scratchLine(scr, lineSize)
 	l[0] = marker
 	return l
 }
 
-// responseLine encodes the CPU's RPC response into a control line.
-func responseLine(lineSize int, status uint16, serial uint64, body []byte) ([]byte, int) {
-	l := make([]byte, lineSize)
+// scratchLine returns a zeroed line of lineSize backed by scr when its
+// capacity allows, allocating only on first use (or a size change).
+func scratchLine(scr []byte, lineSize int) []byte {
+	if cap(scr) < lineSize {
+		return make([]byte, lineSize)
+	}
+	l := scr[:lineSize]
+	clear(l)
+	return l
+}
+
+// responseLine encodes the CPU's RPC response into a control line. The
+// line is built into scr when its capacity allows, so a worker can reuse
+// one scratch line per request; callers that retain the line must pass
+// nil. The directory copies the line synchronously at Store-grant time,
+// which is what makes the reuse safe.
+func responseLine(scr []byte, lineSize int, status uint16, serial uint64, body []byte) ([]byte, int) {
+	l := scratchLine(scr, lineSize)
 	l[0] = MarkerResponse
 	binary.BigEndian.PutUint16(l[1:3], status)
 	binary.BigEndian.PutUint16(l[3:5], uint16(len(body)))
@@ -190,8 +209,8 @@ func responseLine(lineSize int, status uint16, serial uint64, body []byte) ([]by
 
 // responseBufLine encodes a response whose body sits in a DMA buffer:
 // only status, length, and serial travel in the line.
-func responseBufLine(lineSize int, status uint16, serial uint64, bodyLen int) []byte {
-	l := make([]byte, lineSize)
+func responseBufLine(scr []byte, lineSize int, status uint16, serial uint64, bodyLen int) []byte {
+	l := scratchLine(scr, lineSize)
 	l[0] = MarkerResponse | markerBufFlag
 	binary.BigEndian.PutUint16(l[1:3], status)
 	binary.BigEndian.PutUint16(l[3:5], uint16(bodyLen))

@@ -141,13 +141,32 @@ type inflight struct {
 }
 
 // pendingLoad is a deferred fill: a core stalled on a control line.
+// Entries are pooled on the NIC (plFree) with the TryAgain timer callback
+// bound once at allocation, so parking a load allocates nothing in steady
+// state.
 type pendingLoad struct {
+	n       *NIC
 	addr    mesi.LineAddr
 	coreID  int
 	svc     uint32 // 0 for kernel lines
 	kernel  bool
 	respond func(data []byte)
 	timer   *sim.Event
+	fire    func()
+}
+
+// recallPend carries a response-extraction recall's parameters through the
+// directory's Recall callback; entries are pooled on the NIC (rcFree) with
+// the callback bound once at allocation.
+type recallPend struct {
+	n       *NIC
+	serial  uint64
+	addr    mesi.LineAddr
+	region  int
+	svc     uint32
+	coreID  int
+	respond func([]byte) // nil when no follow-up load answer is needed
+	fire    func([]byte)
 }
 
 // NIC is the Lauberhorn device model. It implements mesi.Backing (it is
@@ -202,6 +221,33 @@ type NIC struct {
 	decFn   func()
 	decq    []decoded
 	decHead int
+
+	// Per-NIC staging scratch: the receive path parses frames into rxScr
+	// and appends it by value onto decq; decodeDone copies the head slot
+	// into dispScr before dispatching. encScr backs synchronous response
+	// encodings (BuildUDP copies the payload into the frame before txRPC
+	// returns). All three are reused every packet, so the steady-state
+	// receive/transmit paths allocate nothing.
+	rxScr   decoded
+	dispScr decoded
+	encScr  []byte
+	// lineScr backs dispatch/marker control-line builds whose consumer
+	// copies the line synchronously (the directory's deliver path); the
+	// viaDMA dispatch, which parks its line across simulated time, still
+	// allocates fresh.
+	lineScr []byte
+
+	// Free lists: inflight requests, deferred loads, and response-recall
+	// pendings are recycled so the steady-state dispatch path allocates
+	// nothing per request.
+	ifFree []*inflight
+	plFree []*pendingLoad
+	rcFree []*recallPend
+
+	// epOrder lists endpoints in registration order so the backlog scans
+	// (oldestBacklog, anyStarved) walk a slice instead of hashing a map on
+	// every deferred-load decision.
+	epOrder []*Endpoint
 
 	// Client (outbound RPC) state.
 	clientChans  map[uint32]*clientChanNIC
@@ -323,7 +369,92 @@ func (n *NIC) RegisterService(svc *rpc.ServiceDesc, pid int, port uint16, minWor
 	}
 	n.endpoints[svc.ID] = ep
 	n.byPort[port] = ep
+	n.epOrder = append(n.epOrder, ep)
 	return ep
+}
+
+// ---- hot-path free lists ----
+
+// newInflight returns a zeroed request-tracking entry from the free list.
+//
+//lhlint:hotpath
+func (n *NIC) newInflight() *inflight {
+	if k := len(n.ifFree); k > 0 {
+		req := n.ifFree[k-1]
+		n.ifFree = n.ifFree[:k-1]
+		return req
+	}
+	return &inflight{}
+}
+
+// freeInflight recycles a finished request. Callers must guarantee no
+// reference survives — the DMA-response path, whose transmit closure
+// retains the request, never releases.
+//
+//lhlint:hotpath
+func (n *NIC) freeInflight(req *inflight) {
+	*req = inflight{}
+	n.ifFree = append(n.ifFree, req)
+}
+
+// newPendingLoad returns a deferred-load entry with its TryAgain callback
+// bound once at allocation.
+//
+//lhlint:hotpath
+func (n *NIC) newPendingLoad() *pendingLoad {
+	if k := len(n.plFree); k > 0 {
+		p := n.plFree[k-1]
+		n.plFree = n.plFree[:k-1]
+		return p
+	}
+	p := &pendingLoad{n: n}
+	//lhlint:allow hotpath bound once per pooled entry; reused for every deferred load that rides it
+	p.fire = func() { p.n.fireTryAgain(p) }
+	return p
+}
+
+// freePendingLoad recycles an answered deferred load. The TryAgain timer
+// must already be cancelled (removePending does both).
+//
+//lhlint:hotpath
+func (n *NIC) freePendingLoad(p *pendingLoad) {
+	p.respond = nil
+	p.timer = nil
+	n.plFree = append(n.plFree, p)
+}
+
+// newRecallPend returns a recall-parameter entry with its callback bound
+// once at allocation.
+//
+//lhlint:hotpath
+func (n *NIC) newRecallPend() *recallPend {
+	if k := len(n.rcFree); k > 0 {
+		r := n.rcFree[k-1]
+		n.rcFree = n.rcFree[:k-1]
+		return r
+	}
+	r := &recallPend{n: n}
+	//lhlint:allow hotpath bound once per pooled entry; reused for every response recall that rides it
+	r.fire = func(data []byte) { r.run(data) }
+	return r
+}
+
+// run transmits the recalled response, then (for loads that triggered the
+// recall) answers the waiting load. The entry is released first: answering
+// the load can park a new deferred load or dispatch, either of which may
+// recall again and need the pool.
+//
+//lhlint:hotpath
+func (r *recallPend) run(data []byte) {
+	n, serial := r.n, r.serial
+	addr, region, svc, coreID := r.addr, r.region, r.svc, r.coreID
+	respond := r.respond
+	r.respond = nil
+	n.rcFree = append(n.rcFree, r)
+	n.transmitResponse(serial, data)
+	if respond != nil {
+		n.answerLoad(addr, region, svc, coreID, respond)
+	}
 }
 
 // SchedUpdate is the kernel's push of scheduling state: core coreID now
@@ -360,9 +491,12 @@ func (n *NIC) Pollers(svc uint32) int {
 // dispatch immediately, or defer the fill until a packet arrives.
 // Exclusive fills (a CPU about to write a response) are answered
 // immediately with an empty line — only poll loads defer.
+//
+//lhlint:hotpath
 func (n *NIC) ReadLine(addr mesi.LineAddr, excl bool, respond func(data []byte)) {
 	if excl {
-		respond(markerLine(n.lineSize(), MarkerIdle))
+		n.lineScr = markerLine(n.lineScr, n.lineSize(), MarkerIdle)
+		respond(n.lineScr)
 		return
 	}
 	region, svc, coreID, idx := splitAddr(addr)
@@ -383,10 +517,10 @@ func (n *NIC) ReadLine(addr mesi.LineAddr, excl bool, respond func(data []byte))
 	}
 	if serial, ok := n.awaiting[pairAddr]; ok {
 		delete(n.awaiting, pairAddr)
-		n.dir.Recall(pairAddr, func(data []byte) {
-			n.transmitResponse(serial, data)
-			n.answerLoad(addr, region, svc, coreID, respond)
-		})
+		r := n.newRecallPend()
+		r.serial, r.addr, r.region, r.svc, r.coreID, r.respond =
+			serial, addr, region, svc, coreID, respond
+		n.dir.Recall(pairAddr, r.fire)
 		return
 	}
 	n.answerLoad(addr, region, svc, coreID, respond)
@@ -398,13 +532,16 @@ func (n *NIC) WriteLine(addr mesi.LineAddr, data []byte) {}
 
 // answerLoad satisfies a control-line load from the service queue, or
 // defers it.
+//
+//lhlint:hotpath
 func (n *NIC) answerLoad(addr mesi.LineAddr, region int, svc uint32, coreID int, respond func([]byte)) {
 	if region == regionService {
 		ep := n.endpoints[svc]
 		if ep == nil {
 			// Load on an unregistered endpoint: answer TryAgain so the
 			// core is not wedged.
-			respond(markerLine(n.lineSize(), MarkerTryAgain))
+			n.lineScr = markerLine(n.lineScr, n.lineSize(), MarkerTryAgain)
+			respond(n.lineScr)
 			return
 		}
 		if len(ep.queue) > 0 {
@@ -423,7 +560,8 @@ func (n *NIC) answerLoad(addr mesi.LineAddr, region int, svc uint32, coreID int,
 		// packets").
 		if n.RetirePolicy && n.anyStarved() && len(ep.waiters) >= ep.minWorkers {
 			n.stats.Retires++
-			respond(markerLine(n.lineSize(), MarkerRetire))
+			n.lineScr = markerLine(n.lineScr, n.lineSize(), MarkerRetire)
+			respond(n.lineScr)
 			return
 		}
 		// Nothing queued: defer (stalled load).
@@ -446,11 +584,16 @@ func (n *NIC) answerLoad(addr mesi.LineAddr, region int, svc uint32, coreID int,
 
 // oldestBacklog pops the longest-waiting queued request across services
 // that have no poller (services with pollers will be served by them).
-// Ties break on service ID, keeping the choice deterministic.
+// Ties break on service ID, keeping the choice deterministic. The scan
+// walks the registration-ordered slice: endpoint sets are small and fixed
+// after setup, and the slice avoids per-call map-iterator work on a path
+// taken for every kernel-line load.
+//
+//lhlint:hotpath
 func (n *NIC) oldestBacklog() (*inflight, *Endpoint) {
 	var best *Endpoint
 	var bestAt sim.Time
-	for _, ep := range n.endpoints {
+	for _, ep := range n.epOrder {
 		if len(ep.queue) == 0 || len(ep.waiters) > 0 {
 			continue
 		}
@@ -469,22 +612,23 @@ func (n *NIC) oldestBacklog() (*inflight, *Endpoint) {
 }
 
 // defer_ parks a load until work (or the TryAgain timer) arrives.
+//
+//lhlint:hotpath
 func (n *NIC) defer_(addr mesi.LineAddr, coreID int, svc uint32, kernel bool, respond func([]byte)) {
 	for _, q := range n.pendingByCore {
 		if q != nil && q.addr == addr {
-			panic(fmt.Sprintf("core: duplicate pending load on %#x", uint64(addr)))
+			panicDuplicatePending(addr)
 		}
 	}
 	if coreID >= len(n.pendingByCore) {
 		n.pendingByCore = append(n.pendingByCore, make([]*pendingLoad, coreID+1-len(n.pendingByCore))...)
 	}
 	if n.pendingByCore[coreID] != nil {
-		panic(fmt.Sprintf("core: core %d already has a pending load", coreID))
+		panicPendingBusy(coreID)
 	}
-	p := &pendingLoad{addr: addr, coreID: coreID, svc: svc, kernel: kernel, respond: respond}
-	p.timer = n.sim.After(n.cfg.TryAgainTimeout, "lauberhorn-tryagain", func() {
-		n.fireTryAgain(p)
-	})
+	p := n.newPendingLoad()
+	p.addr, p.coreID, p.svc, p.kernel, p.respond = addr, coreID, svc, kernel, respond
+	p.timer = n.sim.After(n.cfg.TryAgainTimeout, "lauberhorn-tryagain", p.fire)
 	n.pendingByCore[coreID] = p
 	region, _, _, _ := splitAddr(addr)
 	switch {
@@ -553,12 +697,27 @@ func (n *NIC) fireTryAgain(p *pendingLoad) {
 		n.stats.TryAgains++
 		n.emit(trace.TryAgain, uint64(p.coreID), uint64(p.svc), "")
 	}
-	p.respond(markerLine(n.lineSize(), marker))
+	respond := p.respond
+	n.freePendingLoad(p)
+	n.lineScr = markerLine(n.lineScr, n.lineSize(), marker)
+	respond(n.lineScr)
+}
+
+// panicDuplicatePending and panicPendingBusy keep fmt boxing off defer_'s
+// hot path; neither returns.
+func panicDuplicatePending(addr mesi.LineAddr) {
+	panic(fmt.Sprintf("core: duplicate pending load on %#x", uint64(addr)))
+}
+
+func panicPendingBusy(coreID int) {
+	panic(fmt.Sprintf("core: core %d already has a pending load", coreID))
 }
 
 // anyStarved reports whether any pollerless service has queued work.
+//
+//lhlint:hotpath
 func (n *NIC) anyStarved() bool {
-	for _, ep := range n.endpoints {
+	for _, ep := range n.epOrder {
 		if len(ep.queue) > 0 && len(ep.waiters) == 0 {
 			return true
 		}
@@ -582,7 +741,9 @@ func (n *NIC) FlushChannel(svc uint32, coreID int) {
 			continue
 		}
 		delete(n.awaiting, addr)
-		n.dir.Recall(addr, func(data []byte) { n.transmitResponse(serial, data) })
+		r := n.newRecallPend()
+		r.serial = serial
+		n.dir.Recall(addr, r.fire)
 	}
 }
 
@@ -597,7 +758,10 @@ func (n *NIC) Kick(coreID int) bool {
 	}
 	n.removePending(p)
 	n.stats.TryAgains++
-	p.respond(markerLine(n.lineSize(), MarkerTryAgain))
+	respond := p.respond
+	n.freePendingLoad(p)
+	n.lineScr = markerLine(n.lineScr, n.lineSize(), MarkerTryAgain)
+	respond(n.lineScr)
 	return true
 }
 
@@ -610,7 +774,10 @@ func (n *NIC) RetireCore(coreID int) bool {
 	}
 	n.removePending(p)
 	n.stats.Retires++
-	p.respond(markerLine(n.lineSize(), MarkerRetire))
+	respond := p.respond
+	n.freePendingLoad(p)
+	n.lineScr = markerLine(n.lineScr, n.lineSize(), MarkerRetire)
+	respond(n.lineScr)
 	return true
 }
 
@@ -632,24 +799,29 @@ func (n *NIC) dispatchTo(addr mesi.LineAddr, req *inflight, kernel bool, respond
 	if req.viaDMA {
 		// §6 large-message fallback: DMA the body to a host buffer, then
 		// answer the load with a buffer descriptor instead of inline
-		// data. The fill stays deferred for the transfer's duration.
+		// data. The fill stays deferred for the transfer's duration, so
+		// the line must be freshly allocated (it parks across simulated
+		// time while the scratch gets rebuilt).
 		inline := []byte(nil)
-		line, _ := dispatchLine(n.lineSize(), marker|markerBufFlag, req.svc, req.method,
+		line, _ := dispatchLine(nil, n.lineSize(), marker|markerBufFlag, req.svc, req.method,
 			req.serial, mi.code, mi.data, inline)
 		// dispatchLine zeroed BodyLen from the empty inline slice;
 		// rewrite it with the true buffer length.
 		line[31] = byte(len(req.body) >> 8)
 		line[32] = byte(len(req.body))
+		//lhlint:allow hotpath DMA fallback path, not the cache-line fast path; the closure models the pending transfer
 		n.sim.After(n.cfg.DMA.DMATransfer(len(req.body)), "lh-dma-in", func() {
 			respond(line)
 		})
 		return
 	}
-	line, _ := dispatchLine(n.lineSize(), marker, req.svc, req.method, req.serial,
+	n.lineScr, _ = dispatchLine(n.lineScr, n.lineSize(), marker, req.svc, req.method, req.serial,
 		mi.code, mi.data, req.body)
 	// Body bytes beyond the inline chunk arrive via aux lines; the host
-	// charges the streaming cost and fetches them with AuxBody.
-	respond(line)
+	// charges the streaming cost and fetches them with AuxBody. The
+	// responder copies the line before returning (directory deliver), so
+	// the scratch is free for the next dispatch.
+	respond(n.lineScr)
 }
 
 // lineSize returns the coherence granule.
@@ -722,58 +894,63 @@ func (n *NIC) DeliverFrame(frame []byte) {
 	if n.decodeBusy > start {
 		start = n.decodeBusy
 	}
-	d, err := wire.ParseUDP(frame)
-	if err != nil {
+	dec := &n.rxScr
+	if err := wire.ParseUDPInto(frame, &dec.d); err != nil {
 		n.stats.RxBad++
 		return
 	}
-	if d.IP.Dst != n.cfg.Local.IP {
+	if dec.d.IP.Dst != n.cfg.Local.IP {
 		// Switched fabrics flood frames for unlearned MACs; not ours.
 		n.stats.RxFiltered++
 		return
 	}
-	msg, err := rpc.Decode(d.Payload)
-	if err != nil {
+	if err := rpc.DecodeInto(dec.d.Payload, &dec.msg); err != nil {
 		n.stats.RxBad++
 		return
 	}
-	lat := n.cfg.HeaderParse + n.cfg.DecodeFixed + sim.Time(len(msg.Body))*n.cfg.DecodePerByte
-	if msg.Flags&rpc.FlagEncrypted != 0 {
-		lat += sim.Time(len(msg.Body)) * n.cfg.DecryptPerByte
+	lat := n.cfg.HeaderParse + n.cfg.DecodeFixed + sim.Time(len(dec.msg.Body))*n.cfg.DecodePerByte
+	if dec.msg.Flags&rpc.FlagEncrypted != 0 {
+		lat += sim.Time(len(dec.msg.Body)) * n.cfg.DecryptPerByte
 	}
-	if msg.Flags&rpc.FlagCompressed != 0 {
-		lat += sim.Time(len(msg.Body)) * n.cfg.DecompressPerByte
+	if dec.msg.Flags&rpc.FlagCompressed != 0 {
+		lat += sim.Time(len(dec.msg.Body)) * n.cfg.DecompressPerByte
 	}
 	n.decodeBusy = start + lat
 	// Completion times are monotone (each packet starts no earlier than
 	// the previous decodeBusy), so a FIFO queue plus one prebound callback
-	// replaces a per-packet closure.
-	n.decq = append(n.decq, decoded{d: d, msg: msg})
+	// replaces a per-packet closure. The queue holds values, not pointers:
+	// staging a packet is a copy into recycled slice capacity, not a heap
+	// allocation.
+	n.decq = append(n.decq, *dec)
 	n.sim.At(start+lat, "lauberhorn-decoded", n.decFn)
 }
 
-// decoded is one packet staged between the decode pipeline and dispatch.
+// decoded is one packet staged by value between the decode pipeline and
+// dispatch; Datagram.Payload and Message.Body alias the delivered frame.
 type decoded struct {
-	d   *wire.Datagram
-	msg *rpc.Message
+	d   wire.Datagram
+	msg rpc.Message
 }
 
 // decodeDone dispatches the oldest staged packet; it is the single bound
-// callback behind every "lauberhorn-decoded" event.
+// callback behind every "lauberhorn-decoded" event. The head slot is
+// copied into dispScr (not referenced in place) so a dispatch path that
+// stages new packets can grow decq without invalidating what we're
+// dispatching.
 //
 //lhlint:hotpath
 func (n *NIC) decodeDone() {
-	dec := n.decq[n.decHead]
+	n.dispScr = n.decq[n.decHead]
 	n.decq[n.decHead] = decoded{}
 	n.decHead++
 	if n.decHead == len(n.decq) {
 		n.decq = n.decq[:0]
 		n.decHead = 0
 	}
-	if dec.msg.IsRequest() {
-		n.admit(dec.d, dec.msg)
+	if n.dispScr.msg.IsRequest() {
+		n.admit(&n.dispScr.d, &n.dispScr.msg)
 	} else {
-		n.deliverClientResponse(dec.msg)
+		n.deliverClientResponse(&n.dispScr.msg)
 	}
 }
 
@@ -796,18 +973,18 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 		return
 	}
 	n.stats.RxFrames++
-	body := make([]byte, len(msg.Body))
-	copy(body, msg.Body)
-	req := &inflight{
-		serial:   n.nextSerial,
-		svc:      msg.Service,
-		method:   msg.Method,
-		rpcID:    msg.ID,
-		body:     body,
-		client:   wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort},
-		arriveAt: n.sim.Now(),
-		viaDMA:   n.cfg.DMAThreshold > 0 && len(body) >= n.cfg.DMAThreshold,
-	}
+	// The body aliases the delivered frame: frames are allocated per send
+	// and never recycled, so the request can reference the payload in
+	// place for its whole inflight lifetime instead of copying it.
+	req := n.newInflight()
+	req.serial = n.nextSerial
+	req.svc = msg.Service
+	req.method = msg.Method
+	req.rpcID = msg.ID
+	req.body = msg.Body
+	req.client = wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
+	req.arriveAt = n.sim.Now()
+	req.viaDMA = n.cfg.DMAThreshold > 0 && len(msg.Body) >= n.cfg.DMAThreshold
 	n.nextSerial++
 	n.inflights[req.serial] = req
 	n.noteArrival(req.svc)
@@ -821,7 +998,9 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 		n.stats.FastDispatch++
 		n.noteDispatch(req, false)
 		n.emit(trace.Dispatch, uint64(req.svc), uint64(p.coreID), "fast")
-		n.dispatchTo(p.addr, req, false, p.respond)
+		addr, respond := p.addr, p.respond
+		n.freePendingLoad(p)
+		n.dispatchTo(addr, req, false, respond)
 		return
 	}
 	// Medium path: a core's kernel loop is stalled; hand it the request
@@ -832,7 +1011,9 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 		n.stats.KernDispatch++
 		n.noteDispatch(req, true)
 		n.emit(trace.Dispatch, uint64(req.svc), uint64(p.coreID), "kernel")
-		n.dispatchTo(p.addr, req, true, p.respond)
+		addr, respond := p.addr, p.respond
+		n.freePendingLoad(p)
+		n.dispatchTo(addr, req, true, respond)
 		return
 	}
 	// Slow path: queue on the endpoint and notify the OS in software.
@@ -840,6 +1021,7 @@ func (n *NIC) admit(d *wire.Datagram, msg *rpc.Message) {
 		n.stats.RxDropped++
 		n.telemetryFor(req.svc).Dropped++
 		delete(n.inflights, req.serial)
+		n.freeInflight(req)
 		return
 	}
 	ep.queue = append(ep.queue, req)
@@ -881,16 +1063,24 @@ func (n *NIC) transmitResponse(serial uint64, line []byte) {
 	if len(body) > pr.BodyLen {
 		body = body[:pr.BodyLen]
 	}
-	payload := rpc.EncodeResponse(req.svc, req.method, req.rpcID, pr.Status, body)
 	if pr.Buf && req.dmaResp {
-		// Pull the buffer out of host memory before transmitting.
+		// Pull the buffer out of host memory before transmitting. The
+		// payload must be freshly allocated here: the closure holds it
+		// until the DMA completes, so it cannot come from encScr.
+		payload := rpc.EncodeResponse(req.svc, req.method, req.rpcID, pr.Status, body)
 		//lhlint:allow hotpath DMA-buffer fallback path, not the cache-line fast path; the closure models the pending descriptor
 		n.sim.After(n.cfg.DMA.DMARead+n.cfg.DMA.DMATransfer(len(body)), "lh-dma-out", func() {
 			n.txRPC(req.client, payload)
 		})
 		return
 	}
-	n.txRPC(req.client, payload)
+	// Fast path: encode into the reused scratch buffer — txRPC copies the
+	// payload into the frame before returning — then recycle the inflight
+	// (the DMA path above must not: its closure holds req until DMA-out).
+	n.encScr = rpc.AppendMessage(n.encScr[:0],
+		rpc.Header{Kind: rpc.KindResponse, Service: req.svc, Method: req.method, ID: req.rpcID, Status: pr.Status}, body)
+	n.txRPC(req.client, n.encScr)
+	n.freeInflight(req)
 }
 
 // txRPC frames and transmits an RPC message after the NIC TX build cost.

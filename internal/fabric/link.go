@@ -46,6 +46,14 @@ type FramePort interface {
 	DeliverFrame(frame []byte)
 }
 
+// delivery is one in-flight frame: the frame bytes plus the deliver
+// function bound to the peer port at send time (so ReplacePort never
+// redirects frames already on the wire).
+type delivery struct {
+	deliver func([]byte)
+	frame   []byte
+}
+
 // Link is a full-duplex point-to-point Ethernet link between two ports.
 // Each direction serializes frames FIFO at the link bandwidth; a frame
 // arrives PropDelay+SwitchDelay after its last byte leaves the sender.
@@ -53,6 +61,19 @@ type Link struct {
 	sim    *sim.Sim
 	params NetParams
 	ports  [2]FramePort
+	// deliverTo[i] is ports[i].DeliverFrame bound once at Attach or
+	// ReplacePort time, so Send stages a plain func value instead of
+	// making an interface call (and a closure) per frame.
+	deliverTo [2]func([]byte)
+	// inflight[i] queues frames sent from side i, oldest first; arrival
+	// times per direction are non-decreasing and the simulator fires
+	// equal-time events in schedule order, so head-pop order matches
+	// delivery order exactly.
+	inflight [2][]delivery
+	inHead   [2]int
+	// deliverFn[i] pops and delivers the head of inflight[i]; bound once
+	// per link so Send allocates no per-frame closure.
+	deliverFn [2]func()
 	// txIdle[i] is when direction i->other becomes free to start
 	// serializing the next frame.
 	txIdle [2]sim.Time
@@ -76,7 +97,10 @@ func NewLink(s *sim.Sim, params NetParams) *Link {
 	if params.Bandwidth <= 0 {
 		panic("fabric: link bandwidth must be positive")
 	}
-	return &Link{sim: s, params: params}
+	l := &Link{sim: s, params: params}
+	l.deliverFn[0] = func() { l.deliverHead(0) }
+	l.deliverFn[1] = func() { l.deliverHead(1) }
+	return l
 }
 
 // Attach connects the two endpoints. Index 0 and 1 identify the sides for
@@ -86,6 +110,7 @@ func (l *Link) Attach(a, b FramePort) {
 		panic("fabric: nil port")
 	}
 	l.ports[0], l.ports[1] = a, b
+	l.deliverTo[0], l.deliverTo[1] = a.DeliverFrame, b.DeliverFrame
 }
 
 // Params returns the link parameters.
@@ -102,6 +127,7 @@ func (l *Link) ReplacePort(side int, p FramePort) {
 		panic("fabric: nil port")
 	}
 	l.ports[side] = p
+	l.deliverTo[side] = p.DeliverFrame
 }
 
 // Send transmits a frame from the given side (0 or 1) to the other side.
@@ -109,12 +135,13 @@ func (l *Link) ReplacePort(side int, p FramePort) {
 // and switching delays; back-to-back sends queue behind each other. A
 // frame offered while the link is down, or while the transmit backlog
 // exceeds QueueLimit, is dropped and counted.
+//
+//lhlint:hotpath
 func (l *Link) Send(from int, frame []byte) {
 	if from != 0 && from != 1 {
-		panic(fmt.Sprintf("fabric: bad link side %d", from))
+		panicBadSide(from)
 	}
-	peer := l.ports[1-from]
-	if peer == nil {
+	if l.ports[1-from] == nil {
 		panic("fabric: link not attached")
 	}
 	now := l.sim.Now()
@@ -139,7 +166,36 @@ func (l *Link) Send(from int, frame []byte) {
 	l.frames[from]++
 	l.bytes[from] += uint64(len(frame))
 	arrive := txEnd + l.params.PropDelay + l.params.SwitchDelay
-	l.sim.At(arrive, "link-deliver", func() { peer.DeliverFrame(frame) })
+	l.inflight[from] = append(l.inflight[from], delivery{deliver: l.deliverTo[1-from], frame: frame})
+	l.sim.At(arrive, "link-deliver", l.deliverFn[from])
+}
+
+// deliverHead hands the oldest in-flight frame of one direction to the
+// deliver function captured when it was sent. Delivery order matches
+// arrival order because per-direction arrival times never decrease and
+// the simulator fires equal-time events in schedule order.
+//
+//lhlint:hotpath
+func (l *Link) deliverHead(from int) {
+	q := l.inflight[from]
+	h := l.inHead[from]
+	d := q[h]
+	q[h] = delivery{}
+	h++
+	if h == len(q) {
+		// Queue drained: rewind so the backing array is reused.
+		l.inflight[from] = q[:0]
+		l.inHead[from] = 0
+	} else {
+		l.inHead[from] = h
+	}
+	d.deliver(d.frame)
+}
+
+// panicBadSide keeps the fmt boxing of the bad-side panic off Send's hot
+// path; it never returns.
+func panicBadSide(from int) {
+	panic(fmt.Sprintf("fabric: bad link side %d", from))
 }
 
 // Stats reports frames and bytes sent from the given side.

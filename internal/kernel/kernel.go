@@ -154,6 +154,20 @@ type Thread struct {
 	spinToken   uint64
 	spinReenter func(tc *TC)
 
+	// waitOn (StallOn/SpinOn) state: the per-call parameters live here so
+	// the completion callback handed to the device model is the one bound
+	// waitCompleteFn, and the hot wait path allocates nothing. Tokens
+	// detect synchronous completion (a cache hit) even when the
+	// continuation opens a nested wait that overwrites the fields: a
+	// nested wait only starts after this one completed, and tokens only
+	// grow, so waitDone >= token iff this wait already finished.
+	waitSeq        uint64
+	waitOpen       uint64
+	waitDone       uint64
+	waitAsync      bool
+	waitThen       func()
+	waitCompleteFn func()
+
 	runTotal sim.Time
 }
 

@@ -202,42 +202,65 @@ func (tc *TC) SpinWait(issue func(complete func()), then func(), reenter func(tc
 	c.cpu.SetState(cpu.Spin)
 }
 
+//lhlint:hotpath
 func (tc *TC) waitOn(mode cpu.State, issue func(complete func()), then func()) {
 	tc.mustBeRunning("StallOn")
 	t := tc.t
 	c := t.core
-	completed := false
-	sync := true
-	issue(func() {
-		if completed {
-			panic("kernel: StallOn completion invoked twice")
-		}
-		completed = true
-		if sync {
-			// Completed synchronously (hit) — no stall occurred.
-			then()
-			return
-		}
-		if c.current != t {
-			panic(fmt.Sprintf("kernel: %v unstalled after losing its core", t))
-		}
-		t.stalled = false
-		c.cpu.SetState(t.sliceMode)
-		// Deliver interrupts that arrived during the stall, then
-		// continue.
-		pending := t.pendingIRQ
-		t.pendingIRQ = nil
-		for _, irq := range pending {
-			irq()
-		}
-		then()
-	})
-	if completed {
+	t.waitSeq++
+	token := t.waitSeq
+	t.waitOpen = token
+	t.waitAsync = false
+	t.waitThen = then
+	if t.waitCompleteFn == nil {
+		t.waitCompleteFn = t.waitFinish
+	}
+	issue(t.waitCompleteFn)
+	if t.waitDone >= token {
+		// Completed synchronously (hit) — no stall occurred. The token
+		// comparison survives nested waits opened by the continuation.
 		return
 	}
-	sync = false
+	t.waitAsync = true
 	t.stalled = true
 	c.cpu.SetState(mode)
+}
+
+// waitFinish is the one bound completion callback behind every waitOn;
+// the wait state on the thread carries the per-call parameters.
+//
+//lhlint:hotpath
+func (t *Thread) waitFinish() {
+	if t.waitDone >= t.waitOpen {
+		panic("kernel: StallOn completion invoked twice")
+	}
+	t.waitDone = t.waitOpen
+	then := t.waitThen
+	t.waitThen = nil
+	if !t.waitAsync {
+		// Completed synchronously (hit) inside issue.
+		then()
+		return
+	}
+	c := t.core
+	if c == nil || c.current != t {
+		panicLostCore(t)
+	}
+	t.stalled = false
+	c.cpu.SetState(t.sliceMode)
+	// Deliver interrupts that arrived during the stall, then continue.
+	pending := t.pendingIRQ
+	t.pendingIRQ = nil
+	for _, irq := range pending {
+		irq()
+	}
+	then()
+}
+
+// panicLostCore keeps the fmt boxing of the lost-core panic off the
+// unstall hot path; it never returns.
+func panicLostCore(t *Thread) {
+	panic(fmt.Sprintf("kernel: %v unstalled after losing its core", t))
 }
 
 // Stalls the calling thread for exactly d (a pure delay in the Stall

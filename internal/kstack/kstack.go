@@ -173,51 +173,156 @@ type ServerConfig struct {
 	OnResponse func(m *rpc.Message)
 }
 
+// server is the flattened state machine behind ServeLoop: one request in
+// flight per thread, per-request state in reused fields, every stage
+// continuation bound once at construction.
+type server struct {
+	cfg ServerConfig
+
+	tc *kernel.TC // current thread context, refreshed by the Pop callback
+
+	// per-request state
+	d        *wire.Datagram
+	msg      rpc.Message
+	status   uint16
+	respBody []byte
+	encScr   []byte // response encoding scratch; BuildUDP copies it
+	respMsg  rpc.Message
+	frame    []byte // response frame awaiting the send syscall
+
+	// continuations, bound once
+	popFn       func(*kernel.TC, any)
+	received    func()
+	afterDecode func()
+	afterSvc    func()
+	afterEncode func()
+	sent        func()
+}
+
+func newServer(cfg ServerConfig) *server {
+	s := &server{cfg: cfg}
+	s.popFn = s.onPop
+	s.received = s.decode
+	s.afterDecode = s.dispatch
+	s.afterSvc = s.encode
+	s.afterEncode = s.send
+	s.sent = s.transmit
+	return s
+}
+
+// loop blocks on the socket queue for the next datagram.
+//
+//lhlint:hotpath
+func (s *server) loop() {
+	s.cfg.Socket.queue.Pop(s.tc, s.popFn)
+}
+
+// onPop charges the recvmsg syscall for the popped datagram.
+//
+//lhlint:hotpath
+func (s *server) onPop(tc *kernel.TC, item any) {
+	s.tc = tc
+	d := item.(*wire.Datagram)
+	s.d = d
+	st := s.cfg.Socket.stack
+	cost := st.Costs.RecvFixed + sim.Time(len(d.Payload))*st.Costs.RecvCopyPerByte
+	tc.Syscall(cost, s.received)
+}
+
+// decode parses the RPC and charges software unmarshal + dispatch lookup.
+//
+//lhlint:hotpath
+func (s *server) decode() {
+	if err := rpc.DecodeInto(s.d.Payload, &s.msg); err != nil {
+		// Malformed RPC: drop and continue serving.
+		s.loop()
+		return
+	}
+	decodeCost := s.cfg.Codec.Unmarshal(len(s.msg.Body)) + s.cfg.Codec.DispatchLookup
+	s.tc.RunUser(decodeCost, s.afterDecode)
+}
+
+// dispatch runs the handler and charges its service time.
+//
+//lhlint:hotpath
+func (s *server) dispatch() {
+	cfg := &s.cfg
+	svc := cfg.Registry.Lookup(s.msg.Service)
+	var m *rpc.MethodDesc
+	if svc != nil {
+		m = svc.Method(s.msg.Method)
+	}
+	s.status = rpc.StatusOK
+	s.respBody = nil
+	var service sim.Time
+	if m == nil {
+		s.status = rpc.StatusNoSuchMethod
+	} else {
+		s.respBody, service = m.Handler(s.msg.Body)
+	}
+	s.tc.RunUser(service, s.afterSvc)
+}
+
+// encode serializes the response into the scratch buffer and charges the
+// software marshal cost.
+//
+//lhlint:hotpath
+func (s *server) encode() {
+	cfg := &s.cfg
+	s.encScr = rpc.AppendMessage(s.encScr[:0], rpc.Header{
+		Kind: rpc.KindResponse, Service: s.msg.Service, Method: s.msg.Method,
+		ID: s.msg.ID, Status: s.status,
+	}, s.respBody)
+	if err := rpc.DecodeInto(s.encScr, &s.respMsg); err == nil && cfg.OnResponse != nil {
+		cfg.OnResponse(&s.respMsg)
+	}
+	s.tc.RunUser(cfg.Codec.Marshal(len(s.respBody)), s.afterEncode)
+}
+
+// send builds the response frame and charges the sendmsg syscall; the
+// frame's ownership transfers to the NIC at transmit.
+//
+//lhlint:hotpath
+func (s *server) send() {
+	d := s.d
+	sock := s.cfg.Socket
+	st := sock.stack
+	st.ipID++
+	src := st.Local
+	src.Port = sock.Port
+	dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
+	frame, err := wire.BuildUDP(src, dst, st.ipID, s.encScr)
+	if err != nil {
+		panicSend(err)
+	}
+	s.frame = frame
+	cost := st.Costs.SendFixed + sim.Time(len(s.encScr))*st.Costs.SendCopyPerByte + st.NIC.DoorbellCost()
+	s.tc.Syscall(cost, s.sent)
+}
+
+// transmit hands the built frame to the NIC and re-enters the loop.
+//
+//lhlint:hotpath
+func (s *server) transmit() {
+	st := s.cfg.Socket.stack
+	st.NIC.Transmit(s.frame)
+	s.frame = nil
+	s.loop()
+}
+
+// panicSend keeps the fmt boxing of the oversized-response panic off the
+// send hot path; it never returns.
+func panicSend(err error) {
+	panic(fmt.Sprintf("kstack: send: %v", err))
+}
+
 // ServeLoop is a thread body: receive → decode (software) → dispatch →
 // handler → encode → send, forever. Spawn it with kernel.Spawn on a
 // process representing the service.
 func ServeLoop(cfg ServerConfig) func(tc *kernel.TC) {
-	var loop func(tc *kernel.TC)
-	loop = func(tc *kernel.TC) {
-		cfg.Socket.Recv(tc, func(tc *kernel.TC, d *wire.Datagram) {
-			msg, err := rpc.Decode(d.Payload)
-			if err != nil {
-				// Malformed RPC: drop and continue serving.
-				loop(tc)
-				return
-			}
-			// Software unmarshal + dispatch lookup, in user mode.
-			decodeCost := cfg.Codec.Unmarshal(len(msg.Body)) + cfg.Codec.DispatchLookup
-			tc.RunUser(decodeCost, func() {
-				svc := cfg.Registry.Lookup(msg.Service)
-				var m *rpc.MethodDesc
-				if svc != nil {
-					m = svc.Method(msg.Method)
-				}
-				status := uint16(rpc.StatusOK)
-				var respBody []byte
-				var service sim.Time
-				if m == nil {
-					status = rpc.StatusNoSuchMethod
-				} else {
-					respBody, service = m.Handler(msg.Body)
-				}
-				tc.RunUser(service, func() {
-					resp := rpc.EncodeResponse(msg.Service, msg.Method, msg.ID, status, respBody)
-					respMsg, _ := rpc.Decode(resp)
-					if cfg.OnResponse != nil {
-						cfg.OnResponse(respMsg)
-					}
-					encodeCost := cfg.Codec.Marshal(len(respBody))
-					tc.RunUser(encodeCost, func() {
-						dst := wire.Endpoint{MAC: d.Eth.Src, IP: d.IP.Src, Port: d.UDP.SrcPort}
-						cfg.Socket.Send(tc, dst, resp, func(tc *kernel.TC) {
-							loop(tc)
-						})
-					})
-				})
-			})
-		})
+	s := newServer(cfg)
+	return func(tc *kernel.TC) {
+		s.tc = tc
+		s.loop()
 	}
-	return loop
 }

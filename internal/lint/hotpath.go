@@ -19,7 +19,11 @@ import (
 //     (boxing),
 //   - append inside a loop to a slice with no preallocated capacity,
 //   - string concatenation,
-//   - map literals and make(map) (a map header per call).
+//   - map literals and make(map) (a map header per call),
+//   - interface method calls on stored interface-typed fields (per-event
+//     itable dispatch that a function table bound at provision time
+//     avoids; calling a prebound func-typed field is the sanctioned
+//     shape).
 var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "rejects allocating/boxing constructs in //lhlint:hotpath functions",
@@ -177,6 +181,9 @@ func (c *hotChecker) checkClosure(lit *ast.FuncLit, name string) {
 // checkCall flags interface-boxing argument conversions, hot map
 // allocation via make, and unbounded appends in loops.
 func (c *hotChecker) checkCall(call *ast.CallExpr, name string) {
+	if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+		c.checkIfaceFieldCall(fun, name)
+	}
 	tv, ok := c.info.Types[call.Fun]
 	if !ok {
 		return
@@ -225,6 +232,48 @@ func (c *hotChecker) checkCall(call *ast.CallExpr, name string) {
 		}
 		c.convert(arg, want, name)
 	}
+}
+
+// checkIfaceFieldCall flags an interface method call whose receiver is a
+// stored interface-typed field: the hot loop re-discovers the concrete
+// driver through the itable on every event, where a func-typed field
+// bound once at provision time (the stackdrv pattern) dispatches
+// directly. Interface-typed parameters and locals are out of scope —
+// they don't persist across events, so there is no provision-time moment
+// to bind them.
+func (c *hotChecker) checkIfaceFieldCall(fun *ast.SelectorExpr, name string) {
+	sel, ok := c.info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return
+	}
+	if _, ok := sel.Recv().Underlying().(*types.Interface); !ok {
+		return
+	}
+	field, ok := c.fieldLoad(fun.X)
+	if !ok {
+		return
+	}
+	c.p.Reportf(fun.Pos(),
+		"hot path %s: interface method call on stored field %s re-dispatches per event; bind a concrete function table at provision time",
+		name, field)
+}
+
+// fieldLoad reports whether e loads a struct field, returning the field
+// name for the diagnostic.
+func (c *hotChecker) fieldLoad(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.fieldLoad(e.X)
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if v, ok := c.info.Uses[e].(*types.Var); ok && v.IsField() {
+			return e.Name, true
+		}
+	}
+	return "", false
 }
 
 // calleeIdent unwraps the identifier a call resolves through, if any.

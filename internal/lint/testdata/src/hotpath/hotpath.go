@@ -65,3 +65,31 @@ func unannotated(vs []int) any {
 	}
 	return out
 }
+
+// speaker/holder exercise the stored-interface-field check: dispatching
+// through an interface field re-discovers the driver per event, while a
+// prebound func field (the function-table shape) is sanctioned.
+type speaker interface{ speak(int) int }
+
+type holder struct {
+	s speaker
+	f func(int) int
+}
+
+//lhlint:hotpath
+func (h *holder) viaInterfaceField(v int) int {
+	return h.s.speak(v) // want "interface method call on stored field"
+}
+
+//lhlint:hotpath
+func (h *holder) viaFuncTable(v int) int {
+	return h.f(v)
+}
+
+// Interface-typed parameters don't persist across events, so there is no
+// provision-time moment to bind them: out of scope.
+//
+//lhlint:hotpath
+func viaParam(s speaker, v int) int {
+	return s.speak(v)
+}

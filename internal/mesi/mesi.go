@@ -12,6 +12,13 @@
 // bus error" of §5.1) if the home defers too long, which is exactly why
 // Lauberhorn must emit TryAgain messages.
 //
+// Layout: both the directory and the caches keep per-line state as
+// struct-of-arrays — an addrTable maps a line address to a small integer
+// slot, and every per-line field lives in its own parallel slice indexed by
+// that slot. A protocol step touches one or two of those arrays instead of
+// chasing a per-line heap object, and slots are never freed, so the
+// steady state allocates nothing. Sharer sets are small slices, not maps.
+//
 // Determinism invariants: every protocol transition fires as a simulator
 // event at a simulated time (ties broken by schedule order), line state
 // lives in an open-addressed table whose behavior never depends on Go map
@@ -125,12 +132,47 @@ func (s stats64) Value() uint64 { return uint64(s) }
 // Directory is the home agent for a region of lines. It serializes
 // transactions per line and moves data between the backing store and the
 // attached caches with fabric-parameterized latencies.
+//
+// Per-line state is struct-of-arrays: idx maps a line address to a slot,
+// and owner/sharers/busy/queue/watchdog are parallel slices indexed by it.
 type Directory struct {
 	sim     *sim.Sim
 	params  fabric.Params
 	backing Backing
-	lines   *addrTable[*dirLine]
-	stats   Stats
+	// readLine/writeLine are the backing's methods bound once at
+	// construction: the per-fill hot path makes direct calls instead of
+	// re-dispatching through the interface on every transaction.
+	readLine  func(addr LineAddr, excl bool, respond func(data []byte))
+	writeLine func(addr LineAddr, data []byte)
+
+	idx     *addrTable[int32]
+	addrOf  []LineAddr
+	owner   []*Cache
+	sharers [][]*Cache
+	busy    []bool
+	queue   [][]txn
+	// watchdog pending while a fill is deferred
+	watchdog []*sim.Event
+
+	// In-flight transaction staging. A line admits one transaction at a
+	// time, so the per-hop parameters live in parallel slices and every
+	// timed protocol hop fires through the line's one prebound stepFn —
+	// the steady state schedules hops without allocating a closure per
+	// transaction. stage names the hop the next stepFn firing performs.
+	cur        []txn
+	stage      []dirStage
+	fillData   [][]byte
+	fillState  []State
+	recallData [][]byte
+	deferredAt []sim.Time
+	responded  []bool
+	respOpen   []bool
+	respExcl   []bool
+	stepFn     []func()
+	respondFn  []func([]byte)
+	watchdogFn []func()
+
+	stats Stats
 
 	// DeferTimeout bounds how long a fill may stay deferred before the
 	// interconnect declares a protocol timeout. BusError is then invoked
@@ -152,18 +194,24 @@ const (
 type txn struct {
 	kind  txnKind
 	cache *Cache
-	data  []byte // for writeback
+	data  []byte // writeback payload, or the pending data of a GetM store
 	done  func(data []byte)
+	sdone func() // plain completion for Store/Evict
 }
 
-type dirLine struct {
-	owner   *Cache
-	sharers map[*Cache]struct{}
-	busy    bool
-	queue   []txn
-	// watchdog pending while a fill is deferred
-	watchdog *sim.Event
-}
+// dirStage names the protocol hop a line's next stepFn firing performs.
+type dirStage uint8
+
+const (
+	stageIdle dirStage = iota
+	stageFwdGetS
+	stageInvOwner
+	stageInvAcks
+	stageUpgradeAck
+	stageDeliver
+	stageRecallData
+	stageWbAck
+)
 
 // NewDirectory creates a home agent over the given backing store. The
 // fabric must support coherence.
@@ -178,7 +226,9 @@ func NewDirectory(s *sim.Sim, p fabric.Params, backing Backing) *Directory {
 		sim:          s,
 		params:       p,
 		backing:      backing,
-		lines:        newAddrTable[*dirLine](0),
+		readLine:     backing.ReadLine,
+		writeLine:    backing.WriteLine,
+		idx:          newAddrTable[int32](0),
 		DeferTimeout: 50 * sim.Millisecond,
 		BusError: func(addr LineAddr) {
 			panic(fmt.Sprintf("mesi: protocol timeout (bus error) on deferred fill of line %#x", uint64(addr)))
@@ -195,15 +245,68 @@ func (d *Directory) Stats() Stats { return d.stats }
 // LineSize returns the coherence granule in bytes.
 func (d *Directory) LineSize() int { return d.params.CacheLineSize }
 
+// line returns the line's slot, allocating parallel-array entries (and the
+// line's prebound protocol-step closures) on first touch. Slots are
+// permanent, so an index captured by an in-flight transaction stays valid
+// across growth.
+//
 //lhlint:hotpath
-func (d *Directory) line(addr LineAddr) *dirLine {
-	l, ok := d.lines.get(addr)
-	if !ok {
-		//lhlint:allow hotpath sharer map is built once per directory line on first touch, then reused for the line's lifetime
-		l = &dirLine{sharers: make(map[*Cache]struct{})}
-		d.lines.put(addr, l)
+func (d *Directory) line(addr LineAddr) int32 {
+	if i, ok := d.idx.get(addr); ok {
+		return i
 	}
-	return l
+	i := int32(len(d.owner))
+	d.idx.put(addr, i)
+	d.addrOf = append(d.addrOf, addr)
+	d.owner = append(d.owner, nil)
+	d.sharers = append(d.sharers, nil)
+	d.busy = append(d.busy, false)
+	d.queue = append(d.queue, nil)
+	d.watchdog = append(d.watchdog, nil)
+	d.cur = append(d.cur, txn{})
+	d.stage = append(d.stage, stageIdle)
+	d.fillData = append(d.fillData, nil)
+	d.fillState = append(d.fillState, Invalid)
+	d.recallData = append(d.recallData, nil)
+	d.deferredAt = append(d.deferredAt, 0)
+	d.responded = append(d.responded, false)
+	d.respOpen = append(d.respOpen, false)
+	d.respExcl = append(d.respExcl, false)
+	//lhlint:allow hotpath the three per-line closures are bound once at slot creation and reused for every later transaction on the line
+	d.stepFn = append(d.stepFn, func() { d.step(i) })
+	//lhlint:allow hotpath bound once per line
+	d.respondFn = append(d.respondFn, func(data []byte) { d.respond(i, data) })
+	//lhlint:allow hotpath bound once per line
+	d.watchdogFn = append(d.watchdogFn, func() { d.watchdogFired(i) })
+	return i
+}
+
+// addSharer inserts c into the line's sharer set (idempotent).
+//
+//lhlint:hotpath
+func (d *Directory) addSharer(li int32, c *Cache) {
+	for _, s := range d.sharers[li] {
+		if s == c {
+			return
+		}
+	}
+	d.sharers[li] = append(d.sharers[li], c)
+}
+
+// dropSharer removes c from the line's sharer set, keeping order (sets are
+// tiny; order stability keeps invalidation sequences reproducible).
+//
+//lhlint:hotpath
+func (d *Directory) dropSharer(li int32, c *Cache) {
+	s := d.sharers[li]
+	for i, x := range s {
+		if x == c {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			d.sharers[li] = s[:len(s)-1]
+			return
+		}
+	}
 }
 
 // halfFill is one direction of a fill round trip.
@@ -211,220 +314,326 @@ func (d *Directory) halfFill() sim.Time { return d.params.LineFill / 2 }
 
 // enqueue admits a transaction to a line, serializing behind any in-flight
 // transaction.
+//
+//lhlint:hotpath
 func (d *Directory) enqueue(addr LineAddr, t txn) {
-	l := d.line(addr)
-	if l.busy {
-		l.queue = append(l.queue, t)
+	li := d.line(addr)
+	if d.busy[li] {
+		d.queue[li] = append(d.queue[li], t)
 		return
 	}
-	l.busy = true
-	d.execute(addr, l, t)
+	d.busy[li] = true
+	d.execute(addr, li, t)
 }
 
 // finish completes the current transaction and starts the next queued one.
-func (d *Directory) finish(addr LineAddr, l *dirLine) {
-	if len(l.queue) == 0 {
-		l.busy = false
+//
+//lhlint:hotpath
+func (d *Directory) finish(addr LineAddr, li int32) {
+	q := d.queue[li]
+	if len(q) == 0 {
+		d.busy[li] = false
 		return
 	}
-	next := l.queue[0]
-	l.queue = l.queue[1:]
-	d.execute(addr, l, next)
+	next := q[0]
+	q[0] = txn{}
+	d.queue[li] = q[1:]
+	if len(q) == 1 {
+		// Queue drained: reset to recover the capacity eaten by the
+		// front-advancing reslice.
+		d.queue[li] = q[:0]
+	}
+	d.execute(addr, li, next)
 }
 
-func (d *Directory) execute(addr LineAddr, l *dirLine, t txn) {
+func (d *Directory) execute(addr LineAddr, li int32, t txn) {
 	switch t.kind {
 	case txnGetS:
-		d.doGetS(addr, l, t)
+		d.doGetS(addr, li, t)
 	case txnGetM:
-		d.doGetM(addr, l, t)
+		d.doGetM(addr, li, t)
 	case txnRecall:
-		d.doRecall(addr, l, t)
+		d.doRecall(addr, li, t)
 	case txnWriteback:
-		d.doWriteback(addr, l, t)
+		d.doWriteback(addr, li, t)
 	default:
 		panic("mesi: unknown txn kind")
 	}
 }
 
+// hop schedules the line's next protocol step after delay d; the one
+// prebound stepFn performs the stage recorded here.
+//
+//lhlint:hotpath
+func (d *Directory) hop(li int32, delay sim.Time, name string, st dirStage) {
+	d.stage[li] = st
+	d.sim.After(delay, name, d.stepFn[li])
+}
+
+// step fires the line's staged protocol hop (see dirStage). One
+// transaction is in flight per line, and every hop schedules at most one
+// successor, so the stage field read here is exactly the one the
+// scheduling site wrote.
+//
+//lhlint:hotpath
+func (d *Directory) step(li int32) {
+	addr := d.addrOf[li]
+	st := d.stage[li]
+	d.stage[li] = stageIdle
+	switch st {
+	case stageFwdGetS:
+		// Dirty in another cache: the recall hop arrived at the owner.
+		t := d.cur[li]
+		owner := d.owner[li]
+		data := owner.surrender(addr, Shared)
+		d.writeLine(addr, data)
+		d.owner[li] = nil
+		d.addSharer(li, owner)
+		d.deliver(li, t, data, Shared)
+	case stageInvOwner:
+		owner := d.owner[li]
+		data := owner.surrender(addr, Invalid)
+		d.stats.Invalidations.Inc()
+		d.owner[li] = nil
+		d.getMInvalidated(li, data)
+	case stageInvAcks:
+		d.getMInvalidated(li, nil)
+	case stageUpgradeAck:
+		t := d.cur[li]
+		if t.data != nil {
+			d.installStore(addr, t)
+		} else if t.done != nil {
+			t.done(nil)
+		}
+		d.finish(addr, li)
+	case stageDeliver:
+		t := d.cur[li]
+		cp := d.fillData[li]
+		d.fillData[li] = nil
+		if d.fillState[li] == Modified {
+			d.owner[li] = t.cache
+			d.dropSharer(li, t.cache)
+			if t.data != nil {
+				// GetM carrying a pending store: install the store data
+				// instead of the fill (the write overwrites the whole
+				// line anyway).
+				d.installStore(addr, t)
+				d.finish(addr, li)
+				return
+			}
+		} else {
+			d.addSharer(li, t.cache)
+		}
+		t.cache.grant(addr, cp, d.fillState[li])
+		if t.done != nil {
+			t.done(cp)
+		}
+		d.finish(addr, li)
+	case stageRecallData:
+		t := d.cur[li]
+		out := d.recallData[li]
+		d.recallData[li] = nil
+		if out == nil {
+			// Line was clean at home.
+			if mb, ok := d.backing.(*MemBacking); ok {
+				out = mb.Get(addr)
+			}
+		}
+		if t.done != nil {
+			t.done(out)
+		}
+		d.finish(addr, li)
+	case stageWbAck:
+		t := d.cur[li]
+		if t.sdone != nil {
+			t.sdone()
+		}
+		d.finish(addr, li)
+	default:
+		panic("mesi: spurious protocol step")
+	}
+}
+
+// installStore copies a GetM transaction's pending store data into the
+// requesting cache as Modified and signals the store's completion.
+//
+//lhlint:hotpath
+func (d *Directory) installStore(addr LineAddr, t txn) {
+	cp := make([]byte, d.LineSize())
+	copy(cp, t.data)
+	t.cache.grant(addr, cp, Modified)
+	if t.sdone != nil {
+		t.sdone()
+	}
+}
+
+// respond is the backing's fill response, delivered through the line's one
+// prebound respondFn.
+//
+//lhlint:hotpath
+func (d *Directory) respond(li int32, data []byte) {
+	if !d.respOpen[li] {
+		panic("mesi: backing responded twice")
+	}
+	d.respOpen[li] = false
+	if d.respExcl[li] {
+		d.deliver(li, d.cur[li], data, Modified)
+		return
+	}
+	d.responded[li] = true
+	if w := d.watchdog[li]; w != nil {
+		d.sim.Cancel(w)
+		d.watchdog[li] = nil
+	}
+	if d.sim.Now() > d.deferredAt[li] {
+		d.stats.DeferredFills.Inc()
+	}
+	d.deliver(li, d.cur[li], data, Shared)
+}
+
+// watchdogFired is the deferred-fill timeout.
+func (d *Directory) watchdogFired(li int32) {
+	// Clear the handle before anything else: once fired, the event
+	// struct is recycled and must not reach a later Cancel.
+	d.watchdog[li] = nil
+	if !d.responded[li] {
+		d.BusError(d.addrOf[li])
+	}
+}
+
 // doGetS satisfies a read miss.
-func (d *Directory) doGetS(addr LineAddr, l *dirLine, t txn) {
+//
+//lhlint:hotpath
+func (d *Directory) doGetS(addr LineAddr, li int32, t txn) {
 	d.stats.Fills.Inc()
-	if l.owner != nil && l.owner != t.cache {
+	d.cur[li] = t
+	if o := d.owner[li]; o != nil && o != t.cache {
 		// Dirty in another cache: recall to home (owner→home hop), write
 		// through to backing, then forward to requester (home→req hop).
-		owner := l.owner
-		d.sim.After(d.halfFill(), "mesi-fwd-gets", func() {
-			data := owner.surrender(addr, Shared)
-			d.backing.WriteLine(addr, data)
-			l.owner = nil
-			l.sharers[owner] = struct{}{}
-			d.deliver(addr, l, t, data, Shared)
-		})
+		d.hop(li, d.halfFill(), "mesi-fwd-gets", stageFwdGetS)
 		return
 	}
 	// Clean (or requester already owns it): ask the backing. The backing
 	// may defer; arm the watchdog.
-	deferredAt := d.sim.Now()
-	responded := false
-	l.watchdog = d.sim.After(d.DeferTimeout, "mesi-watchdog", func() {
-		// Clear the handle before anything else: once fired, the event
-		// struct is recycled and must not reach a later Cancel.
-		l.watchdog = nil
-		if !responded {
-			d.BusError(addr)
-		}
-	})
-	d.backing.ReadLine(addr, false, func(data []byte) {
-		if responded {
-			panic("mesi: backing responded twice")
-		}
-		responded = true
-		if l.watchdog != nil {
-			d.sim.Cancel(l.watchdog)
-			l.watchdog = nil
-		}
-		if d.sim.Now() > deferredAt {
-			d.stats.DeferredFills.Inc()
-		}
-		d.deliver(addr, l, t, data, Shared)
-	})
+	d.deferredAt[li] = d.sim.Now()
+	d.responded[li] = false
+	d.respOpen[li] = true
+	d.respExcl[li] = false
+	d.watchdog[li] = d.sim.After(d.DeferTimeout, "mesi-watchdog", d.watchdogFn[li])
+	d.readLine(addr, false, d.respondFn[li])
 }
 
 // doGetM satisfies a write miss / upgrade: invalidate everyone else, grant
 // Modified.
-func (d *Directory) doGetM(addr LineAddr, l *dirLine, t txn) {
+//
+//lhlint:hotpath
+func (d *Directory) doGetM(addr LineAddr, li int32, t txn) {
 	d.stats.Upgrades.Inc()
-	invalidate := func(then func(dirty []byte)) {
-		// Invalidate owner or sharers (one fabric hop, overlapped).
-		if l.owner != nil && l.owner != t.cache {
-			owner := l.owner
-			d.sim.After(d.halfFill(), "mesi-inv-owner", func() {
-				data := owner.surrender(addr, Invalid)
-				d.stats.Invalidations.Inc()
-				l.owner = nil
-				then(data)
-			})
-			return
-		}
-		n := 0
-		for c := range l.sharers {
-			if c != t.cache {
-				c.surrender(addr, Invalid)
-				d.stats.Invalidations.Inc()
-				n++
-			}
-		}
-		for c := range l.sharers {
-			delete(l.sharers, c)
-		}
-		if n > 0 {
-			d.sim.After(d.halfFill(), "mesi-inv-acks", func() { then(nil) })
-		} else {
-			then(nil)
-		}
+	d.cur[li] = t
+	// Invalidate owner or sharers (one fabric hop, overlapped).
+	if o := d.owner[li]; o != nil && o != t.cache {
+		d.hop(li, d.halfFill(), "mesi-inv-owner", stageInvOwner)
+		return
 	}
-	invalidate(func(dirty []byte) {
-		if dirty != nil {
-			d.backing.WriteLine(addr, dirty)
-			d.deliver(addr, l, t, dirty, Modified)
-			return
+	n := 0
+	s := d.sharers[li]
+	for i, c := range s {
+		if c != t.cache {
+			c.surrender(addr, Invalid)
+			d.stats.Invalidations.Inc()
+			n++
 		}
-		if t.cache.state(addr) == Shared {
-			// Upgrade in place: cache has current data already.
-			l.owner = t.cache
-			delete(l.sharers, t.cache)
-			t.cache.grant(addr, nil, Modified)
-			cb := t.done
-			d.sim.After(d.params.LineWriteback, "mesi-upgrade-ack", func() {
-				cb(nil)
-				d.finish(addr, l)
-			})
-			return
-		}
-		d.backing.ReadLine(addr, true, func(data []byte) {
-			d.deliver(addr, l, t, data, Modified)
-		})
-	})
+		s[i] = nil
+	}
+	d.sharers[li] = s[:0]
+	if n > 0 {
+		d.hop(li, d.halfFill(), "mesi-inv-acks", stageInvAcks)
+		return
+	}
+	d.getMInvalidated(li, nil)
+}
+
+// getMInvalidated continues a GetM once every other copy is gone; dirty is
+// the recalled owner data, if any.
+//
+//lhlint:hotpath
+func (d *Directory) getMInvalidated(li int32, dirty []byte) {
+	addr := d.addrOf[li]
+	t := d.cur[li]
+	if dirty != nil {
+		d.writeLine(addr, dirty)
+		d.deliver(li, t, dirty, Modified)
+		return
+	}
+	if t.cache.state(addr) == Shared {
+		// Upgrade in place: cache has current data already.
+		d.owner[li] = t.cache
+		d.dropSharer(li, t.cache)
+		t.cache.grant(addr, nil, Modified)
+		d.hop(li, d.params.LineWriteback, "mesi-upgrade-ack", stageUpgradeAck)
+		return
+	}
+	d.respOpen[li] = true
+	d.respExcl[li] = true
+	d.readLine(addr, true, d.respondFn[li])
 }
 
 // deliver sends fill data to the requesting cache and completes the
 // transaction.
-func (d *Directory) deliver(addr LineAddr, l *dirLine, t txn, data []byte, st State) {
-	cp := make([]byte, d.LineSize())
-	copy(cp, data)
-	d.sim.After(d.halfFill(), "mesi-data", func() {
-		if st == Modified {
-			l.owner = t.cache
-			delete(l.sharers, t.cache)
-		} else {
-			l.sharers[t.cache] = struct{}{}
-		}
-		t.cache.grant(addr, cp, st)
-		if t.done != nil {
-			t.done(cp)
-		}
-		d.finish(addr, l)
-	})
+//
+//lhlint:hotpath
+func (d *Directory) deliver(li int32, t txn, data []byte, st State) {
+	var cp []byte
+	if t.data == nil || st != Modified {
+		cp = make([]byte, d.LineSize())
+		copy(cp, data)
+	}
+	d.cur[li] = t
+	d.fillData[li] = cp
+	d.fillState[li] = st
+	d.hop(li, d.halfFill(), "mesi-data", stageDeliver)
 }
 
 // doRecall implements the device-initiated FetchExclusive of Fig. 4: pull
 // the line out of every cache (collecting dirty data) and return it to the
 // home.
-func (d *Directory) doRecall(addr LineAddr, l *dirLine, t txn) {
+//
+//lhlint:hotpath
+func (d *Directory) doRecall(addr LineAddr, li int32, t txn) {
 	d.stats.Recalls.Inc()
-	complete := func(data []byte) {
-		if data != nil {
-			d.backing.WriteLine(addr, data)
+	d.cur[li] = t
+	var data []byte
+	if o := d.owner[li]; o != nil {
+		data = o.surrender(addr, Invalid)
+		d.stats.Invalidations.Inc()
+		d.owner[li] = nil
+	} else {
+		s := d.sharers[li]
+		for i, c := range s {
+			c.surrender(addr, Invalid)
+			d.stats.Invalidations.Inc()
+			s[i] = nil
 		}
-		d.sim.After(d.params.FetchExclusive, "mesi-recall-data", func() {
-			var out []byte
-			if data != nil {
-				out = data
-			} else {
-				// Line was clean at home.
-				mb, ok := d.backing.(*MemBacking)
-				if ok {
-					out = mb.Get(addr)
-				}
-			}
-			if t.done != nil {
-				t.done(out)
-			}
-			d.finish(addr, l)
-		})
+		d.sharers[li] = s[:0]
 	}
-	if l.owner != nil {
-		owner := l.owner
-		data := owner.surrender(addr, Invalid)
-		d.stats.Invalidations.Inc()
-		l.owner = nil
-		complete(data)
-		return
+	if data != nil {
+		d.writeLine(addr, data)
 	}
-	for c := range l.sharers {
-		c.surrender(addr, Invalid)
-		d.stats.Invalidations.Inc()
-	}
-	for c := range l.sharers {
-		delete(l.sharers, c)
-	}
-	complete(nil)
+	d.recallData[li] = data
+	d.hop(li, d.params.FetchExclusive, "mesi-recall-data", stageRecallData)
 }
 
 // doWriteback handles a voluntary eviction of a dirty line.
-func (d *Directory) doWriteback(addr LineAddr, l *dirLine, t txn) {
+//
+//lhlint:hotpath
+func (d *Directory) doWriteback(addr LineAddr, li int32, t txn) {
 	d.stats.Writebacks.Inc()
-	if l.owner == t.cache {
-		l.owner = nil
+	if d.owner[li] == t.cache {
+		d.owner[li] = nil
 	}
-	d.backing.WriteLine(addr, t.data)
-	d.sim.After(d.params.LineWriteback, "mesi-wb-ack", func() {
-		if t.done != nil {
-			t.done(nil)
-		}
-		d.finish(addr, l)
-	})
+	d.writeLine(addr, t.data)
+	d.cur[li] = t
+	d.hop(li, d.params.LineWriteback, "mesi-wb-ack", stageWbAck)
 }
 
 // Recall is the device-side FetchExclusive: the home pulls the line's
@@ -437,13 +646,88 @@ func (d *Directory) Recall(addr LineAddr, done func(data []byte)) {
 // Cache is one CPU core's coherent cache for lines homed at a set of
 // directories. Capacity is unbounded (the lines of interest are few);
 // evictions are explicit.
+//
+// Per-line state is struct-of-arrays: idx maps a line address to a slot,
+// and st/buf/dir are parallel slices indexed by it — one hash probe per
+// operation where the previous layout paid three Go map lookups.
 type Cache struct {
-	name   string
-	sim    *sim.Sim
-	state_ map[LineAddr]State
-	data   map[LineAddr][]byte
-	dirs   map[LineAddr]*Directory
-	home   func(LineAddr) *Directory
+	name string
+	sim  *sim.Sim
+	idx  *addrTable[int32]
+	st   []State
+	buf  [][]byte
+	dir  []*Directory
+	home func(LineAddr) *Directory
+	// chans stage outbound requests per directory (see reqChan); caches
+	// talk to one directory in practice, so lookup is a linear scan.
+	chans []*reqChan
+}
+
+// cacheReq is one outbound request staged on a reqChan while its fabric
+// hop is in flight.
+type cacheReq struct {
+	kind  txnKind
+	addr  LineAddr
+	data  []byte
+	done  func(data []byte)
+	sdone func()
+}
+
+// reqChan carries a cache's requests to one directory. Every request hop
+// to a given directory takes the same halfFill delay, so arrival order
+// matches send order and the oldest staged request is always the one the
+// next "mesi-gets"/"mesi-getm"/"mesi-putm" event delivers — the hop is
+// scheduled with the channel's one prebound fire closure instead of a
+// closure per miss.
+type reqChan struct {
+	c    *Cache
+	d    *Directory
+	q    []cacheReq
+	head int
+	fire func()
+}
+
+// chanFor returns (creating on first use) the request channel to d.
+//
+//lhlint:hotpath
+func (c *Cache) chanFor(d *Directory) *reqChan {
+	for _, ch := range c.chans {
+		if ch.d == d {
+			return ch
+		}
+	}
+	ch := &reqChan{c: c, d: d}
+	//lhlint:allow hotpath bound once per (cache, directory) pair on first use, then reused for every request hop
+	ch.fire = func() { ch.arrive() }
+	c.chans = append(c.chans, ch)
+	return ch
+}
+
+// send stages a request and schedules its arrival at the directory.
+//
+//lhlint:hotpath
+func (ch *reqChan) send(name string, r cacheReq) {
+	ch.q = append(ch.q, r)
+	ch.d.sim.After(ch.d.halfFill(), name, ch.fire)
+}
+
+// arrive hands the oldest staged request to the directory.
+//
+//lhlint:hotpath
+func (ch *reqChan) arrive() {
+	q := ch.q
+	h := ch.head
+	r := q[h]
+	q[h] = cacheReq{}
+	h++
+	if h == len(q) {
+		// Queue drained: rewind so the backing array is reused.
+		ch.q = q[:0]
+		ch.head = 0
+	} else {
+		ch.head = h
+	}
+	ch.d.enqueue(r.addr, txn{kind: r.kind, cache: ch.c, data: r.data, done: r.done, sdone: r.sdone})
 }
 
 // NewCache creates a cache whose home lookup function routes each line to
@@ -453,58 +737,94 @@ func NewCache(s *sim.Sim, name string, home func(LineAddr) *Directory) *Cache {
 		panic("mesi: nil home lookup")
 	}
 	return &Cache{
-		name:   name,
-		sim:    s,
-		state_: make(map[LineAddr]State),
-		data:   make(map[LineAddr][]byte),
-		dirs:   make(map[LineAddr]*Directory),
-		home:   home,
+		name: name,
+		sim:  s,
+		idx:  newAddrTable[int32](0),
+		home: home,
 	}
 }
 
 // Name returns the cache's diagnostic name.
 func (c *Cache) Name() string { return c.name }
 
-func (c *Cache) dir(addr LineAddr) *Directory {
-	if d, ok := c.dirs[addr]; ok {
+// slot returns the line's index, allocating parallel-array entries on
+// first touch. Slots are permanent; a line evicted to Invalid keeps its
+// slot for the next fill.
+//
+//lhlint:hotpath
+func (c *Cache) slot(addr LineAddr) int32 {
+	if i, ok := c.idx.get(addr); ok {
+		return i
+	}
+	i := int32(len(c.st))
+	c.idx.put(addr, i)
+	c.st = append(c.st, Invalid)
+	c.buf = append(c.buf, nil)
+	c.dir = append(c.dir, nil)
+	return i
+}
+
+//lhlint:hotpath
+func (c *Cache) dirAt(i int32, addr LineAddr) *Directory {
+	if d := c.dir[i]; d != nil {
 		return d
 	}
 	d := c.home(addr)
 	if d == nil {
-		panic(fmt.Sprintf("mesi: no home for line %#x", uint64(addr)))
+		panicNoHome(addr)
 	}
-	c.dirs[addr] = d
+	c.dir[i] = d
 	return d
 }
 
-// State reports the cache's current state for the line.
-func (c *Cache) State(addr LineAddr) State { return c.state_[addr] }
+// panicNoHome keeps the fmt boxing of the missing-home panic off dirAt's
+// hot path; it never returns.
+func panicNoHome(addr LineAddr) {
+	panic(fmt.Sprintf("mesi: no home for line %#x", uint64(addr)))
+}
 
-func (c *Cache) state(addr LineAddr) State { return c.state_[addr] }
+// State reports the cache's current state for the line.
+//
+//lhlint:hotpath
+func (c *Cache) State(addr LineAddr) State {
+	if i, ok := c.idx.get(addr); ok {
+		return c.st[i]
+	}
+	return Invalid
+}
+
+func (c *Cache) state(addr LineAddr) State { return c.State(addr) }
 
 // Data returns the cached copy (nil if Invalid).
 func (c *Cache) Data(addr LineAddr) []byte {
-	if c.state_[addr] == Invalid {
+	i, ok := c.idx.get(addr)
+	if !ok || c.st[i] == Invalid {
 		return nil
 	}
-	return c.data[addr]
+	return c.buf[i]
 }
 
 // grant installs fill data (nil data means upgrade-in-place).
+//
+//lhlint:hotpath
 func (c *Cache) grant(addr LineAddr, data []byte, st State) {
-	c.state_[addr] = st
+	i := c.slot(addr)
+	c.st[i] = st
 	if data != nil {
-		c.data[addr] = data
+		c.buf[i] = data
 	}
 }
 
 // surrender downgrades the line to st and returns the (possibly dirty)
 // data.
+//
+//lhlint:hotpath
 func (c *Cache) surrender(addr LineAddr, st State) []byte {
-	data := c.data[addr]
-	c.state_[addr] = st
+	i := c.slot(addr)
+	data := c.buf[i]
+	c.st[i] = st
 	if st == Invalid {
-		delete(c.data, addr)
+		c.buf[i] = nil
 	}
 	return data
 }
@@ -513,50 +833,51 @@ func (c *Cache) surrender(addr LineAddr, st State) []byte {
 // cost is inside the CPU cycle budget, not the fabric's). On a miss, a GetS
 // is issued to the home; done runs when the fill arrives — possibly much
 // later if the home defers (Lauberhorn's stalled load).
+//
+//lhlint:hotpath
 func (c *Cache) Load(addr LineAddr, done func(data []byte)) {
-	if st := c.state_[addr]; st == Shared || st == Modified {
-		done(c.data[addr])
+	i := c.slot(addr)
+	if st := c.st[i]; st == Shared || st == Modified {
+		done(c.buf[i])
 		return
 	}
-	d := c.dir(addr)
-	d.sim.After(d.halfFill(), "mesi-gets", func() {
-		d.enqueue(addr, txn{kind: txnGetS, cache: c, done: done})
-	})
+	d := c.dirAt(i, addr)
+	c.chanFor(d).send("mesi-gets", cacheReq{kind: txnGetS, addr: addr, done: done})
 }
 
 // Store performs a coherent full-line write: obtains Modified (invalidating
 // other copies) and installs data. done runs when ownership is granted.
+//
+//lhlint:hotpath
 func (c *Cache) Store(addr LineAddr, data []byte, done func()) {
-	d := c.dir(addr)
-	write := func() {
+	i := c.slot(addr)
+	d := c.dirAt(i, addr)
+	if c.st[i] == Modified {
 		cp := make([]byte, d.LineSize())
 		copy(cp, data)
-		c.data[addr] = cp
-		c.state_[addr] = Modified
+		c.buf[i] = cp
 		if done != nil {
 			done()
 		}
-	}
-	if c.state_[addr] == Modified {
-		write()
 		return
 	}
-	d.sim.After(d.halfFill(), "mesi-getm", func() {
-		d.enqueue(addr, txn{kind: txnGetM, cache: c, done: func([]byte) { write() }})
-	})
+	// Miss or upgrade: ship the pending store data with the GetM; the
+	// directory installs it when ownership is granted.
+	c.chanFor(d).send("mesi-getm", cacheReq{kind: txnGetM, addr: addr, data: data, sdone: done})
 }
 
 // Evict voluntarily drops the line, writing back dirty data. done runs when
 // the home acknowledges.
 func (c *Cache) Evict(addr LineAddr, done func()) {
-	st := c.state_[addr]
+	i := c.slot(addr)
+	st := c.st[i]
 	if st == Invalid {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	d := c.dir(addr)
+	d := c.dirAt(i, addr)
 	if st == Shared {
 		// Silent drop; the directory's sharer set is allowed to be stale
 		// (it will send a harmless invalidation later).
@@ -567,11 +888,5 @@ func (c *Cache) Evict(addr LineAddr, done func()) {
 		return
 	}
 	data := c.surrender(addr, Invalid)
-	d.sim.After(d.halfFill(), "mesi-putm", func() {
-		d.enqueue(addr, txn{kind: txnWriteback, cache: c, data: data, done: func([]byte) {
-			if done != nil {
-				done()
-			}
-		}})
-	})
+	c.chanFor(d).send("mesi-putm", cacheReq{kind: txnWriteback, addr: addr, data: data, sdone: done})
 }

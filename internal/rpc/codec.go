@@ -99,11 +99,23 @@ func (m *Message) String() string {
 
 // Encode serializes hdr+body into a fresh buffer.
 func Encode(h Header, body []byte) []byte {
+	return AppendMessage(nil, h, body)
+}
+
+// AppendMessage serializes hdr+body onto dst and returns the extended
+// slice. Hot paths that consume the encoding synchronously (the NIC copies
+// it into a frame before returning) pass a per-component scratch buffer so
+// the steady state allocates nothing.
+//
+//lhlint:hotpath
+func AppendMessage(dst []byte, h Header, body []byte) []byte {
 	if len(body) > 0xffff {
-		panic(fmt.Sprintf("rpc: body too large: %d", len(body)))
+		panicBodyTooLarge(len(body))
 	}
 	h.BodyLen = uint16(len(body))
-	b := make([]byte, HeaderLen+len(body))
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	b := dst[off:]
 	binary.BigEndian.PutUint16(b[0:2], Magic)
 	b[2] = Version
 	b[3] = h.Kind
@@ -113,8 +125,13 @@ func Encode(h Header, body []byte) []byte {
 	binary.BigEndian.PutUint64(b[12:20], h.ID)
 	binary.BigEndian.PutUint16(b[20:22], h.Status)
 	binary.BigEndian.PutUint16(b[22:24], h.BodyLen)
-	copy(b[HeaderLen:], body)
-	return b
+	return append(dst, body...)
+}
+
+// panicBodyTooLarge keeps the fmt boxing of the oversize panic off
+// AppendMessage's hot path; it never returns.
+func panicBodyTooLarge(n int) {
+	panic(fmt.Sprintf("rpc: body too large: %d", n))
 }
 
 // EncodeRequest builds a request message.
@@ -129,19 +146,31 @@ func EncodeResponse(service uint32, method uint16, id uint64, status uint16, bod
 
 // Decode parses an RPC message. The returned body aliases b.
 func Decode(b []byte) (*Message, error) {
+	m := new(Message)
+	if err := DecodeInto(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses an RPC message into m, which the caller owns
+// (typically a reusable staging slot, so steady-state receive paths
+// allocate nothing). The body aliases b.
+//
+//lhlint:hotpath
+func DecodeInto(b []byte, m *Message) error {
 	if len(b) < HeaderLen {
-		return nil, ErrShort
+		return ErrShort
 	}
 	if binary.BigEndian.Uint16(b[0:2]) != Magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != Version {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
-	m := &Message{}
 	m.Kind = b[3]
 	if m.Kind != KindRequest && m.Kind != KindResponse {
-		return nil, ErrBadKind
+		return ErrBadKind
 	}
 	m.Service = binary.BigEndian.Uint32(b[4:8])
 	m.Method = binary.BigEndian.Uint16(b[8:10])
@@ -153,11 +182,11 @@ func Decode(b []byte) (*Message, error) {
 		// Tolerate trailing padding (Ethernet minimum frame) but not
 		// truncation.
 		if int(m.BodyLen) > len(b)-HeaderLen {
-			return nil, ErrBadBody
+			return ErrBadBody
 		}
 	}
 	m.Body = b[HeaderLen : HeaderLen+int(m.BodyLen)]
-	return m, nil
+	return nil
 }
 
 // ArgWriter encodes a sequence of typed argument fields into a body.

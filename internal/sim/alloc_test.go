@@ -62,6 +62,41 @@ func TestScheduleCancelZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBatchTickFireZeroAlloc pins the batch-fire path: a multi-event tick
+// drained through runTick must reuse the batch buffer and the Event free
+// list — zero allocations once both are warm. This is the loop Run and
+// RunUntil sit in for the whole simulation.
+func TestBatchTickFireZeroAlloc(t *testing.T) {
+	const tickWidth = 8
+	s := New(1)
+	fired := 0
+	fn := func() { fired++ }
+	warm(s, fn)
+	// Grow the batch buffer and free list to tickWidth.
+	for i := 0; i < 2*ringSlots; i++ {
+		for j := 0; j < tickWidth; j++ {
+			s.After(bucketSpan/2, "warm", fn)
+		}
+		if !s.runTick(Never) {
+			t.Fatal("warm tick did not fire")
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for j := 0; j < tickWidth; j++ {
+			s.After(bucketSpan/2, "probe", fn)
+		}
+		if !s.runTick(Never) {
+			t.Fatal("probe tick did not fire")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batch tick fire allocates %v per op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("probe events never fired")
+	}
+}
+
 // TestScheduleFireHeapPathZeroAlloc covers the overflow-heap route: events
 // scheduled beyond the ring horizon go through heapPush/heapPop/migrate
 // rather than the bucket ring, and that path must be warm-state

@@ -42,6 +42,11 @@ const (
 	// ringIndex marks an Event resident in the bucket ring (the ring needs
 	// no positional tracking; the sentinel keeps Pending/Cancel working).
 	ringIndex = 1 << 30
+	// batchIndex marks an Event drained into the run loop's same-tick batch
+	// buffer: removed from both queue halves but not yet fired. The sentinel
+	// is non-negative so Pending stays true and a same-tick callback can
+	// still Cancel it before its turn in the batch comes.
+	batchIndex = 1 << 29
 )
 
 // eventBefore is the queue's total order: time, then scheduling sequence,

@@ -111,6 +111,8 @@ type UDPHeader struct {
 }
 
 // Checksum computes the Internet checksum (RFC 1071) over b.
+//
+//lhlint:hotpath
 func Checksum(b []byte) uint16 {
 	var sum uint32
 	for len(b) >= 2 {
@@ -126,15 +128,42 @@ func Checksum(b []byte) uint16 {
 	return ^uint16(sum)
 }
 
+// udpSum computes the RFC 1071 checksum of the IPv4 pseudo-header followed
+// by the UDP segment, folding the pseudo-header in arithmetically instead
+// of materializing it. skip names the byte offset of one 16-bit word in udp
+// to treat as zero (the checksum field during verification); pass -1 to sum
+// every word. The pseudo-header is an even 12 bytes, so udp's words keep
+// their 2-byte alignment and the result matches Checksum over the
+// concatenated buffers exactly.
+//
+//lhlint:hotpath
+func udpSum(src, dst IP, udp []byte, skip int) uint16 {
+	sum := uint32(binary.BigEndian.Uint16(src[0:2])) +
+		uint32(binary.BigEndian.Uint16(src[2:4])) +
+		uint32(binary.BigEndian.Uint16(dst[0:2])) +
+		uint32(binary.BigEndian.Uint16(dst[2:4])) +
+		uint32(ProtoUDP) + uint32(uint16(len(udp)))
+	i := 0
+	for ; i+1 < len(udp); i += 2 {
+		if i == skip {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(udp[i:]))
+	}
+	if i < len(udp) {
+		sum += uint32(udp[i]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
 // udpChecksum computes the UDP checksum including the IPv4 pseudo-header.
+//
+//lhlint:hotpath
 func udpChecksum(src, dst IP, udp []byte) uint16 {
-	pseudo := make([]byte, 12+len(udp))
-	copy(pseudo[0:4], src[:])
-	copy(pseudo[4:8], dst[:])
-	pseudo[9] = ProtoUDP
-	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(udp)))
-	copy(pseudo[12:], udp)
-	cs := Checksum(pseudo)
+	cs := udpSum(src, dst, udp, -1)
 	if cs == 0 {
 		cs = 0xffff // 0 means "no checksum" in UDP
 	}
@@ -194,9 +223,14 @@ type Endpoint struct {
 
 // BuildUDP assembles a complete Ethernet/IPv4/UDP frame carrying payload
 // from src to dst, computing both checksums. The payload must fit the MTU.
+// The returned frame is freshly allocated: frames outlive the builder (they
+// sit in NIC rings and propagate through the fabric), so they cannot come
+// from a reusable arena.
+//
+//lhlint:hotpath
 func BuildUDP(src, dst Endpoint, ipID uint16, payload []byte) ([]byte, error) {
 	if len(payload) > MaxUDPPayload {
-		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooBig, len(payload), MaxUDPPayload)
+		return nil, errTooBig(len(payload))
 	}
 	frameLen := HeadersLen + len(payload)
 	padded := frameLen
@@ -234,6 +268,12 @@ func BuildUDP(src, dst Endpoint, ipID uint16, payload []byte) ([]byte, error) {
 	return f, nil
 }
 
+// errTooBig keeps the fmt boxing of the oversize-payload error off
+// BuildUDP's hot path.
+func errTooBig(n int) error {
+	return fmt.Errorf("%w: %d > %d", ErrPayloadTooBig, n, MaxUDPPayload)
+}
+
 // Datagram is a fully parsed UDP-in-IPv4-in-Ethernet frame. Payload aliases
 // the frame buffer.
 type Datagram struct {
@@ -248,23 +288,36 @@ type Datagram struct {
 // compliant stack). It verifies the IP header checksum and, when present,
 // the UDP checksum.
 func ParseUDP(frame []byte) (*Datagram, error) {
-	if len(frame) < HeadersLen {
-		return nil, ErrTruncated
+	d := new(Datagram)
+	if err := ParseUDPInto(frame, d); err != nil {
+		return nil, err
 	}
-	var d Datagram
+	return d, nil
+}
+
+// ParseUDPInto parses frame into d, which the caller owns (typically a
+// reusable staging slot, so the steady-state receive path allocates
+// nothing). On error d holds whatever fields were decoded before the
+// failure. Payload aliases frame either way.
+//
+//lhlint:hotpath
+func ParseUDPInto(frame []byte, d *Datagram) error {
+	if len(frame) < HeadersLen {
+		return ErrTruncated
+	}
 	copy(d.Eth.Dst[:], frame[0:6])
 	copy(d.Eth.Src[:], frame[6:12])
 	d.Eth.EtherType = binary.BigEndian.Uint16(frame[12:14])
 	if d.Eth.EtherType != EtherTypeIPv4 {
-		return nil, ErrNotIPv4
+		return ErrNotIPv4
 	}
 
 	ip := frame[EthernetHeaderLen:]
 	if ip[0] != 0x45 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	if Checksum(ip[:IPv4HeaderLen]) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	d.IP.TOS = ip[1]
 	d.IP.TotalLen = binary.BigEndian.Uint16(ip[2:4])
@@ -275,10 +328,10 @@ func ParseUDP(frame []byte) (*Datagram, error) {
 	copy(d.IP.Src[:], ip[12:16])
 	copy(d.IP.Dst[:], ip[16:20])
 	if d.IP.Protocol != ProtoUDP {
-		return nil, ErrNotUDP
+		return ErrNotUDP
 	}
 	if int(d.IP.TotalLen) < IPv4HeaderLen+UDPHeaderLen || int(d.IP.TotalLen) > len(ip) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 
 	udp := ip[IPv4HeaderLen:d.IP.TotalLen]
@@ -287,23 +340,20 @@ func ParseUDP(frame []byte) (*Datagram, error) {
 	d.UDP.Length = binary.BigEndian.Uint16(udp[4:6])
 	d.UDP.Checksum = binary.BigEndian.Uint16(udp[6:8])
 	if int(d.UDP.Length) != len(udp) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	if d.UDP.Checksum != 0 {
-		if udpChecksum(d.IP.Src, d.IP.Dst, zeroCksum(udp)) != d.UDP.Checksum {
-			return nil, ErrBadChecksum
+		// Verify by summing with the checksum word arithmetically zeroed
+		// (offset 6), so no copy of the segment is needed.
+		cs := udpSum(d.IP.Src, d.IP.Dst, udp, 6)
+		if cs == 0 {
+			cs = 0xffff
+		}
+		if cs != d.UDP.Checksum {
+			return ErrBadChecksum
 		}
 	}
 	d.Payload = udp[UDPHeaderLen:]
 	d.Flow = Flow{SrcIP: d.IP.Src, DstIP: d.IP.Dst, SrcPort: d.UDP.SrcPort, DstPort: d.UDP.DstPort}
-	return &d, nil
-}
-
-// zeroCksum returns udp with the checksum field zeroed, copying only when
-// needed so verification doesn't mutate the caller's frame.
-func zeroCksum(udp []byte) []byte {
-	c := make([]byte, len(udp))
-	copy(c, udp)
-	c[6], c[7] = 0, 0
-	return c
+	return nil
 }

@@ -79,6 +79,20 @@ type Generator struct {
 	lastChurnAt sim.Time
 	churnEpochs uint64
 
+	// sizeFn holds each target's body-size sampler, bound to its concrete
+	// distribution at construction so the send path dispatches through a
+	// func value instead of the SizeDist itable. Nil means no body.
+	sizeFn []func(*sim.RNG) int
+
+	// Reused staging scratch: responses parse into rxScr/msgScr, request
+	// bodies and encodings build in bodyScr/reqScr (BuildUDP copies the
+	// payload into the frame), so the steady-state send/receive paths
+	// allocate only the frame itself.
+	rxScr   wire.Datagram
+	msgScr  rpc.Message
+	bodyScr []byte
+	reqScr  []byte
+
 	// Latency is the aggregate RTT histogram (picoseconds).
 	Latency *stats.Histogram
 	// PerTarget holds one histogram per target index.
@@ -120,16 +134,23 @@ func NewGenerator(s *sim.Sim, cfg Config, link *fabric.Link, side int) *Generato
 		inflight: make(map[uint64]pendingReq),
 		Latency:  stats.NewHistogram(),
 	}
-	for range cfg.Targets {
+	for _, t := range cfg.Targets {
 		g.PerTarget = append(g.PerTarget, stats.NewHistogram())
+		var fn func(*sim.RNG) int
+		if t.Size != nil {
+			fn = t.Size.Sample
+		}
+		g.sizeFn = append(g.sizeFn, fn)
 	}
 	return g
 }
 
 // DeliverFrame implements fabric.FramePort: record a response.
+//
+//lhlint:hotpath
 func (g *Generator) DeliverFrame(frame []byte) {
-	d, err := wire.ParseUDP(frame)
-	if err != nil {
+	d := &g.rxScr
+	if err := wire.ParseUDPInto(frame, d); err != nil {
 		return
 	}
 	if d.IP.Dst != g.cfg.Client.IP {
@@ -138,8 +159,8 @@ func (g *Generator) DeliverFrame(frame []byte) {
 		// (all generators number requests from 1).
 		return
 	}
-	m, err := rpc.Decode(d.Payload)
-	if err != nil || m.IsRequest() {
+	m := &g.msgScr
+	if err := rpc.DecodeInto(d.Payload, m); err != nil || m.IsRequest() {
 		return
 	}
 	p, ok := g.inflight[m.ID]
@@ -213,22 +234,29 @@ func (g *Generator) churned(rank int) int {
 func (g *Generator) ChurnEpochs() uint64 { return g.churnEpochs }
 
 // SendTo fires a request at a specific target index.
+//
+//lhlint:hotpath
 func (g *Generator) SendTo(ti int) uint64 {
 	t := g.cfg.Targets[ti]
 	size := 0
-	if t.Size != nil {
-		size = t.Size.Sample(g.rng)
+	if fn := g.sizeFn[ti]; fn != nil {
+		size = fn(g.rng)
 	}
 	if size > wire.MaxUDPPayload-rpc.HeaderLen {
 		size = wire.MaxUDPPayload - rpc.HeaderLen
 	}
-	body := make([]byte, size)
+	if cap(g.bodyScr) < size {
+		g.bodyScr = make([]byte, size)
+	}
+	body := g.bodyScr[:size]
 	for i := range body {
 		body[i] = byte(i)
 	}
 	id := g.nextID
 	g.nextID++
-	req := rpc.EncodeRequest(t.Service, t.Method, id, t.Flags, body)
+	g.reqScr = rpc.AppendMessage(g.reqScr[:0],
+		rpc.Header{Kind: rpc.KindRequest, Service: t.Service, Method: t.Method, ID: id, Flags: t.Flags}, body)
+	req := g.reqScr
 	src := g.cfg.Client
 	src.Port = 10000 + uint16(int(id)%g.cfg.Flows)
 	dst := g.cfg.Server
