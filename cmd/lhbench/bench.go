@@ -13,15 +13,19 @@ import (
 	"runtime"
 	"time"
 
+	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/experiments"
 	"lauberhorn/internal/sim"
 )
 
-// benchSchema names the current BENCH_sim.json layout. v2 records the
-// -benchreps sample count and restricts the totals to metered experiments
+// benchSchema names the current BENCH_sim.json layout. v3 adds the
+// sharding section (per-shard-count wall time and events/sec over the
+// pinned e20 universe, with speedup vs serial) and records the -shards
+// override the experiment section ran under. v2 added the -benchreps
+// sample count and restricted the totals to metered experiments
 // (events_fired > 0): analytic experiments report no simulator events and
 // would otherwise dilute the events/sec aggregate the ratchet gates on.
-const benchSchema = "lauberhorn-bench/v2"
+const benchSchema = "lauberhorn-bench/v3"
 
 // benchFile is the top-level BENCH_sim.json shape.
 type benchFile struct {
@@ -34,10 +38,33 @@ type benchFile struct {
 	Workers int `json:"workers"`
 	// Reps is the -benchreps sample count; per-experiment wall times are
 	// the minimum over Reps runs.
-	Reps        int               `json:"reps"`
+	Reps int `json:"reps"`
+	// Shards is the -shards override the experiment section ran under
+	// (0 = serial). Tables are byte-identical either way; only wall
+	// times can differ.
+	Shards      int               `json:"shards"`
 	Queue       benchQueue        `json:"queue"`
 	Experiments []benchExperiment `json:"experiments"`
 	Totals      benchTotals       `json:"totals"`
+	// Sharding times the pinned e20 universe (experiments.E20Spec) at
+	// each shard count the experiment sweeps, on this host. Results are
+	// identical across rows by construction (pinned by TestE20Claims);
+	// the rows record what the identical runs cost. Speedup is relative
+	// to the serial row and is bounded by the "cpus" field: shard
+	// workers are real goroutines, so a single-core host shows ~1.0x
+	// (window-barrier overhead included) and the >=2.5x target needs
+	// >= 4 usable cores.
+	Sharding []benchShard `json:"sharding"`
+}
+
+// benchShard is one sharding-throughput row.
+type benchShard struct {
+	Shards          int     `json:"shards"`
+	Sims            int     `json:"sims"`
+	WallMS          float64 `json:"wall_ms"`
+	EventsFired     uint64  `json:"events_fired"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
 // benchQueue is the event-queue microbenchmark section: the same two hot
@@ -118,12 +145,45 @@ func benchFanOut() (eventsPerSec float64) {
 	return float64(fired) / time.Since(start).Seconds()
 }
 
+// benchSharding times the pinned e20 universe at each shard count,
+// best-of-reps per row. The build is outside the timed region (it is
+// identical across modes); the timed region is exactly the RunMeasured
+// the e20 table pins.
+func benchSharding(reps int) []benchShard {
+	var out []benchShard
+	for _, shards := range experiments.E20ShardCounts() {
+		row := benchShard{Shards: shards}
+		for i := 0; i < reps; i++ {
+			u := cluster.Build(experiments.E20Spec(shards))
+			warm, dur := experiments.E20Window()
+			start := time.Now()
+			u.RunMeasured(warm, dur)
+			wall := time.Since(start)
+			if i == 0 || wall.Seconds()*1000 < row.WallMS {
+				row.WallMS = float64(wall.Microseconds()) / 1000
+			}
+			row.Sims = len(u.Sims)
+			row.EventsFired = u.EventsFired()
+		}
+		if row.WallMS > 0 {
+			row.EventsPerSec = float64(row.EventsFired) / (row.WallMS / 1000)
+		}
+		if serial := out; len(serial) > 0 && row.WallMS > 0 {
+			row.SpeedupVsSerial = serial[0].WallMS / row.WallMS
+		} else {
+			row.SpeedupVsSerial = 1
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
 // buildBench measures the queue microbenchmarks and renders results into
 // the BENCH_sim.json shape. Experiments that fired no simulator events
 // (the analytic tables) are listed but kept out of the totals: they would
 // add wall time with zero events and drag the aggregate events/sec the
 // ratchet gates on toward noise.
-func buildBench(workers, reps int, results []experiments.Result) benchFile {
+func buildBench(workers, reps, shards int, results []experiments.Result) benchFile {
 	f := benchFile{
 		Schema:  benchSchema,
 		Go:      runtime.Version(),
@@ -132,7 +192,9 @@ func buildBench(workers, reps int, results []experiments.Result) benchFile {
 		CPUs:    runtime.NumCPU(),
 		Workers: workers,
 		Reps:    reps,
+		Shards:  shards,
 	}
+	f.Sharding = benchSharding(reps)
 	// The queue microbenchmarks follow the same min-of-N (best-of-N for
 	// throughput) discipline as the experiment wall times: a single sample
 	// on a shared host can swing ±20% and turn the ratchet into a coin

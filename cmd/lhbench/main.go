@@ -12,6 +12,8 @@
 //	lhbench -bench fresh.json -ratchet BENCH_sim.json
 //	                               # fail if fresh throughput regressed >10%
 //	                               # against the committed baseline
+//	lhbench -run all -shards 4     # same tables, spine-leaf universes
+//	                               # partitioned across 4 shard simulators
 //
 // Experiments run on a bounded worker pool (-parallel, default
 // GOMAXPROCS) with one simulator universe per experiment, so results are
@@ -97,6 +99,8 @@ func main() {
 		"compare the fresh -bench snapshot against this committed baseline and fail on >10% aggregate events/sec regression")
 	benchReps := flag.Int("benchreps", 3,
 		"with -bench: run the experiment set N times and record min wall time per experiment (noise floor for the ratchet)")
+	shards := flag.Int("shards", 0,
+		"partition every spine-leaf experiment universe into N shards under conservative time windows (0 = serial); tables are byte-identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
 	flag.Parse()
@@ -114,6 +118,12 @@ func main() {
 		fmt.Print(listText())
 		return
 	}
+
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "lhbench: -shards must be >= 0, got %d\n", *shards)
+		os.Exit(1)
+	}
+	experiments.SetShards(*shards)
 
 	selected, err := experiments.Select(*run)
 	if err != nil {
@@ -191,7 +201,7 @@ func main() {
 				}
 			}
 		}
-		fresh := buildBench(*parallel, *benchReps, results)
+		fresh := buildBench(*parallel, *benchReps, *shards, results)
 		if err := writeBench(*benchOut, fresh); err != nil {
 			fmt.Fprintf(os.Stderr, "lhbench: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)

@@ -98,7 +98,7 @@ func TestBuildBenchExcludesUnmeteredTotals(t *testing.T) {
 		{Experiment: experiments.Experiment{ID: "e5", Title: "analytic"},
 			Wall: 900 * time.Millisecond},
 	}
-	f := buildBench(1, 2, results)
+	f := buildBench(1, 2, 0, results)
 	if f.Reps != 2 {
 		t.Errorf("reps = %d, want 2", f.Reps)
 	}

@@ -15,6 +15,7 @@ type clusterOpts struct {
 	kind        cluster.Stack
 	hosts       int // server count (= client count)
 	spines      int
+	shards      int // shard simulators (0 = serial)
 	cores       int
 	services    int // services per server
 	seed        uint64
@@ -36,6 +37,7 @@ func runCluster(o clusterOpts) {
 	sp := cluster.Spec{
 		Seed:   o.seed,
 		Fabric: cluster.FabricSpec{Spines: o.spines, LeafPorts: 4},
+		Shards: o.shards,
 	}
 	var pop *workload.Zipf
 	if o.zipf > 0 {
@@ -83,6 +85,10 @@ func runCluster(o clusterOpts) {
 	lat := u.MergedLatency()
 	fmt.Printf("stack: %s   fabric: %v   rate: %.0f rps x %d clients   window: %v\n",
 		u.Hosts[0].Label, u.Topo, o.rate, o.hosts, o.dur)
+	if u.Sharded() {
+		fmt.Printf("shards: %d simulators + hub, conservative time windows (results identical to serial)\n",
+			len(u.Sims)-1)
+	}
 	if o.flap {
 		fmt.Printf("fault: uplink leaf0:spine0 flapping (3 cycles inside the window)\n")
 	}
@@ -90,8 +96,9 @@ func runCluster(o clusterOpts) {
 		u.TotalMeasuredSent(), u.TotalMeasuredServed(), lat.Count(), u.DroppedFrames())
 	fmt.Printf("latency: %s\n", lat.Summary(float64(sim.Microsecond), "us"))
 	fmt.Printf("spine uplink frames: %v\n", u.Topo.UplinkFrames())
-	fmt.Printf("simulator: %d events fired in %v — %.1fM events/sec\n",
-		u.S.Fired(), wall.Round(time.Millisecond), float64(u.S.Fired())/wall.Seconds()/1e6)
+	fmt.Printf("simulator: %d events fired across %d sims in %v — %.1fM events/sec\n",
+		u.EventsFired(), len(u.Sims), wall.Round(time.Millisecond),
+		float64(u.EventsFired())/wall.Seconds()/1e6)
 	if o.telemetry {
 		if lh := u.Hosts[0].LH; lh != nil {
 			fmt.Printf("telemetry (srv0):\n%s", lh.NIC.TelemetryReport())

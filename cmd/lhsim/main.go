@@ -17,6 +17,12 @@
 //	lhsim -stack kernel -hosts 8 -spines 4 -rate 20000
 //	lhsim -stack lauberhorn -hosts 4 -size 4096 -flap
 //
+// -shards N partitions the cluster along its leaf boundaries into N
+// shard simulators plus a hub, synchronized by conservative time
+// windows; the printed results are byte-identical to a serial run:
+//
+//	lhsim -stack lauberhorn -hosts 16 -shards 4
+//
 // Since the stack-driver registry, "lauberhorn" is the pure cache-line
 // data path; bodies at or above 4 KiB take the §6 DMA fallback only on
 // the "hybrid" stack (previously the fallback was always armed).
@@ -78,6 +84,8 @@ func main() {
 	churn := flag.Duration("churn", 0, "rotate the hot service set at this period (0 = stable)")
 	hosts := flag.Int("hosts", 1, "server count; > 1 runs a spine-leaf cluster with as many clients")
 	spines := flag.Int("spines", 2, "spine switches of the -hosts cluster fabric")
+	shards := flag.Int("shards", 0,
+		"partition the -hosts cluster into N shard simulators under conservative time windows (0 = serial; results are byte-identical)")
 	flap := flag.Bool("flap", false, "flap uplink leaf0:spine0 during the -hosts cluster window")
 	flag.Parse()
 
@@ -98,9 +106,13 @@ func main() {
 			*stack, strings.Join(stackNames(), ", "))
 		os.Exit(1)
 	}
+	if *shards > 0 && *hosts <= 1 {
+		fmt.Fprintln(os.Stderr, "lhsim: -shards needs a -hosts cluster (sharding splits a fabric at leaf boundaries)")
+		os.Exit(1)
+	}
 	if *hosts > 1 {
 		runCluster(clusterOpts{
-			kind: kind, hosts: *hosts, spines: *spines, cores: *cores,
+			kind: kind, hosts: *hosts, spines: *spines, shards: *shards, cores: *cores,
 			services: *services, seed: *seed, rate: *rate, serviceTime: st,
 			size: sz, zipf: *zipf, flap: *flap, telemetry: *telemetry,
 			churn: sim.Time(churn.Nanoseconds()) * sim.Nanosecond,

@@ -31,6 +31,7 @@ import (
 	"lauberhorn/internal/nicdma"
 	"lauberhorn/internal/rpc"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/sim/shard"
 	"lauberhorn/internal/stackdrv"
 	_ "lauberhorn/internal/stackdrv/builtin"
 	"lauberhorn/internal/wire"
@@ -176,8 +177,15 @@ type ClientSpec struct {
 // programmed FDBs (no flooding), deterministic ECMP across spine
 // uplinks, and per-link contention.
 type FabricSpec struct {
-	// Spines > 0 builds a two-tier spine-leaf Clos with this many spines.
+	// Spines > 0 builds a two-tier spine-leaf Clos with this many spines
+	// (per pod when Cores > 0 makes it three-tier).
 	Spines int
+	// Cores > 0 grows the spine-leaf fabric a third tier: Cores core
+	// switches above per-pod spine groups. Requires Spines > 0 and
+	// PodLeaves > 0 (see fabric.TopoSpec).
+	Cores int
+	// PodLeaves is how many leaves share one pod (3-tier only).
+	PodLeaves int
 	// LeafPorts is how many machines (clients and hosts, in attach
 	// order: clients first, then hosts, each in spec order) share one
 	// leaf or ring switch. Required for multi-tier fabrics.
@@ -265,6 +273,17 @@ type Spec struct {
 	// one point-to-point link with no switch — the original rig topology.
 	// It requires exactly one host and one client.
 	Direct bool
+	// Shards > 1 partitions the universe along the fabric's leaf
+	// boundaries for parallel execution: leaf l — its switch, its
+	// machines, their access links — lives on shard Sim l mod Shards,
+	// while spines and cores stay on the hub Sim; inter-shard uplinks
+	// exchange frames through conservative-lookahead channels
+	// (internal/sim/shard). A sharded universe produces byte-identical
+	// results to Shards == 0: partitioning is an execution detail, not a
+	// model change. Requires a spine-leaf fabric with positive uplink
+	// lookahead and no InheritRNG clients; the shard count is clamped to
+	// the leaf count.
+	Shards int
 }
 
 // fabricKind names the fabric shape for stackdrv.FabricInfo.
@@ -294,6 +313,9 @@ func (sp *Spec) fabricInfo(attachIdx int) stackdrv.FabricInfo {
 		info.Leaf = attachIdx / sp.Fabric.LeafPorts
 	case "spineleaf":
 		info.Tiers = 2
+		if sp.Fabric.Cores > 0 {
+			info.Tiers = 3
+		}
 		info.Leaf = attachIdx / sp.Fabric.LeafPorts
 		info.Spines = sp.Fabric.Spines
 	}
@@ -315,19 +337,29 @@ func DeriveSeed(universe uint64, index int) uint64 {
 	return z
 }
 
-// autoHostEP returns the default endpoint for host index i.
+// maxAutoMachines is the auto-assignment capacity per machine class:
+// indices pack into two address bytes (hi = i/254, lo = i%254), and the
+// low byte skips 0 so .0 network addresses never appear.
+const maxAutoMachines = 254 * 254
+
+// autoHostEP returns the default endpoint for host index i. Indices
+// below 254 keep the historical single-byte form (MAC 2:0:0:0:1:i+1,
+// IP 10.0.1.i+1); larger clusters spill into the hi byte.
 func autoHostEP(i int) wire.Endpoint {
+	hi, lo := byte(i/254), byte(i%254)
 	return wire.Endpoint{
-		MAC: wire.MAC{2, 0, 0, 0, 1, byte(i + 1)},
-		IP:  wire.IP{10, 0, 1, byte(i + 1)},
+		MAC: wire.MAC{2, 0, 0, hi, 1, lo + 1},
+		IP:  wire.IP{10, hi, 1, lo + 1},
 	}
 }
 
-// autoClientEP returns the default endpoint for client index i.
+// autoClientEP returns the default endpoint for client index i (see
+// autoHostEP; clients use 2 where hosts use 1).
 func autoClientEP(i int) wire.Endpoint {
+	hi, lo := byte(i/254), byte(i%254)
 	return wire.Endpoint{
-		MAC: wire.MAC{2, 0, 0, 0, 2, byte(i + 1)},
-		IP:  wire.IP{10, 0, 2, byte(i + 1)},
+		MAC: wire.MAC{2, 0, 0, hi, 2, lo + 1},
+		IP:  wire.IP{10, hi, 2, lo + 1},
 	}
 }
 
@@ -341,10 +373,10 @@ func (sp *Spec) Validate() error {
 	if len(sp.Hosts) == 0 {
 		return fmt.Errorf("cluster: spec has no hosts")
 	}
-	// Auto-assignment packs machine indices into one address byte.
-	if len(sp.Hosts) > 254 || len(sp.Clients) > 254 {
-		return fmt.Errorf("cluster: at most 254 hosts and 254 clients (%d/%d given)",
-			len(sp.Hosts), len(sp.Clients))
+	// Auto-assignment packs machine indices into two address bytes.
+	if len(sp.Hosts) > maxAutoMachines || len(sp.Clients) > maxAutoMachines {
+		return fmt.Errorf("cluster: at most %d hosts and %d clients (%d/%d given)",
+			maxAutoMachines, maxAutoMachines, len(sp.Hosts), len(sp.Clients))
 	}
 	// Every machine — pinned or auto-assigned — must have a unique MAC
 	// and IP, or the switch FDB and the IP filters deliver garbage.
@@ -384,6 +416,9 @@ func (sp *Spec) Validate() error {
 			len(sp.Hosts), len(sp.Clients))
 	}
 	if err := sp.validateFabric(); err != nil {
+		return err
+	}
+	if err := sp.validateShards(); err != nil {
 		return err
 	}
 	if err := sp.validateFaults(); err != nil {
@@ -489,6 +524,16 @@ func (sp *Spec) validateFabric() error {
 	if f.LeafPorts <= 0 {
 		return fmt.Errorf("cluster: multi-tier fabric needs LeafPorts > 0")
 	}
+	if f.Cores < 0 || f.PodLeaves < 0 {
+		return fmt.Errorf("cluster: negative core tier (Cores=%d PodLeaves=%d)", f.Cores, f.PodLeaves)
+	}
+	if (f.Cores > 0) != (f.PodLeaves > 0) {
+		return fmt.Errorf("cluster: a 3-tier fabric needs both Cores and PodLeaves (got %d/%d)",
+			f.Cores, f.PodLeaves)
+	}
+	if f.Cores > 0 && f.RingSwitches > 0 {
+		return fmt.Errorf("cluster: ring fabrics have no core tier")
+	}
 	n := len(sp.Clients) + len(sp.Hosts)
 	if f.RingSwitches > 0 {
 		if f.RingSwitches < 3 {
@@ -497,6 +542,43 @@ func (sp *Spec) validateFabric() error {
 		if cap := f.RingSwitches * f.LeafPorts; n > cap {
 			return fmt.Errorf("cluster: %d machines exceed ring capacity %d (%d switches x %d ports)",
 				n, cap, f.RingSwitches, f.LeafPorts)
+		}
+	}
+	return nil
+}
+
+// validateShards checks the sharding request against the fabric and the
+// clients. Sharding partitions along leaf boundaries and synchronizes on
+// uplink lookahead, so it needs a spine-leaf fabric whose uplinks carry
+// nonzero propagation+switching delay; InheritRNG clients are banned
+// because they split the (per-shard) simulator RNG in construction
+// order, which no longer matches the serial stream.
+func (sp *Spec) validateShards() error {
+	if sp.Shards < 0 {
+		return fmt.Errorf("cluster: negative shard count %d", sp.Shards)
+	}
+	if sp.Shards <= 1 {
+		return nil
+	}
+	if sp.Fabric.Spines <= 0 {
+		return fmt.Errorf("cluster: Shards=%d needs a spine-leaf fabric (sharding splits at leaf boundaries)",
+			sp.Shards)
+	}
+	up := sp.Fabric.Uplink
+	if up.Bandwidth == 0 {
+		up = sp.Net
+		if up.Bandwidth == 0 {
+			up = fabric.Net100G
+		}
+	}
+	if up.Lookahead() <= 0 {
+		return fmt.Errorf("cluster: sharding needs positive uplink lookahead (PropDelay+SwitchDelay), got %v",
+			up.Lookahead())
+	}
+	for i := range sp.Clients {
+		if sp.Clients[i].InheritRNG {
+			return fmt.Errorf("cluster: client %q sets InheritRNG, which a sharded build cannot reproduce",
+				sp.Clients[i].Name)
 		}
 	}
 	return nil
@@ -611,6 +693,30 @@ func BuildE(sp Spec) (*Universe, error) {
 	}
 	s := sim.New(sp.Seed)
 	u := &Universe{S: s, Spec: sp, byName: make(map[string]*Host, len(sp.Hosts))}
+	u.Sims = []*sim.Sim{s}
+
+	// Sharded build: one extra Sim per shard, all seeded identically (the
+	// only sim-RNG consumer, InheritRNG, is banned under sharding, so the
+	// streams are never drawn anyway). The hub Sim u.S keeps the spines
+	// and cores; Sims lists shards first, hub last.
+	if shards := sp.effectiveShards(); shards > 0 {
+		u.shardSims = make([]*sim.Sim, shards)
+		for i := range u.shardSims {
+			u.shardSims[i] = sim.New(sp.Seed)
+		}
+		u.Sims = append(append([]*sim.Sim{}, u.shardSims...), s)
+		u.exec = shard.NewExecutor(u.Sims)
+	}
+
+	// Frame pools: one free list per Sim, armed only where unicast
+	// delivery is single-copy (wire.FramePool's ownership contract rules
+	// out the flooding learning switch).
+	if sp.Direct || sp.Fabric.multiTier() {
+		u.pools = make(map[*sim.Sim]*wire.FramePool, len(u.Sims))
+		for _, ps := range u.Sims {
+			u.pools[ps] = new(wire.FramePool)
+		}
+	}
 
 	// Phase 1: stack substrates. Constructors schedule no events and draw
 	// no randomness, so hosts can be prepared before clients exist.
@@ -624,7 +730,9 @@ func BuildE(sp Spec) (*Universe, error) {
 	// hangs off its own link whose far side is a switch port; clients
 	// claim the low port indices (and, in multi-tier fabrics, the low
 	// leaf slots).
-	if sp.Fabric.multiTier() {
+	if u.exec != nil {
+		u.Topo = fabric.NewTopologySharded(s, sp.topoSpec(net), u.leafSim, u.exec)
+	} else if sp.Fabric.multiTier() {
 		u.Topo = fabric.NewTopology(s, sp.topoSpec(net))
 	} else if !sp.Direct {
 		u.Switch = fabric.NewSwitch(s)
@@ -670,6 +778,26 @@ func (sp *Spec) topoSpec(net fabric.NetParams) fabric.TopoSpec {
 	} else {
 		ts.Kind = fabric.TopoSpineLeaf
 		ts.Spines = sp.Fabric.Spines
+		ts.Cores = sp.Fabric.Cores
+		ts.PodLeaves = sp.Fabric.PodLeaves
 	}
 	return ts
+}
+
+// effectiveShards is the shard-Sim count a build will actually use:
+// Spec.Shards clamped to the leaf count (a shard without a leaf would
+// idle), and 0 when the spec isn't sharded at all.
+func (sp *Spec) effectiveShards() int {
+	if sp.Shards <= 1 || sp.Fabric.Spines <= 0 {
+		return 0
+	}
+	n := len(sp.Clients) + len(sp.Hosts)
+	shards := sp.Shards
+	if leaves := sp.Fabric.leaves(n); shards > leaves {
+		shards = leaves
+	}
+	if shards <= 1 {
+		return 0
+	}
+	return shards
 }

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/workload"
+)
+
+// propScenarios is how many random universes the property test sweeps;
+// -short trims it to a smoke sample. Each scenario is deliberately tiny
+// (a few machines, a ~1 ms window) so a thousand of them stay inside the
+// tier-1 budget.
+const (
+	propScenarios      = 1000
+	propScenariosShort = 100
+)
+
+// propSpec draws one random spine-leaf scenario: fabric shape (two- or
+// three-tier), machine mix across all three stacks, body sizes, rates,
+// service times, and an optional fault schedule. Everything is a pure
+// function of the RNG stream, so a failing scenario index reproduces
+// exactly.
+func propSpec(rng *sim.RNG) Spec {
+	sp := Spec{
+		Seed: rng.Uint64() | 1,
+		Fabric: FabricSpec{
+			Spines:    1 + rng.Intn(3),
+			LeafPorts: 2 + rng.Intn(3),
+		},
+	}
+	if rng.Intn(10) < 3 {
+		sp.Fabric.Cores = 1 + rng.Intn(2)
+		sp.Fabric.PodLeaves = 1 + rng.Intn(2)
+	}
+	stacks := []Stack{Lauberhorn, Bypass, Kernel}
+	hosts := 1 + rng.Intn(4)
+	clients := 1 + rng.Intn(4)
+	for i := 0; i < hosts; i++ {
+		sp.Hosts = append(sp.Hosts, HostSpec{
+			Name:  fmt.Sprint("h", i),
+			Stack: stacks[rng.Intn(len(stacks))],
+			Cores: 1 + rng.Intn(2),
+			Services: []ServiceSpec{{
+				ID:   uint32(i*10 + 1),
+				Port: 9000 + uint16(i),
+				Time: sim.Time(200+rng.Intn(800)) * sim.Nanosecond,
+			}},
+		})
+	}
+	for i := 0; i < clients; i++ {
+		target := rng.Intn(hosts)
+		sp.Clients = append(sp.Clients, ClientSpec{
+			Name:     fmt.Sprint("c", i),
+			Size:     workload.FixedSize{N: 16 + rng.Intn(497)},
+			Arrivals: workload.RatePerSec(float64(10_000 + rng.Intn(30_000))),
+			Targets:  []TargetSpec{{Host: fmt.Sprint("h", target), Service: uint32(target*10 + 1)}},
+		})
+	}
+	// A third of the scenarios carry a fault: an uplink flap on a random
+	// live leaf/spine pair, or an access-link cut on a random machine.
+	if rng.Intn(3) == 0 {
+		leaves := (clients + hosts + sp.Fabric.LeafPorts - 1) / sp.Fabric.LeafPorts
+		at := sim.Time(300+rng.Intn(400)) * sim.Microsecond
+		if rng.Intn(2) == 0 {
+			sp.Faults = []FaultSpec{{
+				Kind: FaultLinkFlap,
+				Leaf: rng.Intn(leaves), Spine: rng.Intn(sp.Fabric.Spines),
+				At:      at,
+				DownFor: sim.Time(50+rng.Intn(150)) * sim.Microsecond,
+				UpFor:   sim.Time(50+rng.Intn(150)) * sim.Microsecond,
+				Cycles:  1 + rng.Intn(2),
+			}}
+		} else {
+			name := fmt.Sprint("h", rng.Intn(hosts))
+			if rng.Intn(2) == 0 {
+				name = fmt.Sprint("c", rng.Intn(clients))
+			}
+			sp.Faults = []FaultSpec{{
+				Kind: FaultLinkDown, Machine: name,
+				At: at, Duration: sim.Time(100+rng.Intn(300)) * sim.Microsecond,
+			}}
+		}
+	}
+	return sp
+}
+
+// propFingerprint runs one spec over a short window and reduces it to
+// the order-sensitive counters: per-host served, per-client
+// sent/latency percentiles (which depend on every individual RTT, not
+// just aggregates), drop and fired totals. active reports whether any
+// request completed a round trip.
+func propFingerprint(sp Spec) (fp string, active bool) {
+	u := Build(sp)
+	u.RunMeasured(200*sim.Microsecond, sim.Millisecond)
+	for _, c := range u.Clients {
+		if c.Gen.Latency.Count() > 0 {
+			active = true
+		}
+	}
+	var b strings.Builder
+	for _, h := range u.Hosts {
+		fmt.Fprintf(&b, "%s served=%d\n", h.Spec.Name, h.MeasuredServed())
+	}
+	for _, c := range u.Clients {
+		fmt.Fprintf(&b, "%s sent=%d n=%d p50=%d p99=%d\n", c.Spec.Name,
+			c.MeasuredSent(), c.Gen.Latency.Count(),
+			c.Gen.Latency.Percentile(0.5), c.Gen.Latency.Percentile(0.99))
+	}
+	fmt.Fprintf(&b, "dropped=%d fired=%d\n", u.DroppedFrames(), u.EventsFired())
+	return b.String(), active
+}
+
+// TestShardPropertyRandom is the randomized half of the determinism
+// contract: across ~1k generated spine-leaf scenarios — two- and
+// three-tier shapes, mixed stacks, random rates/sizes/faults — sharded
+// execution at 2, 4, and 8 shards (rotating per scenario) produces the
+// same fingerprint as a serial run of the identical spec.
+func TestShardPropertyRandom(t *testing.T) {
+	n := propScenarios
+	if testing.Short() {
+		n = propScenariosShort
+	}
+	rng := sim.NewRNG(0x5ead_beef)
+	shardCounts := []int{2, 4, 8}
+	active := 0
+	for i := 0; i < n; i++ {
+		sp := propSpec(rng)
+		shards := shardCounts[i%len(shardCounts)]
+		serial, completed := propFingerprint(sp)
+		sharded := sp
+		sharded.Shards = shards
+		if got, _ := propFingerprint(sharded); got != serial {
+			t.Fatalf("scenario %d (shards=%d) diverges from serial:\nspec: %+v\nserial:\n%s\nsharded:\n%s",
+				i, shards, sp, serial, got)
+		}
+		if completed {
+			active++
+		}
+	}
+	// Guard against a vacuous sweep: most scenarios must complete RPCs.
+	if active < n*3/4 {
+		t.Fatalf("only %d/%d scenarios completed round trips", active, n)
+	}
+}

@@ -9,16 +9,28 @@ import (
 	"lauberhorn/internal/kernel"
 	"lauberhorn/internal/nicdma"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/sim/shard"
 	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/stats"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
 )
 
-// Universe is a built Spec: every machine shares one simulator.
+// Universe is a built Spec. In a serial build every machine shares one
+// simulator (S); a sharded build (Spec.Shards > 1 over a spine-leaf
+// fabric) places each leaf's machines on a shard simulator and keeps the
+// spine/core hub on S, running them in lockstep conservative windows
+// through RunUntil.
 type Universe struct {
+	// S is the hub simulator: the whole universe in a serial build, the
+	// spine/core tier in a sharded one. Code that runs the universe must
+	// use Universe.RunUntil (not S.RunUntil) so sharded universes
+	// advance every shard.
 	S    *sim.Sim
 	Spec Spec
+	// Sims lists every simulator: just S when serial, shard Sims first
+	// and S (the hub) last when sharded.
+	Sims []*sim.Sim
 	// Switch is the single learning switch joining the machines (nil for
 	// Direct and for multi-tier fabrics).
 	Switch *fabric.Switch
@@ -28,7 +40,54 @@ type Universe struct {
 	Hosts   []*Host
 	Clients []*Client
 
+	shardSims []*sim.Sim
+	exec      *shard.Executor
+	// pools are the per-Sim frame free lists (nil in flooding topologies
+	// — see wire.FramePool's ownership contract).
+	pools  map[*sim.Sim]*wire.FramePool
 	byName map[string]*Host
+}
+
+// FramePool returns the frame free list of the given Sim, or nil when
+// the topology cannot arm pools.
+func (u *Universe) FramePool(s *sim.Sim) *wire.FramePool { return u.pools[s] }
+
+// Sharded reports whether the universe runs on multiple shard Sims.
+func (u *Universe) Sharded() bool { return u.exec != nil }
+
+// leafSim is the shard simulator leaf l's subtree lives on.
+func (u *Universe) leafSim(l int) *sim.Sim {
+	return u.shardSims[l%len(u.shardSims)]
+}
+
+// simFor places the machine with the given attach index (clients first,
+// then hosts) on its simulator.
+func (u *Universe) simFor(attachIdx int) *sim.Sim {
+	if u.exec == nil {
+		return u.S
+	}
+	return u.leafSim(attachIdx / u.Spec.Fabric.LeafPorts)
+}
+
+// RunUntil advances the whole universe to t: the single simulator when
+// serial, every shard in conservative lockstep windows when sharded.
+// All simulators sit exactly at t afterwards.
+func (u *Universe) RunUntil(t sim.Time) {
+	if u.exec != nil {
+		u.exec.RunUntil(t)
+		return
+	}
+	u.S.RunUntil(t)
+}
+
+// EventsFired sums fired events across every simulator — the
+// denominator-independent progress measure e20 meters speedup with.
+func (u *Universe) EventsFired() uint64 {
+	var n uint64
+	for _, s := range u.Sims {
+		n += s.Fired()
+	}
+	return n
 }
 
 // Host is one built server machine.
@@ -57,9 +116,16 @@ type Host struct {
 	// not expose one; populated via an optional-interface assertion).
 	NICDMA *nicdma.NIC
 
+	// sim is the simulator the host's whole stack lives on: the shard
+	// Sim of its leaf in a sharded universe, Universe.S otherwise.
+	sim *sim.Sim
+
 	measuredServed uint64
 	measuredEnergy float64
 }
+
+// Sim returns the simulator the host lives on.
+func (h *Host) Sim() *sim.Sim { return h.sim }
 
 // Client is one built load-generating machine.
 type Client struct {
@@ -81,6 +147,7 @@ type Client struct {
 // driver (phase 1: no links, no services, no events, no randomness).
 func newHost(u *Universe, spec *HostSpec, index int) *Host {
 	h := &Host{Spec: *spec, EP: spec.Endpoint, Label: spec.Stack.Label()}
+	h.sim = u.simFor(len(u.Spec.Clients) + index)
 	if h.EP == (wire.Endpoint{}) {
 		h.EP = autoHostEP(index)
 	}
@@ -95,7 +162,7 @@ func newHost(u *Universe, spec *HostSpec, index int) *Host {
 		svcs[i] = stackdrv.Service{ID: ss.ID, Port: ss.Port, MinWorkers: ss.MinWorkers, Desc: ss.desc()}
 	}
 	h.Inst = ent.New(stackdrv.HostParams{
-		Sim: u.S, HostName: spec.Name, Endpoint: h.EP, Cores: spec.Cores,
+		Sim: h.sim, HostName: spec.Name, Endpoint: h.EP, Cores: spec.Cores,
 		Services: svcs, NIC: spec.NIC,
 		Fabric: u.Spec.fabricInfo(len(u.Spec.Clients) + index),
 	})
@@ -122,7 +189,7 @@ func (h *Host) attachLink(u *Universe, net fabric.NetParams) {
 		h.LinkSide = 1
 		h.Link.Attach(u.Clients[0].Gen, h.Inst.FramePort())
 	case u.Topo != nil:
-		h.Link = fabric.NewLink(u.S, net)
+		h.Link = fabric.NewLink(h.sim, net)
 		h.LinkSide = 0
 		h.Leaf = u.Topo.Attach(h.EP.MAC, h.Link, h.Inst.FramePort())
 	default:
@@ -215,7 +282,7 @@ func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *
 	if c.EP == (wire.Endpoint{}) {
 		c.EP = autoClientEP(index)
 	}
-	s := u.S
+	s := u.simFor(index)
 
 	// Resolve targets: an empty list means every service on every host.
 	specTargets := spec.Targets
@@ -270,6 +337,7 @@ func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *
 		Popularity:    spec.Popularity,
 		Flows:         flows,
 		ChurnInterval: spec.ChurnInterval,
+		Frames:        u.pools[s],
 	}
 	if !spec.InheritRNG {
 		cfg.Seed = DeriveSeed(u.Spec.Seed, index)
@@ -326,28 +394,43 @@ func (u *Universe) scheduleFault(f FaultSpec) {
 		if f.Duration > 0 {
 			until = f.At + f.Duration
 		}
-		fabric.ScheduleDrain(u.S, sw, f.At, until)
+		// The switch's own simulator: a leaf switch lives on its shard's
+		// Sim in a sharded universe.
+		fabric.ScheduleDrain(sw.Sim(), sw, f.At, until)
 		return
 	}
 	var l *fabric.Link
+	interSwitch := false
 	switch {
 	case f.Machine != "":
 		l = u.AccessLink(f.Machine)
 	case u.Spec.Fabric.RingSwitches > 0:
 		l = u.Topo.RingLink(f.Leaf)
+		interSwitch = true
 	default:
 		l = u.Topo.Uplink(f.Leaf, f.Spine)
+		interSwitch = true
 	}
+	var faults []fabric.LinkFault
 	switch f.Kind {
 	case FaultLinkDown:
-		faults := []fabric.LinkFault{{At: f.At, Up: false}}
+		faults = []fabric.LinkFault{{At: f.At, Up: false}}
 		if f.Duration > 0 {
 			faults = append(faults, fabric.LinkFault{At: f.At + f.Duration, Up: true})
 		}
-		fabric.ScheduleLinkFaults(u.S, l, faults)
 	case FaultLinkFlap:
-		fabric.ScheduleLinkFaults(u.S, l, fabric.Flap(f.At, f.DownFor, f.UpFor, f.Cycles))
+		faults = fabric.Flap(f.At, f.DownFor, f.UpFor, f.Cycles)
 	}
+	if interSwitch {
+		// Inter-switch links toggle per side on each side's own Sim —
+		// serial universes use the same form so the per-shard event
+		// sequences of a sharded build match the serial ones exactly.
+		fabric.ScheduleLinkFaultsSided(l, faults)
+		return
+	}
+	// An access link lives wholly on one machine's Sim (both Sim(0) and
+	// Sim(1) name it).
+	fabric.ScheduleLinkFaults(l.Sim(0), l, faults)
 }
 
 // DroppedFrames sums every frame the universe's network lost: inside the
@@ -418,7 +501,7 @@ func (u *Universe) RunMeasured(warm, measure sim.Time) {
 	if u.StartClients() == 0 {
 		panic("cluster: RunMeasured on a universe with no open-loop clients")
 	}
-	u.S.RunUntil(warm)
+	u.RunUntil(warm)
 	hostServed0 := make([]uint64, len(u.Hosts))
 	hostEnergy0 := make([]float64, len(u.Hosts))
 	for i, h := range u.Hosts {
@@ -433,11 +516,11 @@ func (u *Universe) RunMeasured(warm, measure sim.Time) {
 			hist.Reset()
 		}
 	}
-	u.S.RunUntil(warm + measure)
+	u.RunUntil(warm + measure)
 	for _, c := range u.Clients {
 		c.Gen.Stop()
 	}
-	u.S.RunUntil(warm + measure + 20*sim.Millisecond)
+	u.RunUntil(warm + measure + 20*sim.Millisecond)
 	for i, h := range u.Hosts {
 		h.measuredServed = h.Served() - hostServed0[i]
 		h.measuredEnergy = h.Energy() - hostEnergy0[i]

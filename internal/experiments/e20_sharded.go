@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/cluster"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/stats"
+	"lauberhorn/internal/workload"
+)
+
+// e20 rig shape: 16 Lauberhorn servers and 16 clients paired one-to-one
+// across a small 3-tier Clos (8 leaves in 4 pods of 2, 2 spines per pod,
+// 2 cores), 64 B echo at 20 krps per client. Clients fill the low
+// leaves and servers the high ones, so every request crosses at least a
+// spine and usually the core tier — the partitioned links are on the
+// hot path, not decoration.
+const (
+	e20Hosts = 16
+	e20Rate  = 20_000
+)
+
+// E20ShardCounts returns the execution modes the experiment sweeps:
+// serial (0), then 2/4/8 shards — 8 equals the leaf count, one leaf per
+// shard. A fresh slice per call keeps it read-only for concurrent
+// experiments.
+func E20ShardCounts() []int { return []int{0, 2, 4, 8} }
+
+// E20Spec declares the e20 universe at a given shard count. Exported
+// because lhbench's -bench mode rebuilds exactly this universe per shard
+// count to time it: the experiment table below pins that the *results*
+// are identical, and the BENCH_sim.json sharding section records what
+// the identical runs *cost* (the one number that may legitimately differ
+// — it depends on host cores, so it stays out of stdout).
+func E20Spec(shards int) cluster.Spec {
+	sp := cluster.Spec{
+		Seed: 20,
+		Fabric: cluster.FabricSpec{
+			Spines:    2,
+			LeafPorts: 4,
+			Cores:     2,
+			PodLeaves: 2,
+		},
+		Shards: shards,
+	}
+	for i := 0; i < e20Hosts; i++ {
+		sp.Hosts = append(sp.Hosts, cluster.HostSpec{
+			Name: fmt.Sprintf("srv%d", i), Stack: cluster.Lauberhorn, Cores: 1,
+			Services: []cluster.ServiceSpec{
+				{ID: uint32(i + 1), Port: 9000 + uint16(i), Time: sim.Microsecond},
+			},
+		})
+		sp.Clients = append(sp.Clients, cluster.ClientSpec{
+			Name:     fmt.Sprintf("cli%d", i),
+			Size:     workload.FixedSize{N: fig2Body},
+			Arrivals: workload.RatePerSec(e20Rate),
+		})
+	}
+	return sp
+}
+
+// E20Window is the shared warm-up/measure window; lhbench's sharding
+// bench reuses it so the universes it times are exactly the pinned ones.
+func E20Window() (warm, dur sim.Time) { return 2 * sim.Millisecond, 10 * sim.Millisecond }
+
+// E20RunSpec builds and runs one e20 universe — the exact procedure both
+// the table below and lhbench's timing rows share.
+func E20RunSpec(m *sim.Meter, shards int) *cluster.Universe {
+	u := cluster.Build(E20Spec(shards))
+	observeAll(m, u)
+	warm, dur := E20Window()
+	u.RunMeasured(warm, dur)
+	return u
+}
+
+// E20Sharding is the sharded executor's equivalence table: the same
+// universe run serially and at 2/4/8 shards, one row per mode. Every
+// column except "shards" and "sims" must be identical down the table —
+// that *is* the result: partitioning a universe across simulators under
+// conservative time windows changes where events execute, never what
+// they compute. Wall-clock speedup is deliberately absent (it depends on
+// host core count, and stdout stays byte-identical across runs and
+// across -shards); lhbench -bench records it in BENCH_sim.json.
+func E20Sharding(m *sim.Meter) *stats.Table {
+	t := stats.NewTable("E20 — sharded execution equivalence: one universe, serial vs 2/4/8 shards (16x16 machines, 3-tier Clos)",
+		"shards", "sims", "events fired", "sent", "served", "completed", "p50 (us)", "p99 (us)", "net drops")
+
+	for _, shards := range E20ShardCounts() {
+		u := E20RunSpec(m, shards)
+		lat := u.MergedLatency()
+		p := lat.Percentiles(0.5, 0.99)
+		label := "serial"
+		if shards > 0 {
+			label = fmt.Sprint(shards)
+		}
+		t.AddRow(label, len(u.Sims), u.EventsFired(),
+			u.TotalMeasuredSent(), u.TotalMeasuredServed(), lat.Count(),
+			sim.Time(p[0]).Microseconds(),
+			sim.Time(p[1]).Microseconds(),
+			u.DroppedFrames())
+	}
+	t.AddNote("every column but shards/sims is identical by construction: same seeds, keyed inter-switch")
+	t.AddNote("delivery, and conservative windows bounded by the uplink lookahead (prop + switch delay);")
+	t.AddNote("wall-clock speedup is host-dependent and lives in BENCH_sim.json's sharding section")
+	return t
+}

@@ -72,10 +72,14 @@ func All() []Experiment {
 			Run: one(E16Cluster)},
 		{ID: "e17", Title: "Registered stacks incl. Hybrid, mixed sizes", Source: "stack registry; §6 (~4KiB fallback)",
 			Run: one(E17HybridCluster)},
-		{ID: "e18", Title: "Spine-leaf scaling under ECMP", Source: "fabric layer; §1 rack-scale fan-out",
-			Run: one(E18SpineLeaf)},
+		{ID: "e18", Title: "Spine-leaf scaling under ECMP, 2-tier + 3-tier to 1024 machines", Source: "fabric layer; §1 rack-scale fan-out",
+			Run: func(m *sim.Meter) []*stats.Table {
+				return []*stats.Table{E18SpineLeaf(m), E18ThreeTier(m)}
+			}},
 		{ID: "e19", Title: "Link-flap fault injection, tail + served", Source: "fabric layer; §1 heavy traffic",
 			Run: one(E19Faults)},
+		{ID: "e20", Title: "Sharded execution equivalence, serial vs 2/4/8 shards", Source: "shard executor; conservative lookahead windows",
+			Run: one(E20Sharding)},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/sim/shard"
 )
 
 // NetParams describes an Ethernet link between two hosts (through one
@@ -38,6 +39,15 @@ func (n NetParams) OneWay(bytes int) sim.Time {
 	return sim.PerByte(bytes, n.Bandwidth) + n.PropDelay + n.SwitchDelay
 }
 
+// Lookahead is the guaranteed minimum delay between a frame's last
+// transmitted byte and its delivery on the far side: propagation plus
+// switching. It is the conservative-window bound sharded execution uses —
+// a frame sent at instant T cannot take effect across the link before
+// T + Lookahead, whatever the serialization backlog.
+func (n NetParams) Lookahead() sim.Time {
+	return n.PropDelay + n.SwitchDelay
+}
+
 // FramePort is anything that can accept a delivered Ethernet frame — both
 // NIC models implement it.
 type FramePort interface {
@@ -57,8 +67,18 @@ type delivery struct {
 // Link is a full-duplex point-to-point Ethernet link between two ports.
 // Each direction serializes frames FIFO at the link bandwidth; a frame
 // arrives PropDelay+SwitchDelay after its last byte leaves the sender.
+//
+// A link normally lives on one Sim. An inter-switch link of a sharded
+// topology is instead split (Split): each side lives on its own shard's
+// Sim, and deliveries cross through a shard.Channel per direction rather
+// than a locally scheduled event. All serialization, drop, and counter
+// state was already per-side, so splitting changes only the scheduling
+// seam — the carrier flag becomes a per-side replica toggled by
+// identically timed events on both shards.
 type Link struct {
-	sim    *sim.Sim
+	// sims[i] is the Sim side i lives on; both entries are the same Sim
+	// unless the link has been Split across shards.
+	sims   [2]*sim.Sim
 	params NetParams
 	ports  [2]FramePort
 	// deliverTo[i] is ports[i].DeliverFrame bound once at Attach or
@@ -77,10 +97,24 @@ type Link struct {
 	// txIdle[i] is when direction i->other becomes free to start
 	// serializing the next frame.
 	txIdle [2]sim.Time
-	// down is the fault-injection carrier state: while true, frames
-	// offered to either side are dropped (frames already serialized keep
-	// their delivery events — the bits left the sender before the cut).
-	down bool
+	// down is the fault-injection carrier state, replicated per side so a
+	// split link's shards each read only their own copy: while true,
+	// frames offered to that side are dropped (frames already serialized
+	// keep their delivery events — the bits left the sender before the
+	// cut). SetUp toggles both replicas; split links toggle each side on
+	// its own shard at identical instants (SetUpSide), so the replicas
+	// never disagree at any observable point.
+	down [2]bool
+	// chanKey[i] is the keyed-delivery base for direction i->other
+	// (sim.KeyedBase | direction ID), zero on access links. Inter-switch
+	// links schedule deliveries with sim.AtKeyed using chanKey|chanSeq so
+	// serial and sharded runs merge frames at switches in the same total
+	// order; see DESIGN.md "Sharded execution".
+	chanKey [2]uint64
+	chanSeq [2]uint64
+	// xchan[i] carries direction i->other across a shard boundary; nil on
+	// unsplit links.
+	xchan [2]*shard.Channel
 	// counters
 	frames  [2]uint64
 	bytes   [2]uint64
@@ -97,11 +131,58 @@ func NewLink(s *sim.Sim, params NetParams) *Link {
 	if params.Bandwidth <= 0 {
 		panic("fabric: link bandwidth must be positive")
 	}
-	l := &Link{sim: s, params: params}
+	l := &Link{sims: [2]*sim.Sim{s, s}, params: params}
 	l.deliverFn[0] = func() { l.deliverHead(0) }
 	l.deliverFn[1] = func() { l.deliverHead(1) }
 	return l
 }
+
+// SetDeliveryKeys puts the link in keyed-delivery mode: direction i->other
+// schedules its deliveries with sim.AtKeyed(arrive, keyI|counter) instead
+// of the Sim's sequence counter. Topologies key every inter-switch link —
+// in serial and sharded builds alike, with identical bases — so the merge
+// order of frames arriving at a switch is a function of (arrival instant,
+// direction, per-direction frame ordinal), not of which Sim scheduled the
+// delivery. Bases must carry sim.KeyedBase and be unique per direction.
+func (l *Link) SetDeliveryKeys(key0, key1 uint64) {
+	if key0 < sim.KeyedBase || key1 < sim.KeyedBase {
+		panic("fabric: delivery key below sim.KeyedBase")
+	}
+	l.chanKey[0], l.chanKey[1] = key0, key1
+}
+
+// Split moves side 1 of a keyed link onto its own shard Sim: each
+// direction's deliveries cross through a shard.Channel registered with
+// the executor, carrying the same (base, counter) keys a serial build
+// would assign. Call after SetDeliveryKeys and before any traffic.
+func (l *Link) Split(s1 *sim.Sim, x *shard.Executor) {
+	if l.chanKey[0] == 0 || l.chanKey[1] == 0 {
+		panic("fabric: Split before SetDeliveryKeys")
+	}
+	if l.frames[0]|l.frames[1] != 0 {
+		panic("fabric: Split after traffic")
+	}
+	l.sims[1] = s1
+	la := l.params.Lookahead()
+	// The channel looks up deliverTo at delivery time (not send time):
+	// inter-switch links never see ReplacePort, so the distinction from
+	// the serial capture-at-send contract is unobservable.
+	l.xchan[0] = shard.NewChannel(l.chanKey[0], la, s1, func(f []byte) { l.deliverTo[1](f) })
+	l.xchan[1] = shard.NewChannel(l.chanKey[1], la, l.sims[0], func(f []byte) { l.deliverTo[0](f) })
+	x.AddChannel(l.xchan[0])
+	x.AddChannel(l.xchan[1])
+}
+
+// Sim returns the Sim the given side lives on.
+func (l *Link) Sim(side int) *sim.Sim {
+	if side != 0 && side != 1 {
+		panicBadSide(side)
+	}
+	return l.sims[side]
+}
+
+// IsSplit reports whether the link's sides live on different Sims.
+func (l *Link) IsSplit() bool { return l.sims[0] != l.sims[1] }
 
 // Attach connects the two endpoints. Index 0 and 1 identify the sides for
 // Send.
@@ -144,8 +225,8 @@ func (l *Link) Send(from int, frame []byte) {
 	if l.ports[1-from] == nil {
 		panic("fabric: link not attached")
 	}
-	now := l.sim.Now()
-	if l.down {
+	now := l.sims[from].Now()
+	if l.down[from] {
 		l.dropped[from]++
 		return
 	}
@@ -166,8 +247,19 @@ func (l *Link) Send(from int, frame []byte) {
 	l.frames[from]++
 	l.bytes[from] += uint64(len(frame))
 	arrive := txEnd + l.params.PropDelay + l.params.SwitchDelay
+	if c := l.xchan[from]; c != nil {
+		// Split direction: the frame crosses a shard boundary; the channel
+		// assigns the same key a serial keyed link would.
+		c.Send(arrive, frame)
+		return
+	}
 	l.inflight[from] = append(l.inflight[from], delivery{deliver: l.deliverTo[1-from], frame: frame})
-	l.sim.At(arrive, "link-deliver", l.deliverFn[from])
+	if k := l.chanKey[from]; k != 0 {
+		l.sims[from].AtKeyed(arrive, k|l.chanSeq[from], "link-deliver", l.deliverFn[from])
+		l.chanSeq[from]++
+		return
+	}
+	l.sims[from].At(arrive, "link-deliver", l.deliverFn[from])
 }
 
 // deliverHead hands the oldest in-flight frame of one direction to the
@@ -203,12 +295,36 @@ func (l *Link) Stats(from int) (frames, bytes uint64) {
 	return l.frames[from], l.bytes[from]
 }
 
-// SetUp flips the link's carrier state (fault injection). Taking a link
-// down does not cancel deliveries already serialized onto the wire.
-func (l *Link) SetUp(up bool) { l.down = !up }
+// SetUp flips the link's carrier state on both sides (fault injection).
+// Taking a link down does not cancel deliveries already serialized onto
+// the wire. Only valid on unsplit links, where both replicas live on one
+// Sim; split links use SetUpSide from each shard.
+func (l *Link) SetUp(up bool) {
+	if l.IsSplit() {
+		panic("fabric: SetUp on a split link; use SetUpSide per shard")
+	}
+	l.down[0], l.down[1] = !up, !up
+}
 
-// Up reports whether the link currently has carrier.
-func (l *Link) Up() bool { return !l.down }
+// SetUpSide flips one side's carrier replica. Split links schedule this
+// on each side's own Sim at the same instant, keeping the replicas
+// observationally identical without a cross-shard read.
+func (l *Link) SetUpSide(side int, up bool) {
+	if side != 0 && side != 1 {
+		panicBadSide(side)
+	}
+	l.down[side] = !up
+}
+
+// Up reports whether the link currently has carrier. On a split link this
+// reads both replicas and is only safe between runs; in-simulation
+// callers on split links must use UpSide.
+func (l *Link) Up() bool { return !l.down[0] && !l.down[1] }
+
+// UpSide reports one side's carrier replica — the side-local read a
+// switch uses for ECMP liveness so a split link is never read across the
+// shard boundary.
+func (l *Link) UpSide(side int) bool { return !l.down[side] }
 
 // Dropped reports frames dropped on the given side — offered while the
 // link was down or while the transmit queue was full.

@@ -29,6 +29,13 @@ type Switch struct {
 	ecmpSeed uint64
 	routed   bool
 	draining bool
+	// groups are named ECMP port groups for destinations reachable over
+	// several equal paths below this switch — a 3-tier core spreads each
+	// MAC across the destination pod's spines this way. groupOf maps a
+	// MAC to its group; it wins over the uplink group but loses to an
+	// exact fdb entry.
+	groups  [][]int
+	groupOf map[wire.MAC]int
 	// trunk marks inter-switch ports. Broadcast floods never leave a
 	// trunk port: with static FDBs a broadcast has no routing job to do,
 	// and flooding it across redundant uplinks (or around a ring) would
@@ -83,6 +90,10 @@ func (sw *Switch) AttachPort(l *Link, side int) *SwitchPort {
 	return p
 }
 
+// Sim returns the simulator the switch lives on — the shard Sim for a
+// sharded topology's leaves, the hub Sim for everything else.
+func (sw *Switch) Sim() *sim.Sim { return sw.sim }
+
 // NumPorts returns the number of attached ports.
 func (sw *Switch) NumPorts() int { return len(sw.ports) }
 
@@ -122,6 +133,35 @@ func (sw *Switch) SetUplinks(ports []int, seed uint64) {
 	for _, p := range ports {
 		sw.MarkTrunk(p)
 	}
+}
+
+// AddGroup registers an ECMP port group and returns its index. Groups on
+// one switch are appended in call order, so a topology that creates them
+// in a deterministic order gets deterministic indices.
+func (sw *Switch) AddGroup(ports []int) int {
+	for _, p := range ports {
+		if p < 0 || p >= len(sw.ports) {
+			panic(fmt.Sprintf("fabric: group port %d of %d", p, len(sw.ports)))
+		}
+		sw.MarkTrunk(p)
+	}
+	sw.groups = append(sw.groups, append([]int(nil), ports...))
+	sw.routed = true
+	return len(sw.groups) - 1
+}
+
+// LearnGroup programs mac -> ECMP group: frames for mac hash across the
+// group's live ports. An exact Learn entry for the same MAC takes
+// precedence. Marks the switch routed.
+func (sw *Switch) LearnGroup(mac wire.MAC, group int) {
+	if group < 0 || group >= len(sw.groups) {
+		panic(fmt.Sprintf("fabric: LearnGroup group %d of %d", group, len(sw.groups)))
+	}
+	if sw.groupOf == nil {
+		sw.groupOf = make(map[wire.MAC]int)
+	}
+	sw.groupOf[mac] = group
+	sw.routed = true
 }
 
 // MarkTrunk excludes a port from broadcast flooding (see the trunk field;
@@ -190,11 +230,18 @@ func ecmpWeight(h uint64, port int) uint64 {
 // had, and returns when the link recovers. It returns -1 when no uplink
 // is usable.
 func (sw *Switch) ecmpPick(fromPort int, frame []byte) int {
+	return sw.ecmpPickIn(sw.uplinks, fromPort, frame)
+}
+
+// ecmpPickIn is ecmpPick over an explicit port group. Liveness is the
+// port's own link side — on a split link that is the side-local carrier
+// replica, so path selection never reads across a shard boundary.
+func (sw *Switch) ecmpPickIn(group []int, fromPort int, frame []byte) int {
 	h := sw.flowHash(frame)
 	best := -1
 	var bestW uint64
-	for _, p := range sw.uplinks {
-		if p == fromPort || !sw.ports[p].link.Up() {
+	for _, p := range group {
+		if p == fromPort || !sw.ports[p].link.UpSide(sw.ports[p].side) {
 			continue
 		}
 		if w := ecmpWeight(h, p); best < 0 || w > bestW {
@@ -230,8 +277,14 @@ func (sw *Switch) ingress(fromPort int, frame []byte) {
 		return
 	}
 	if sw.routed && dst != wire.BroadcastMAC {
-		// Unknown unicast on a routed switch: hash onto an uplink.
-		out := sw.ecmpPick(fromPort, frame)
+		// Group-routed destination (3-tier core): hash across the
+		// destination's equal-cost group; fall back to the uplink group
+		// for anything else.
+		group := sw.uplinks
+		if g, ok := sw.groupOf[dst]; ok {
+			group = sw.groups[g]
+		}
+		out := sw.ecmpPickIn(group, fromPort, frame)
 		if out < 0 {
 			sw.Dropped++
 			return

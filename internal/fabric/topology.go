@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/sim/shard"
 	"lauberhorn/internal/wire"
 )
 
@@ -28,13 +29,24 @@ const (
 // TopoSpec declares a multi-switch fabric.
 type TopoSpec struct {
 	Kind TopoKind
-	// Spines is the number of spine switches (TopoSpineLeaf).
+	// Spines is the number of spine switches — total for a two-tier
+	// spine-leaf fabric, per pod when Cores > 0 makes it three-tier.
 	Spines int
 	// LeafPorts is how many machines attach to one leaf (or one ring
 	// switch) before the next is used.
 	LeafPorts int
 	// Switches is the ring size K (TopoRing, K >= 3).
 	Switches int
+	// Cores > 0 grows the spine-leaf fabric a third tier: Cores core
+	// switches above the spines. Leaves then group into pods of PodLeaves
+	// leaves, each pod with its own Spines spine switches; every spine
+	// uplinks to every core. ECMP runs at both tiers — leaves hash across
+	// their pod's spines, spines hash across the cores — and each core
+	// spreads traffic for a destination across that destination pod's
+	// spines (an ECMP group per pod).
+	Cores int
+	// PodLeaves is how many leaves share one pod (3-tier only).
+	PodLeaves int
 	// Uplink parameterizes the inter-switch links.
 	Uplink NetParams
 	// ECMPSeed salts every switch's flow hash. Path selection is a pure
@@ -45,6 +57,9 @@ type TopoSpec struct {
 	ECMPSeed uint64
 }
 
+// ThreeTier reports whether the spec describes a core/spine/leaf Clos.
+func (ts TopoSpec) ThreeTier() bool { return ts.Cores > 0 }
+
 // Validate rejects malformed specs with a descriptive error.
 func (ts TopoSpec) Validate() error {
 	if ts.LeafPorts <= 0 {
@@ -53,14 +68,29 @@ func (ts TopoSpec) Validate() error {
 	if ts.Uplink.Bandwidth <= 0 {
 		return fmt.Errorf("fabric: topology needs uplink bandwidth")
 	}
+	if ts.Cores < 0 {
+		return fmt.Errorf("fabric: negative core count %d", ts.Cores)
+	}
+	if ts.PodLeaves < 0 {
+		return fmt.Errorf("fabric: negative PodLeaves %d", ts.PodLeaves)
+	}
 	switch ts.Kind {
 	case TopoSpineLeaf:
 		if ts.Spines <= 0 {
 			return fmt.Errorf("fabric: spine-leaf needs Spines > 0, got %d", ts.Spines)
 		}
+		if ts.Cores > 0 && ts.PodLeaves <= 0 {
+			return fmt.Errorf("fabric: 3-tier Clos needs PodLeaves > 0, got %d", ts.PodLeaves)
+		}
+		if ts.Cores == 0 && ts.PodLeaves > 0 {
+			return fmt.Errorf("fabric: PodLeaves without Cores — set Cores > 0 for a 3-tier Clos")
+		}
 	case TopoRing:
 		if ts.Switches < 3 {
 			return fmt.Errorf("fabric: ring needs >= 3 switches, got %d", ts.Switches)
+		}
+		if ts.Cores > 0 || ts.PodLeaves > 0 {
+			return fmt.Errorf("fabric: ring topologies have no core tier")
 		}
 	default:
 		return fmt.Errorf("fabric: unknown topology kind %d", int(ts.Kind))
@@ -76,15 +106,33 @@ type Topology struct {
 	Spec TopoSpec
 	// Leaves are the access switches (ring: the ring switches).
 	Leaves []*Switch
-	// Spines are the spine switches (empty for rings).
+	// Spines are the spine switches (empty for rings). In a 3-tier Clos
+	// they are flattened per pod: pod p's spines are
+	// Spines[p*Spec.Spines : (p+1)*Spec.Spines].
 	Spines []*Switch
+	// Cores are the core switches of a 3-tier Clos.
+	Cores []*Switch
 
-	s *sim.Sim
-	// uplinks[l][sp] is the leaf l <-> spine sp link (leaf on side 0).
+	// s is the hub Sim: spines, cores, and ring switches always live
+	// here. In a serial build the leaves do too; a sharded build places
+	// leaf l (and the leaf side of its uplinks) on leafSim(l).
+	s       *sim.Sim
+	leafSim func(int) *sim.Sim
+	exec    *shard.Executor
+	// nextDir numbers inter-switch link directions; each link's two
+	// delivery-key bases derive from it, identically in serial and
+	// sharded builds (creation order is attach order either way).
+	nextDir uint64
+	// uplinks[l][sp] is the leaf l <-> spine sp link (leaf on side 0);
+	// sp indexes the leaf's pod's spines in a 3-tier fabric.
 	uplinks [][]*Link
+	// coreLinks[g][c] is global spine g <-> core c (spine on side 0).
+	coreLinks [][]*Link
+	// corePort[g][c] is spine g's port index on core c.
+	corePort [][]int
 	// ringLinks[i] joins ring switch i (side 0) to switch (i+1)%K.
 	ringLinks []*Link
-	// spinePort[l][sp] is leaf l's port index on spine sp.
+	// spinePort[l][sp] is leaf l's port index on (pod-local) spine sp.
 	spinePort [][]int
 	// ringNext/ringPrev are each ring switch's trunk port indices.
 	ringNext, ringPrev []int
@@ -92,17 +140,72 @@ type Topology struct {
 	macs               []wire.MAC
 }
 
+// dirShift positions the direction ID above the 40-bit per-direction
+// frame counter inside a delivery key: KeyedBase | dir<<dirShift | seq.
+const dirShift = 40
+
+// interLink creates one keyed inter-switch link with side 0 on s0. The
+// two direction IDs come off the topology-wide counter, so a serial and
+// a sharded build of the same spec assign identical keys to identical
+// links.
+func (t *Topology) interLink(s0 *sim.Sim) *Link {
+	l := NewLink(s0, t.Spec.Uplink)
+	l.SetDeliveryKeys(sim.KeyedBase|t.nextDir<<dirShift, sim.KeyedBase|(t.nextDir+1)<<dirShift)
+	t.nextDir += 2
+	return l
+}
+
+// simForLeaf is the Sim leaf l's switch (and the leaf side of its
+// uplinks) lives on.
+func (t *Topology) simForLeaf(l int) *sim.Sim {
+	if t.leafSim == nil {
+		return t.s
+	}
+	return t.leafSim(l)
+}
+
 // NewTopology builds the switch tiers and inter-switch links. Ring
 // fabrics are wired completely up front; spine-leaf fabrics create
 // leaves (and their uplinks) on demand as machines attach, so the leaf
 // count is ceil(machines / LeafPorts).
 func NewTopology(s *sim.Sim, spec TopoSpec) *Topology {
+	return newTopology(s, spec, nil, nil)
+}
+
+// NewTopologySharded builds a spine-leaf fabric partitioned for sharded
+// execution: leaf l's switch and the leaf side of its uplinks live on
+// leafSim(l); spines and cores live on the hub Sim. Every uplink whose
+// leaf Sim differs from the hub is split, its two direction channels
+// registered with x. Link-creation order is identical to a serial build
+// of the same spec, so delivery keys — and therefore merge order — are
+// identical too.
+func NewTopologySharded(hub *sim.Sim, spec TopoSpec, leafSim func(leaf int) *sim.Sim, x *shard.Executor) *Topology {
+	if spec.Kind != TopoSpineLeaf {
+		panic("fabric: sharded build requires a spine-leaf topology")
+	}
+	if spec.Uplink.Lookahead() <= 0 {
+		panic("fabric: sharded build requires positive uplink lookahead")
+	}
+	if leafSim == nil || x == nil {
+		panic("fabric: sharded build needs a leaf Sim map and an executor")
+	}
+	return newTopology(hub, spec, leafSim, x)
+}
+
+func newTopology(s *sim.Sim, spec TopoSpec, leafSim func(int) *sim.Sim, x *shard.Executor) *Topology {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	t := &Topology{Spec: spec, s: s}
+	t := &Topology{Spec: spec, s: s, leafSim: leafSim, exec: x}
 	switch spec.Kind {
 	case TopoSpineLeaf:
+		if spec.ThreeTier() {
+			// Cores up front; each pod's spines appear with its first leaf.
+			for i := 0; i < spec.Cores; i++ {
+				t.Cores = append(t.Cores, NewSwitch(s))
+			}
+			break
+		}
 		for i := 0; i < spec.Spines; i++ {
 			t.Spines = append(t.Spines, NewSwitch(s))
 		}
@@ -116,7 +219,7 @@ func NewTopology(s *sim.Sim, spec TopoSpec) *Topology {
 		// Segment i joins switch i to i+1: port 0 on each switch is
 		// "next", port 1 is "prev" (both trunks).
 		for i := 0; i < k; i++ {
-			t.ringLinks = append(t.ringLinks, NewLink(s, spec.Uplink))
+			t.ringLinks = append(t.ringLinks, t.interLink(s))
 		}
 		for i := 0; i < k; i++ {
 			next := t.Leaves[i].AttachPort(t.ringLinks[i], 0)
@@ -134,23 +237,75 @@ func NewTopology(s *sim.Sim, spec TopoSpec) *Topology {
 	return t
 }
 
-// newLeaf appends a spine-leaf access switch with one uplink per spine,
+// ensurePod creates pods 0..p: each pod's Spines spine switches on the
+// hub Sim, each spine with one keyed uplink per core and an ECMP group
+// over those uplinks, and on every core an ECMP group over the pod's
+// spine downlinks. Pods appear in order (leaves fill sequentially), so
+// pod p's group index on every core is exactly p.
+func (t *Topology) ensurePod(p int) {
+	for pod := len(t.Spines) / t.Spec.Spines; pod <= p; pod++ {
+		start := len(t.Spines)
+		for s := 0; s < t.Spec.Spines; s++ {
+			g := len(t.Spines) // global spine index
+			spine := NewSwitch(t.s)
+			t.Spines = append(t.Spines, spine)
+			links := make([]*Link, t.Spec.Cores)
+			cports := make([]int, t.Spec.Cores)
+			var up []int
+			for c := 0; c < t.Spec.Cores; c++ {
+				// Spine and core both live on the hub Sim, so these keyed
+				// links are never split.
+				link := t.interLink(t.s)
+				links[c] = link
+				u := spine.AttachPort(link, 0)
+				d := t.Cores[c].AttachPort(link, 1)
+				link.Attach(u, d)
+				up = append(up, u.idx)
+				cports[c] = d.idx
+			}
+			spine.SetUplinks(up, t.Spec.ECMPSeed+(uint64(g)+1<<32)*0x9e3779b97f4a7c15)
+			t.coreLinks = append(t.coreLinks, links)
+			t.corePort = append(t.corePort, cports)
+		}
+		for c, core := range t.Cores {
+			ports := make([]int, t.Spec.Spines)
+			for s := 0; s < t.Spec.Spines; s++ {
+				ports[s] = t.corePort[start+s][c]
+			}
+			core.AddGroup(ports)
+		}
+	}
+}
+
+// newLeaf appends an access switch with one uplink per (pod) spine,
 // registering the ECMP group on the leaf and the leaf's port on every
-// spine.
+// spine. In a sharded build the leaf lives on its shard's Sim and each
+// uplink is split at the leaf/hub boundary.
 func (t *Topology) newLeaf() *Switch {
-	leaf := NewSwitch(t.s)
 	l := len(t.Leaves)
+	ls := t.simForLeaf(l)
+	leaf := NewSwitch(ls)
 	t.Leaves = append(t.Leaves, leaf)
+	podBase := 0
+	if t.Spec.ThreeTier() {
+		pod := l / t.Spec.PodLeaves
+		t.ensurePod(pod)
+		podBase = pod * t.Spec.Spines
+	}
 	links := make([]*Link, t.Spec.Spines)
 	sports := make([]int, t.Spec.Spines)
 	var group []int
 	for sp := 0; sp < t.Spec.Spines; sp++ {
-		link := NewLink(t.s, t.Spec.Uplink)
+		link := t.interLink(ls)
+		if ls != t.s {
+			link.Split(t.s, t.exec)
+		}
 		links[sp] = link
+		spine := t.Spines[podBase+sp]
 		up := leaf.AttachPort(link, 0)
-		down := t.Spines[sp].AttachPort(link, 1)
+		down := spine.AttachPort(link, 1)
 		link.Attach(up, down)
-		t.Spines[sp].MarkTrunk(down.idx)
+		spine.MarkTrunk(down.idx)
 		sports[sp] = down.idx
 		group = append(group, up.idx)
 	}
@@ -199,6 +354,19 @@ func (t *Topology) route(mac wire.MAC, leafIdx, accessPort int) {
 	t.Leaves[leafIdx].Learn(mac, accessPort)
 	switch t.Spec.Kind {
 	case TopoSpineLeaf:
+		if t.Spec.ThreeTier() {
+			// Only the destination pod's spines know the machine; every
+			// core spreads it across that pod's spines (group index ==
+			// pod, see ensurePod); other pods' switches ECMP upward.
+			pod := leafIdx / t.Spec.PodLeaves
+			for sp := 0; sp < t.Spec.Spines; sp++ {
+				t.Spines[pod*t.Spec.Spines+sp].Learn(mac, t.spinePort[leafIdx][sp])
+			}
+			for _, core := range t.Cores {
+				core.LearnGroup(mac, pod)
+			}
+			break
+		}
 		// Every spine knows which leaf the machine is behind; other
 		// leaves ECMP unknown destinations upward, so they need nothing.
 		for sp, spine := range t.Spines {
@@ -235,6 +403,58 @@ func (t *Topology) Uplink(leaf, spine int) *Link {
 	return t.uplinks[leaf][spine]
 }
 
+// CoreLink returns the link between global spine g and core c of a
+// 3-tier Clos.
+func (t *Topology) CoreLink(g, c int) *Link {
+	if !t.Spec.ThreeTier() {
+		panic("fabric: CoreLink on a non-3-tier topology")
+	}
+	if g < 0 || g >= len(t.coreLinks) || c < 0 || c >= t.Spec.Cores {
+		panic(fmt.Sprintf("fabric: no core link spine%d:core%d (%d spines, %d cores)",
+			g, c, len(t.coreLinks), t.Spec.Cores))
+	}
+	return t.coreLinks[g][c]
+}
+
+// Pods reports how many pods a 3-tier fabric has instantiated (zero on
+// two-tier and ring fabrics).
+func (t *Topology) Pods() int {
+	if t.Spec.Spines == 0 {
+		return 0
+	}
+	if !t.Spec.ThreeTier() {
+		return 0
+	}
+	return len(t.Spines) / t.Spec.Spines
+}
+
+// LookaheadBound returns the minimum lookahead (propagation + switching
+// delay) across every instantiated inter-switch link — the conservative
+// window width sharded execution may safely use. It returns sim.Never if
+// no inter-switch link exists yet.
+func (t *Topology) LookaheadBound() sim.Time {
+	bound := sim.Never
+	visit := func(l *Link) {
+		if la := l.params.Lookahead(); la < bound {
+			bound = la
+		}
+	}
+	for _, row := range t.uplinks {
+		for _, l := range row {
+			visit(l)
+		}
+	}
+	for _, row := range t.coreLinks {
+		for _, l := range row {
+			visit(l)
+		}
+	}
+	for _, l := range t.ringLinks {
+		visit(l)
+	}
+	return bound
+}
+
 // RingLink returns ring segment i (joining switch i to i+1 mod K).
 func (t *Topology) RingLink(i int) *Link {
 	if t.Spec.Kind != TopoRing {
@@ -260,7 +480,15 @@ func (t *Topology) Dropped() uint64 {
 	for _, sw := range t.Spines {
 		n += sw.Dropped
 	}
+	for _, sw := range t.Cores {
+		n += sw.Dropped
+	}
 	for _, row := range t.uplinks {
+		for _, l := range row {
+			n += l.DroppedTotal()
+		}
+	}
+	for _, row := range t.coreLinks {
 		for _, l := range row {
 			n += l.DroppedTotal()
 		}
@@ -276,11 +504,18 @@ func (t *Topology) Dropped() uint64 {
 // experiment prints to show ECMP spread.
 func (t *Topology) UplinkFrames() []uint64 {
 	out := make([]uint64, len(t.Spines))
-	for _, row := range t.uplinks {
+	for leafIdx, row := range t.uplinks {
+		// A leaf's uplink row is indexed by its pod-local spine; on a
+		// 3-tier fabric that maps to the pod's slice of the global spine
+		// list.
+		base := 0
+		if t.Spec.ThreeTier() {
+			base = (leafIdx / t.Spec.PodLeaves) * t.Spec.Spines
+		}
 		for sp, l := range row {
 			f0, _ := l.Stats(0)
 			f1, _ := l.Stats(1)
-			out[sp] += f0 + f1
+			out[base+sp] += f0 + f1
 		}
 	}
 	return out
@@ -288,9 +523,12 @@ func (t *Topology) UplinkFrames() []uint64 {
 
 // String summarizes the fabric shape.
 func (t *Topology) String() string {
-	switch t.Spec.Kind {
-	case TopoRing:
+	switch {
+	case t.Spec.Kind == TopoRing:
 		return fmt.Sprintf("ring{switches=%d machines=%d}", t.Spec.Switches, t.attached)
+	case t.Spec.ThreeTier():
+		return fmt.Sprintf("clos3{leaves=%d pods=%d spines=%d cores=%d machines=%d}",
+			len(t.Leaves), t.Pods(), len(t.Spines), len(t.Cores), t.attached)
 	default:
 		return fmt.Sprintf("spineleaf{leaves=%d spines=%d machines=%d}",
 			len(t.Leaves), len(t.Spines), t.attached)

@@ -88,6 +88,28 @@ func TestHotPathFixture(t *testing.T) {
 	testFixture(t, "hotpath", "lauberhorn/internal/sim")
 }
 
+// TestGoroutineSanctioned is the golden fixture for the sanctioned-package
+// list: the same go-statement-and-WaitGroup fixture that fails under
+// internal/fabric must be completely silent when analyzed as the shard
+// executor package (or the Runner), because those packages are on the
+// analyzer's explicit allow list — not because of any //lhlint:allow
+// annotation in the source.
+func TestGoroutineSanctioned(t *testing.T) {
+	fset, pkg, err := lint.LoadDir(filepath.Join("testdata", "src", "goroutine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asPath := range []string{
+		"lauberhorn/internal/sim/shard",
+		"lauberhorn/internal/experiments",
+	} {
+		diags := lint.RunPackage(fset, pkg, asPath, []*lint.Analyzer{lint.Goroutine})
+		if len(diags) != 0 {
+			t.Errorf("goroutine fired inside sanctioned package %s: %v", asPath, diags)
+		}
+	}
+}
+
 // TestDetMapScoping double-checks the path scoping: the same map-ranging
 // fixture is silent when analyzed under a package outside the
 // determinism-critical set.

@@ -6,19 +6,33 @@ import (
 	"strings"
 )
 
-// Goroutine confines concurrency to the experiment Runner and the
-// command-line harnesses. Model code is single-threaded by contract —
-// distinct Sim instances on distinct goroutines share nothing — and
-// ROADMAP item 1 (intra-universe sharding) depends on that staying true:
-// when a sharding layer lands, internal/experiments must be the only
-// place a goroutine can start. go statements and sync primitives
-// anywhere else in internal/ are therefore rejected outright.
+// goroutineSanctioned lists the packages allowed to start goroutines and
+// touch sync primitives. Model code is single-threaded by contract —
+// distinct Sim instances on distinct goroutines share nothing — so
+// concurrency is confined to an explicit sanctioned set rather than
+// waived per-site with //lhlint:allow: a new concurrent package is a
+// design decision and must be added here, in review, not annotated away
+// at the call site.
+//
+//   - internal/experiments: the Runner fans experiment processes out
+//     across worker goroutines; each owns a whole universe.
+//   - internal/sim/shard: the conservative-window executor runs one
+//     worker goroutine per shard Sim, synchronized purely by channel
+//     happens-before at window barriers.
+var goroutineSanctioned = map[string]bool{
+	"lauberhorn/internal/experiments": true,
+	"lauberhorn/internal/sim/shard":   true,
+}
+
+// Goroutine confines concurrency to the sanctioned packages above plus
+// the command-line harnesses. go statements and sync primitives anywhere
+// else in internal/ are rejected outright.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "forbids go statements and sync primitives outside the Runner and cmd/",
+	Doc:  "forbids go statements and sync primitives outside sanctioned packages and cmd/",
 	Applies: func(pkgPath string) bool {
 		return strings.HasPrefix(pkgPath, "lauberhorn/internal/") &&
-			pkgPath != "lauberhorn/internal/experiments"
+			!goroutineSanctioned[pkgPath]
 	},
 	Run: runGoroutine,
 }
@@ -29,7 +43,7 @@ func runGoroutine(p *Pass) {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				p.Reportf(n.Pos(),
-					"go statement outside internal/experiments and cmd/: model code is single-threaded by contract")
+					"go statement outside sanctioned packages and cmd/: model code is single-threaded by contract")
 			case *ast.Ident:
 				obj := p.Pkg.Info.Uses[n]
 				if obj == nil || obj.Pkg() == nil {
@@ -47,7 +61,7 @@ func runGoroutine(p *Pass) {
 					}
 				}
 				p.Reportf(n.Pos(),
-					"%s.%s outside internal/experiments and cmd/: concurrency is confined to the Runner (future sharding enters there)",
+					"%s.%s outside sanctioned packages and cmd/: concurrency is confined to the Runner and the shard executor",
 					pkgPath, obj.Name())
 			}
 			return true

@@ -223,22 +223,26 @@ type Endpoint struct {
 
 // BuildUDP assembles a complete Ethernet/IPv4/UDP frame carrying payload
 // from src to dst, computing both checksums. The payload must fit the MTU.
-// The returned frame is freshly allocated: frames outlive the builder (they
-// sit in NIC rings and propagate through the fabric), so they cannot come
-// from a reusable arena.
+// The returned frame is freshly allocated and owned by the caller; it
+// outlives the builder (frames sit in NIC rings and propagate through
+// the fabric) until a terminal consumer drops it. FramePool.BuildUDP is
+// the recycling variant for paths with a provable terminal consumer.
 //
 //lhlint:hotpath
 func BuildUDP(src, dst Endpoint, ipID uint16, payload []byte) ([]byte, error) {
 	if len(payload) > MaxUDPPayload {
 		return nil, errTooBig(len(payload))
 	}
-	frameLen := HeadersLen + len(payload)
-	padded := frameLen
-	if padded < MinFrameLen {
-		padded = MinFrameLen
-	}
-	f := make([]byte, padded)
+	f := make([]byte, paddedLen(len(payload)))
+	fillUDP(f, src, dst, ipID, payload)
+	return f, nil
+}
 
+// fillUDP writes the frame into f, which must be zeroed and exactly
+// paddedLen(len(payload)) long.
+//
+//lhlint:hotpath
+func fillUDP(f []byte, src, dst Endpoint, ipID uint16, payload []byte) {
 	// Ethernet.
 	copy(f[0:6], dst.MAC[:])
 	copy(f[6:12], src.MAC[:])
@@ -264,8 +268,6 @@ func BuildUDP(src, dst Endpoint, ipID uint16, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
 	copy(udp[UDPHeaderLen:], payload)
 	binary.BigEndian.PutUint16(udp[6:8], udpChecksum(src.IP, dst.IP, udp[:udpLen]))
-
-	return f, nil
 }
 
 // errTooBig keeps the fmt boxing of the oversize-payload error off

@@ -58,6 +58,14 @@ type Config struct {
 	// while clients are added or removed. Zero keeps the legacy behavior
 	// (split the sim RNG in construction order).
 	Seed uint64
+
+	// Frames, when non-nil, recycles frame buffers: requests draw from
+	// the pool and consumed responses return to it (the generator is the
+	// response's terminal consumer — its parse scratch is strictly
+	// write-before-read). Only arm this where unicast delivery is
+	// single-copy (Direct links, routed fabrics); see wire.FramePool's
+	// ownership contract.
+	Frames *wire.FramePool
 }
 
 // Generator is an open-loop RPC client: it fires requests per the arrival
@@ -145,37 +153,52 @@ func NewGenerator(s *sim.Sim, cfg Config, link *fabric.Link, side int) *Generato
 	return g
 }
 
-// DeliverFrame implements fabric.FramePort: record a response.
+// DeliverFrame implements fabric.FramePort: record a response. A frame
+// addressed to this generator dies here — every alias it takes (rxScr's
+// payload, msgScr's body) is scratch overwritten before its next read —
+// so with a pool armed it is returned to the free list.
 //
 //lhlint:hotpath
 func (g *Generator) DeliverFrame(frame []byte) {
+	if g.consume(frame) {
+		g.cfg.Frames.Put(frame)
+	}
+}
+
+// consume processes one delivered frame and reports whether this
+// generator was its single terminal consumer (frames for other machines
+// — flood copies, foreign traffic — must never be recycled).
+//
+//lhlint:hotpath
+func (g *Generator) consume(frame []byte) bool {
 	d := &g.rxScr
 	if err := wire.ParseUDPInto(frame, d); err != nil {
-		return
+		return false
 	}
 	if d.IP.Dst != g.cfg.Client.IP {
 		// Switched fabrics flood frames for unlearned MACs; a frame for
 		// another machine must not be matched against our in-flight IDs
 		// (all generators number requests from 1).
-		return
+		return false
 	}
 	m := &g.msgScr
 	if err := rpc.DecodeInto(d.Payload, m); err != nil || m.IsRequest() {
-		return
+		return false
 	}
 	p, ok := g.inflight[m.ID]
 	if !ok {
-		return
+		return true
 	}
 	delete(g.inflight, m.ID)
 	g.Received++
 	if m.Status != rpc.StatusOK {
 		g.Errors++
-		return
+		return true
 	}
 	rtt := int64(g.s.Now() - p.at)
 	g.Latency.Record(rtt)
 	g.PerTarget[p.target].Record(rtt)
+	return true
 }
 
 // Start begins open-loop generation until stop time (0 = forever). Call
@@ -264,7 +287,7 @@ func (g *Generator) SendTo(ti int) uint64 {
 		dst = t.Server
 	}
 	dst.Port = t.Port
-	frame, err := wire.BuildUDP(src, dst, uint16(id), req)
+	frame, err := g.cfg.Frames.BuildUDP(src, dst, uint16(id), req)
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err))
 	}
