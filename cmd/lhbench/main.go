@@ -14,6 +14,9 @@
 //	                               # against the committed baseline
 //	lhbench -run all -shards 4     # same tables, spine-leaf universes
 //	                               # partitioned across 4 shard simulators
+//	lhbench -run e15 -transport credit
+//	                               # rerun a cluster experiment with a
+//	                               # transport scheme on every endpoint
 //
 // Experiments run on a bounded worker pool (-parallel, default
 // GOMAXPROCS) with one simulator universe per experiment, so results are
@@ -36,6 +39,7 @@ import (
 	"lauberhorn/internal/experiments"
 	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/stats"
+	"lauberhorn/internal/transport"
 )
 
 // jsonResult is the -json shape for one experiment.
@@ -84,7 +88,20 @@ func listText() string {
 	for _, ent := range stackdrv.All() {
 		fmt.Fprintf(&b, "  %-13s kind=%d  %s\n", ent.Name, int(ent.Kind), ent.Label)
 	}
+	b.WriteString("registered transports (-transport):\n")
+	for _, ent := range transport.All() {
+		fmt.Fprintf(&b, "  %-13s kind=%d  %s\n", ent.Name, int(ent.Kind), ent.Label)
+	}
 	return b.String()
+}
+
+// transportNames lists the registered transport schemes' short names.
+func transportNames() string {
+	var names []string
+	for _, e := range transport.All() {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, " | ")
 }
 
 func main() {
@@ -101,6 +118,8 @@ func main() {
 		"with -bench: run the experiment set N times and record min wall time per experiment (noise floor for the ratchet)")
 	shards := flag.Int("shards", 0,
 		"partition every spine-leaf experiment universe into N shards under conservative time windows (0 = serial); tables are byte-identical either way")
+	transportName := flag.String("transport", "raw",
+		"transport scheme for every cluster experiment: "+transportNames()+" (e21/e22 sweep the full matrix regardless)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
 	flag.Parse()
@@ -124,6 +143,14 @@ func main() {
 		os.Exit(1)
 	}
 	experiments.SetShards(*shards)
+
+	tr, ok := transport.ByName(strings.ToLower(*transportName))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lhbench: unknown transport %q (registered: %s)\n",
+			*transportName, transportNames())
+		os.Exit(1)
+	}
+	experiments.SetTransport(tr.Kind)
 
 	selected, err := experiments.Select(*run)
 	if err != nil {

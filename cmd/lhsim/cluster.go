@@ -7,12 +7,14 @@ import (
 
 	"lauberhorn/internal/cluster"
 	"lauberhorn/internal/sim"
+	"lauberhorn/internal/transport"
 	"lauberhorn/internal/workload"
 )
 
 // clusterOpts carries the lhsim flags the -hosts mode honours.
 type clusterOpts struct {
 	kind        cluster.Stack
+	transport   cluster.Transport
 	hosts       int // server count (= client count)
 	spines      int
 	shards      int // shard simulators (0 = serial)
@@ -35,9 +37,10 @@ type clusterOpts struct {
 // e19-shaped flap on uplink leaf0:spine0.
 func runCluster(o clusterOpts) {
 	sp := cluster.Spec{
-		Seed:   o.seed,
-		Fabric: cluster.FabricSpec{Spines: o.spines, LeafPorts: 4},
-		Shards: o.shards,
+		Seed:      o.seed,
+		Fabric:    cluster.FabricSpec{Spines: o.spines, LeafPorts: 4},
+		Shards:    o.shards,
+		Transport: o.transport,
 	}
 	var pop *workload.Zipf
 	if o.zipf > 0 {
@@ -91,6 +94,11 @@ func runCluster(o clusterOpts) {
 	}
 	if o.flap {
 		fmt.Printf("fault: uplink leaf0:spine0 flapping (3 cycles inside the window)\n")
+	}
+	if e, ok := transport.Lookup(o.transport); ok && e.New != nil {
+		st := u.TransportStats()
+		fmt.Printf("transport: %s   retrans: %d   giveups: %d   marks seen: %d   window cuts: %d   rts/grants: %d/%d\n",
+			e.Label, st.Retransmits, st.GiveUps, st.MarksSeen, st.WindowCuts, st.RTSSent, st.GrantsSent)
 	}
 	fmt.Printf("sent: %d   served: %d   completed: %d   net drops: %d\n",
 		u.TotalMeasuredSent(), u.TotalMeasuredServed(), lat.Count(), u.DroppedFrames())

@@ -23,6 +23,11 @@
 //
 //	lhsim -stack lauberhorn -hosts 16 -shards 4
 //
+// -transport interposes a transport scheme (retry, ecn, or credit; see
+// internal/transport) on every endpoint of the -hosts cluster:
+//
+//	lhsim -stack lauberhorn -hosts 8 -size 4096 -flap -transport retry
+//
 // Since the stack-driver registry, "lauberhorn" is the pure cache-line
 // data path; bodies at or above 4 KiB take the §6 DMA fallback only on
 // the "hybrid" stack (previously the fallback was always armed).
@@ -40,8 +45,18 @@ import (
 	"lauberhorn/internal/experiments"
 	"lauberhorn/internal/sim"
 	"lauberhorn/internal/stackdrv"
+	"lauberhorn/internal/transport"
 	"lauberhorn/internal/workload"
 )
+
+// transportNames lists the registered transport schemes' short names.
+func transportNames() []string {
+	var out []string
+	for _, e := range transport.All() {
+		out = append(out, e.Name)
+	}
+	return out
+}
 
 // stackNames lists the registered drivers' short names, lower-cased for
 // CLI use.
@@ -87,6 +102,8 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"partition the -hosts cluster into N shard simulators under conservative time windows (0 = serial; results are byte-identical)")
 	flap := flag.Bool("flap", false, "flap uplink leaf0:spine0 during the -hosts cluster window")
+	transportName := flag.String("transport", "raw",
+		"transport scheme on every endpoint of the -hosts cluster: "+strings.Join(transportNames(), " | "))
 	flag.Parse()
 
 	var sz workload.SizeDist = workload.FixedSize{N: *size}
@@ -110,9 +127,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lhsim: -shards needs a -hosts cluster (sharding splits a fabric at leaf boundaries)")
 		os.Exit(1)
 	}
+	tr, trOK := transport.ByName(strings.ToLower(*transportName))
+	if !trOK {
+		fmt.Fprintf(os.Stderr, "lhsim: unknown transport %q (registered: %s)\n",
+			*transportName, strings.Join(transportNames(), ", "))
+		os.Exit(1)
+	}
+	if tr.Kind != transport.Raw && *hosts <= 1 {
+		fmt.Fprintln(os.Stderr, "lhsim: -transport needs a -hosts cluster (schemes interpose on cluster endpoints)")
+		os.Exit(1)
+	}
 	if *hosts > 1 {
 		runCluster(clusterOpts{
-			kind: kind, hosts: *hosts, spines: *spines, shards: *shards, cores: *cores,
+			kind: kind, transport: tr.Kind,
+			hosts: *hosts, spines: *spines, shards: *shards, cores: *cores,
 			services: *services, seed: *seed, rate: *rate, serviceTime: st,
 			size: sz, zipf: *zipf, flap: *flap, telemetry: *telemetry,
 			churn: sim.Time(churn.Nanoseconds()) * sim.Nanosecond,

@@ -34,9 +34,16 @@ import (
 	"lauberhorn/internal/sim/shard"
 	"lauberhorn/internal/stackdrv"
 	_ "lauberhorn/internal/stackdrv/builtin"
+	"lauberhorn/internal/transport"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
 )
+
+// Transport selects the per-endpoint transport scheme every machine in
+// the universe runs (see internal/transport). It aliases the transport
+// registry's Kind; the zero value is transport.Raw — no transport at
+// all, the exact pre-transport wiring.
+type Transport = transport.Kind
 
 // Stack selects which network architecture a host runs. It aliases the
 // stack-driver registry's Kind; the constants below name the in-tree
@@ -269,6 +276,9 @@ type Spec struct {
 	// Faults schedules link/switch availability faults on the built
 	// universe.
 	Faults []FaultSpec
+	// Transport selects the transport scheme instantiated per machine
+	// endpoint (zero = transport.Raw, no transport).
+	Transport Transport
 	// Direct wires the (single) client straight to the (single) host over
 	// one point-to-point link with no switch — the original rig topology.
 	// It requires exactly one host and one client.
@@ -414,6 +424,9 @@ func (sp *Spec) Validate() error {
 	if sp.Direct && (len(sp.Hosts) != 1 || len(sp.Clients) != 1) {
 		return fmt.Errorf("cluster: Direct topology needs exactly 1 host and 1 client, got %d/%d",
 			len(sp.Hosts), len(sp.Clients))
+	}
+	if _, ok := transport.Lookup(sp.Transport); !ok {
+		return fmt.Errorf("cluster: unknown transport %d", int(sp.Transport))
 	}
 	if err := sp.validateFabric(); err != nil {
 		return err

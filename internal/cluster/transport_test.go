@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/transport"
+	"lauberhorn/internal/workload"
+)
+
+// incastSpec fans n clients into one Lauberhorn server through the star
+// switch, with each client firing synchronized bursts — the traffic shape
+// that gives every transport scheme something to do.
+func incastSpec(seed uint64, n int, tr Transport) Spec {
+	sp := Spec{
+		Seed:      seed,
+		Hosts:     []HostSpec{echoHost("srv", Lauberhorn, 2, 1, 0, 9000, 500*sim.Nanosecond)},
+		Transport: tr,
+	}
+	for i := 0; i < n; i++ {
+		sp.Clients = append(sp.Clients, ClientSpec{
+			Name: "c" + string(rune('0'+i)), Size: workload.FixedSize{N: 1400},
+			Arrivals: &workload.Burst{B: 4, Period: 250 * sim.Microsecond},
+		})
+	}
+	return sp
+}
+
+// TestTransportRawIsDefault pins the zero-value contract: a Spec that
+// never mentions transport gets nil Instances everywhere — the exact
+// pre-transport wiring — and zero transport/ECN counters.
+func TestTransportRawIsDefault(t *testing.T) {
+	u := Build(incastSpec(1, 3, transport.Raw))
+	for _, h := range u.Hosts {
+		if h.Trans != nil {
+			t.Fatalf("raw host %s has a transport instance", h.Spec.Name)
+		}
+	}
+	for _, c := range u.Clients {
+		if c.Trans != nil {
+			t.Fatalf("raw client %s has a transport instance", c.Spec.Name)
+		}
+	}
+	u.RunMeasured(2*sim.Millisecond, 8*sim.Millisecond)
+	if u.TransportStats() != (transport.Stats{}) {
+		t.Fatalf("raw universe reports transport stats %+v", u.TransportStats())
+	}
+	if u.ECNMarks() != 0 {
+		t.Fatalf("raw universe reports %d ECN marks with marking disabled", u.ECNMarks())
+	}
+	if u.Host("srv").MeasuredServed() == 0 {
+		t.Fatal("raw universe served nothing")
+	}
+}
+
+// TestTransportRetryHealsFlap drives a retry-transport cluster through an
+// access-link flap: requests lost in the outage must be retransmitted and
+// eventually served, and every machine must carry its own instance.
+func TestTransportRetryHealsFlap(t *testing.T) {
+	sp := incastSpec(2, 3, transport.Retry)
+	sp.Faults = []FaultSpec{{
+		Kind: FaultLinkFlap, Machine: "c0", At: 2 * sim.Millisecond,
+		DownFor: 500 * sim.Microsecond, UpFor: 500 * sim.Microsecond, Cycles: 3,
+	}}
+	u := Build(sp)
+	for _, h := range u.Hosts {
+		if h.Trans == nil {
+			t.Fatalf("retry host %s has no transport instance", h.Spec.Name)
+		}
+	}
+	for _, c := range u.Clients {
+		if c.Trans == nil {
+			t.Fatalf("retry client %s has no transport instance", c.Spec.Name)
+		}
+	}
+	u.RunMeasured(2*sim.Millisecond, 12*sim.Millisecond)
+	st := u.TransportStats()
+	if st.Retransmits == 0 {
+		t.Fatalf("flapped retry cluster recorded no retransmits: %+v", st)
+	}
+	if u.Host("srv").MeasuredServed() == 0 {
+		t.Fatal("retry cluster served nothing")
+	}
+}
+
+// TestTransportECNCutsUnderIncast arms link marking and checks the full
+// loop through the cluster layer: links mark, servers echo, clients see
+// marks and cut, and the universe-level aggregates surface all of it.
+func TestTransportECNCutsUnderIncast(t *testing.T) {
+	sp := incastSpec(3, 6, transport.ECN)
+	sp.Net = fabric.Net100G
+	sp.Net.Bandwidth = 1.25 // 10GbE access: bursts actually queue
+	sp.Net.ECNThreshold = 5 * sim.Microsecond
+	u := Build(sp)
+	u.RunMeasured(2*sim.Millisecond, 10*sim.Millisecond)
+	st := u.TransportStats()
+	if st.MarksSeen == 0 || st.WindowCuts == 0 {
+		t.Fatalf("incast ECN cluster saw no congestion response: %+v", st)
+	}
+	if st.EchoesSent == 0 {
+		t.Fatalf("server never echoed a mark: %+v", st)
+	}
+	if u.ECNMarks() == 0 {
+		t.Fatal("universe aggregate reports zero link marks")
+	}
+	if u.PeakNetBacklog() == 0 {
+		t.Fatal("universe aggregate reports zero peak backlog")
+	}
+	if u.Host("srv").MeasuredServed() == 0 {
+		t.Fatal("ECN cluster served nothing")
+	}
+}
+
+// TestTransportCreditPacesIncast checks the grant loop end to end through
+// cluster wiring: senders hold bursts for credit, receivers grant, and
+// control frames never surface as served requests.
+func TestTransportCreditPacesIncast(t *testing.T) {
+	u := Build(incastSpec(4, 6, transport.Credit))
+	u.RunMeasured(2*sim.Millisecond, 10*sim.Millisecond)
+	st := u.TransportStats()
+	if st.RTSSent == 0 || st.GrantsSent == 0 {
+		t.Fatalf("credit cluster exchanged no control traffic: %+v", st)
+	}
+	if st.HeldFrames == 0 {
+		t.Fatalf("credit cluster never paced a burst: %+v", st)
+	}
+	srv := u.Host("srv")
+	if srv.MeasuredServed() == 0 {
+		t.Fatal("credit cluster served nothing")
+	}
+	var sent uint64
+	for _, c := range u.Clients {
+		sent += c.Gen.Sent
+	}
+	if srv.Served() > sent {
+		t.Fatalf("served %d > sent %d: control frames leaked into the service path",
+			srv.Served(), sent)
+	}
+}
+
+// TestTransportDeterminism runs every registered scheme twice — through a
+// mid-run flap, the harshest ordering stress — and demands identical
+// counters, the property e21/e22 byte-identity rests on.
+func TestTransportDeterminism(t *testing.T) {
+	for _, e := range transport.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			run := func() (uint64, uint64, int64, transport.Stats) {
+				sp := incastSpec(5, 4, e.Kind)
+				sp.Faults = []FaultSpec{{
+					Kind: FaultLinkFlap, Machine: "c1", At: 3 * sim.Millisecond,
+					DownFor: 400 * sim.Microsecond, UpFor: 600 * sim.Microsecond, Cycles: 2,
+				}}
+				u := Build(sp)
+				u.RunMeasured(2*sim.Millisecond, 10*sim.Millisecond)
+				return u.TotalMeasuredServed(), u.TotalMeasuredSent(),
+					u.MergedLatency().Percentile(0.99), u.TransportStats()
+			}
+			s1, n1, p1, st1 := run()
+			s2, n2, p2, st2 := run()
+			if s1 != s2 || n1 != n2 || p1 != p2 || st1 != st2 {
+				t.Fatalf("nondeterministic %s transport: (%d,%d,%d,%+v) vs (%d,%d,%d,%+v)",
+					e.Name, s1, n1, p1, st1, s2, n2, p2, st2)
+			}
+			if s1 == 0 {
+				t.Fatal("determinism check vacuous: nothing served")
+			}
+		})
+	}
+}
+
+// TestTransportValidate pins the spec-level error for an unregistered
+// scheme, through both Validate and BuildE.
+func TestTransportValidate(t *testing.T) {
+	sp := incastSpec(6, 1, Transport(99))
+	err := sp.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown transport 99") {
+		t.Fatalf("Validate() = %v, want unknown-transport error", err)
+	}
+	if u, berr := BuildE(sp); u != nil || berr == nil {
+		t.Fatalf("BuildE() = (%v, %v), want error", u, berr)
+	}
+}

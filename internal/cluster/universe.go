@@ -12,6 +12,7 @@ import (
 	"lauberhorn/internal/sim/shard"
 	"lauberhorn/internal/stackdrv"
 	"lauberhorn/internal/stats"
+	"lauberhorn/internal/transport"
 	"lauberhorn/internal/wire"
 	"lauberhorn/internal/workload"
 )
@@ -115,6 +116,9 @@ type Host struct {
 	// NICDMA is the descriptor-ring NIC (nil for stacks whose driver does
 	// not expose one; populated via an optional-interface assertion).
 	NICDMA *nicdma.NIC
+	// Trans is the host's transport instance (nil when Spec.Transport is
+	// a pass-through scheme like Raw).
+	Trans transport.Instance
 
 	// sim is the simulator the host's whole stack lives on: the shard
 	// Sim of its leaf in a sharded universe, Universe.S otherwise.
@@ -139,6 +143,14 @@ type Client struct {
 	// TargetHosts[i] names the host behind Gen's target i, for per-host
 	// result aggregation.
 	TargetHosts []string
+	// Trans is the client's transport instance (nil for pass-through
+	// schemes).
+	Trans transport.Instance
+
+	// port is the frame port the link delivers into: the generator, or
+	// the transport's wrapper around it (Direct builds attach it in
+	// phase 3, so it is kept here).
+	port fabric.FramePort
 
 	measuredSent uint64
 }
@@ -181,22 +193,26 @@ func newHost(u *Universe, spec *HostSpec, index int) *Host {
 
 // attachLink wires the host to the network (phase 3).
 func (h *Host) attachLink(u *Universe, net fabric.NetParams) {
+	h.Trans = u.newTransport(h.sim, h.EP)
 	switch {
 	case u.Spec.Direct:
 		// The single client already owns the link; the host takes side 1,
 		// exactly as the hand-wired rigs did.
 		h.Link = u.Clients[0].Link
 		h.LinkSide = 1
-		h.Link.Attach(u.Clients[0].Gen, h.Inst.FramePort())
+		h.Link.Attach(u.Clients[0].port, wrapPort(h.Trans, h.Inst.FramePort()))
 	case u.Topo != nil:
 		h.Link = fabric.NewLink(h.sim, net)
 		h.LinkSide = 0
-		h.Leaf = u.Topo.Attach(h.EP.MAC, h.Link, h.Inst.FramePort())
+		h.Leaf = u.Topo.Attach(h.EP.MAC, h.Link, wrapPort(h.Trans, h.Inst.FramePort()))
 	default:
 		h.Link = fabric.NewLink(u.S, net)
 		h.LinkSide = 0
 		port := u.Switch.AttachPort(h.Link, 1)
-		h.Link.Attach(h.Inst.FramePort(), port)
+		h.Link.Attach(wrapPort(h.Trans, h.Inst.FramePort()), port)
+	}
+	if h.Trans != nil {
+		h.Trans.BindLink(h.Link, h.LinkSide)
 	}
 	h.Inst.AttachLink(h.Link, h.LinkSide)
 }
@@ -344,19 +360,49 @@ func newClient(u *Universe, spec *ClientSpec, index int, net fabric.NetParams) *
 	}
 
 	c.Link = fabric.NewLink(s, net)
+	c.Trans = u.newTransport(s, c.EP)
 	switch {
 	case u.Spec.Direct:
 		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
+		c.port = wrapPort(c.Trans, c.Gen)
 		// The host attaches the far side in phase 3.
 	case u.Topo != nil:
 		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
-		c.Leaf = u.Topo.Attach(c.EP.MAC, c.Link, c.Gen)
+		c.Leaf = u.Topo.Attach(c.EP.MAC, c.Link, wrapPort(c.Trans, c.Gen))
 	default:
 		port := u.Switch.AttachPort(c.Link, 1)
 		c.Gen = workload.NewGenerator(s, cfg, c.Link, 0)
-		c.Link.Attach(c.Gen, port)
+		c.Link.Attach(wrapPort(c.Trans, c.Gen), port)
+	}
+	if c.Trans != nil {
+		c.Trans.BindLink(c.Link, 0)
 	}
 	return c
+}
+
+// newTransport provisions one endpoint's transport instance, or nil for
+// pass-through schemes (Raw) — nil means the build wires the exact
+// pre-transport path, with no tap and no port wrapper.
+func (u *Universe) newTransport(s *sim.Sim, ep wire.Endpoint) transport.Instance {
+	e, ok := transport.Lookup(u.Spec.Transport)
+	if !ok {
+		// Validate already rejected unknown kinds; this guards direct
+		// misuse of the constructors.
+		panic(fmt.Sprintf("cluster: unknown transport %d", int(u.Spec.Transport)))
+	}
+	if e.New == nil {
+		return nil
+	}
+	return e.New(transport.Params{Sim: s, Self: ep, Pool: u.pools[s]})
+}
+
+// wrapPort interposes the transport's receive half around a machine's
+// frame port (identity when the machine has no transport).
+func wrapPort(tr transport.Instance, inner fabric.FramePort) fabric.FramePort {
+	if tr == nil {
+		return inner
+	}
+	return tr.WrapPort(inner)
 }
 
 // MeasuredSent returns requests the client sent inside the measurement
@@ -467,6 +513,75 @@ func (u *Universe) DroppedFrames() uint64 {
 		}
 	}
 	return n
+}
+
+// eachLink visits every distinct link in the universe — access links
+// (host and client, deduplicated for Direct) plus, through the visitor
+// the Topology exposes, nothing extra here: fabric-interior links are
+// aggregated by the Topology's own counters.
+func (u *Universe) eachLink(fn func(*fabric.Link)) {
+	seen := make(map[*fabric.Link]bool)
+	for _, h := range u.Hosts {
+		if !seen[h.Link] {
+			seen[h.Link] = true
+			fn(h.Link)
+		}
+	}
+	for _, c := range u.Clients {
+		if !seen[c.Link] {
+			seen[c.Link] = true
+			fn(c.Link)
+		}
+	}
+}
+
+// ECNMarks sums CE marks applied by every link in the universe: the
+// fabric's inter-switch links plus each machine's access link. Zero
+// unless NetParams.ECNThreshold armed marking somewhere.
+func (u *Universe) ECNMarks() uint64 {
+	var n uint64
+	if u.Topo != nil {
+		n += u.Topo.Marked()
+	}
+	u.eachLink(func(l *fabric.Link) { n += l.MarkedTotal() })
+	return n
+}
+
+// PeakNetBacklog is the worst transmit-queue depth (as serialization
+// time) any link direction in the universe reached — the congestion
+// high-water mark a fault or incast experiment reports next to drops.
+func (u *Universe) PeakNetBacklog() sim.Time {
+	var peak sim.Time
+	note := func(b sim.Time) {
+		if b > peak {
+			peak = b
+		}
+	}
+	if u.Topo != nil {
+		note(u.Topo.PeakBacklog())
+	}
+	u.eachLink(func(l *fabric.Link) {
+		note(l.PeakBacklog(0))
+		note(l.PeakBacklog(1))
+	})
+	return peak
+}
+
+// TransportStats sums transport counters across every machine's
+// instance (all zero for pass-through schemes).
+func (u *Universe) TransportStats() transport.Stats {
+	var st transport.Stats
+	for _, h := range u.Hosts {
+		if h.Trans != nil {
+			st.Add(h.Trans.Stats())
+		}
+	}
+	for _, c := range u.Clients {
+		if c.Trans != nil {
+			st.Add(c.Trans.Stats())
+		}
+	}
+	return st
 }
 
 // Host returns the built host with the given spec name, or panics —

@@ -65,5 +65,6 @@ func incastSpec(seed uint64, stack cluster.Stack, k int) cluster.Spec {
 			Arrivals: workload.RatePerSec(e15Rate),
 		})
 	}
+	applyTransport(&sp)
 	return sp
 }

@@ -85,5 +85,6 @@ func e16Spec(seed uint64) cluster.Spec {
 			Popularity: workload.NewZipf(8, 1.2),
 		})
 	}
+	applyTransport(&sp)
 	return sp
 }

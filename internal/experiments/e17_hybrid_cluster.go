@@ -87,5 +87,6 @@ func e17Spec(seed uint64, stack cluster.Stack) cluster.Spec {
 			Arrivals: workload.RatePerSec(2 * e17Rate),
 		})
 	}
+	applyTransport(&sp)
 	return sp
 }

@@ -54,7 +54,7 @@ const (
 // from 8 to 64 machines.
 func E18SpineLeaf(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E18 — spine-leaf scaling: N clients x N servers across a 2-spine Clos (64B, 1us handler, ECMP)",
-		"stack", "servers", "machines", "offered (krps)", "p50 (us)", "p99 (us)", "served", "spine spread")
+		"stack", "servers", "machines", "offered (krps)", "p50 (us)", "p99 (us)", "served", "spine spread", "peak backlog (us)")
 
 	for _, st := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
 		for _, n := range E18Scales() {
@@ -65,11 +65,13 @@ func E18SpineLeaf(m *sim.Meter) *stats.Table {
 			t.AddRow(st.Name, n, 2*n, float64(n*e18Rate)/1000,
 				sim.Time(p[0]).Microseconds(),
 				sim.Time(p[1]).Microseconds(),
-				u.TotalMeasuredServed(), spineSpread(u))
+				u.TotalMeasuredServed(), spineSpread(u),
+				u.PeakNetBacklog().Microseconds())
 		}
 	}
 	t.AddNote("clients fill the low leaves, servers the high ones: every request and response crosses the spines")
 	t.AddNote("spine spread = max/min frames per spine; ~1.0 means the seeded flow hash balanced the uplinks")
+	t.AddNote("peak backlog = deepest transmit queue any link reached; unbounded queues here, so no drops")
 	return t
 }
 
@@ -115,6 +117,7 @@ func e18Spec(seed uint64, stack cluster.Stack, n int) cluster.Spec {
 		})
 	}
 	applyShards(&sp)
+	applyTransport(&sp)
 	return sp
 }
 
@@ -182,5 +185,6 @@ func e18TierSpec(seed uint64, n int) cluster.Spec {
 		})
 	}
 	applyShards(&sp)
+	applyTransport(&sp)
 	return sp
 }

@@ -65,7 +65,7 @@ func e19Flap() cluster.FaultSpec {
 // is every request flow crowding onto the one live spine.
 func E19Faults(m *sim.Meter) *stats.Table {
 	t := stats.NewTable("E19 — link-flap fault injection on a 2-spine Clos (4 clients x 4 servers, 4KiB echo, 2.5G uplinks)",
-		"stack", "fault", "p50 (us)", "p99 (us)", "completed", "served", "sent", "net drops")
+		"stack", "fault", "p50 (us)", "p99 (us)", "completed", "served", "sent", "net drops", "peak backlog (us)")
 
 	for _, st := range sweepStacks("Lauberhorn", "Bypass", "Kernel") {
 		for _, flap := range []bool{false, true} {
@@ -82,10 +82,12 @@ func E19Faults(m *sim.Meter) *stats.Table {
 				sim.Time(p[0]).Microseconds(),
 				sim.Time(p[1]).Microseconds(),
 				lat.Count(), u.TotalMeasuredServed(), u.TotalMeasuredSent(),
-				u.DroppedFrames())
+				u.DroppedFrames(), u.PeakNetBacklog().Microseconds())
 		}
 	}
 	t.AddNote("flap: uplink leaf0:spine0 (client side) down 3 ms / up 2 ms, three times, inside the window")
+	t.AddNote("peak backlog = deepest transmit queue any link reached; the flap pushes the surviving uplink")
+	t.AddNote("to its 200 us drop limit, which the steady run never approaches")
 	t.AddNote("the client leaf reroutes every request onto spine 1, which congests — the tail stretches;")
 	t.AddNote("the server leaf cannot see the remote cut and blackholes half its responses onto spine 0,")
 	t.AddNote("so completed dips below served: the servers burned cycles the clients never saw")
@@ -120,5 +122,6 @@ func e19Spec(seed uint64, stack cluster.Stack, flap bool) cluster.Spec {
 		sp.Faults = []cluster.FaultSpec{e19Flap()}
 	}
 	applyShards(&sp)
+	applyTransport(&sp)
 	return sp
 }

@@ -56,6 +56,7 @@ func E20Spec(shards int) cluster.Spec {
 			Arrivals: workload.RatePerSec(e20Rate),
 		})
 	}
+	applyTransport(&sp)
 	return sp
 }
 

@@ -32,6 +32,9 @@ func TestE18Claims(t *testing.T) {
 			if spread := get(r, 7); spread > 1.25 {
 				t.Errorf("row %d ECMP spread %.2f > 1.25", r, spread)
 			}
+			if get(r, 8) <= 0 {
+				t.Errorf("row %d reports no peak link backlog", r)
+			}
 			if i > 0 && get(r, 6) <= get(r-1, 6) {
 				t.Errorf("stack %s: served did not grow with scale (%v -> %v)",
 					tb.Rows[r][0], get(r-1, 6), get(r, 6))
@@ -79,6 +82,10 @@ func TestE19Claims(t *testing.T) {
 		if get(flap, 4) >= get(flap, 5) {
 			t.Errorf("%s flap completed %v >= served %v — no wasted work visible",
 				name, get(flap, 4), get(flap, 5))
+		}
+		if get(flap, 8) <= get(steady, 8) {
+			t.Errorf("%s flap peak backlog %v not above steady %v — rerouted flows never queued",
+				name, get(flap, 8), get(steady, 8))
 		}
 	}
 	t.Logf("\n%s", tb)
@@ -156,15 +163,17 @@ func TestE20Claims(t *testing.T) {
 }
 
 // TestShardedExperimentsStdoutIdentical is the -shards half of the
-// determinism acceptance gate: rendering the fabric experiments with the
-// global shard override at 2 and 4 must reproduce the serial tables
-// byte for byte (CI repeats the same diff over e1-e20 via lhbench
-// -shards; non-fabric experiments never consult the override).
+// determinism acceptance gate: rendering the fabric and transport
+// experiments with the global shard override at 2 and 4 must reproduce
+// the serial tables byte for byte (CI repeats the same diff over the
+// full suite via lhbench -shards; non-fabric experiments never consult
+// the override, and e22's spine-leaf transport universes must shard as
+// cleanly as raw e19's).
 func TestShardedExperimentsStdoutIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	exps, err := Select("e18,e19,e20")
+	exps, err := Select("e18,e19,e20,e21,e22")
 	if err != nil {
 		t.Fatal(err)
 	}

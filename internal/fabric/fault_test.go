@@ -139,6 +139,116 @@ func TestScheduleDrainWindow(t *testing.T) {
 	}
 }
 
+// TestOverlappingFlapWindows: two flap schedules against one link whose
+// down windows overlap. The carrier is a boolean, so the last transition
+// wins — the link is down from the first down edge to the last up edge
+// of the overlapping pair — and the mid-overlap down edge must not
+// double-purge or double-count an already-purged backlog.
+func TestOverlappingFlapWindows(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	ScheduleLinkFaults(s, l, Flap(1*sim.Microsecond, 1*sim.Microsecond, 10*sim.Microsecond, 1))
+	ScheduleLinkFaults(s, l, Flap(1500*sim.Nanosecond, 1*sim.Microsecond, 10*sim.Microsecond, 1))
+	send := func(at sim.Time) {
+		s.At(at, "tx", func() { l.Send(0, frameTo(macN(2), macN(1))) })
+	}
+	send(500 * sim.Nanosecond)  // up: delivered
+	send(1200 * sim.Nanosecond) // inside window A: dropped
+	send(1800 * sim.Nanosecond) // inside A∩B overlap: dropped
+	send(2200 * sim.Nanosecond) // A's up edge raised carrier mid-window-B: delivered
+	send(2700 * sim.Nanosecond) // after B's up edge: delivered
+	s.Run()
+	if len(b.frames) != 3 {
+		t.Fatalf("delivered %d, want 3", len(b.frames))
+	}
+	if l.Dropped(0) != 2 {
+		t.Fatalf("dropped %d, want 2", l.Dropped(0))
+	}
+	if !l.Up() {
+		t.Fatal("link must end up after both schedules")
+	}
+}
+
+// TestOverlappingDownEdgesPurgeOnce: a second down edge while the link
+// is already down must not re-purge (the wasDown guard) — drops are
+// counted exactly once per queued frame.
+func TestOverlappingDownEdgesPurgeOnce(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	for i := 0; i < 8; i++ {
+		f := make([]byte, 1500)
+		dst, src := macN(2), macN(1)
+		copy(f[0:6], dst[:])
+		copy(f[6:12], src[:])
+		l.Send(0, f)
+	}
+	s.At(60*sim.Nanosecond, "cutA", func() { l.SetUp(false) })
+	s.At(70*sim.Nanosecond, "cutB", func() { l.SetUp(false) })
+	s.Run()
+	if l.Dropped(0) != 7 {
+		t.Fatalf("dropped %d, want 7 (double cut must purge once)", l.Dropped(0))
+	}
+	if len(b.frames) != 1 {
+		t.Fatalf("delivered %d, want 1", len(b.frames))
+	}
+}
+
+// TestDrainDuringActiveFlap: a switch drain window overlapping a link
+// flap. Frames lost to the downed link count on the link; frames that
+// reach a draining switch count on the switch — the two fault layers
+// keep separate books.
+func TestDrainDuringActiveFlap(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s)
+	var hosts [2]*portRecorder
+	var links [2]*Link
+	for i := 0; i < 2; i++ {
+		hosts[i] = &portRecorder{}
+		links[i] = NewLink(s, Net100G)
+		port := sw.AttachPort(links[i], 1)
+		links[i].Attach(hosts[i], port)
+	}
+	ScheduleLinkFaults(s, links[0], Flap(1*sim.Microsecond, 1*sim.Microsecond, 1*sim.Microsecond, 1))
+	ScheduleDrain(s, sw, 1500*sim.Nanosecond, 3*sim.Microsecond)
+	send := func(at sim.Time) {
+		s.At(at, "tx", func() { links[0].Send(0, frameTo(macN(2), macN(1))) })
+	}
+	send(500 * sim.Nanosecond)  // link up, no drain: delivered
+	send(1200 * sim.Nanosecond) // link down (drain soon after): link drop
+	send(1800 * sim.Nanosecond) // link down AND drain active: link drop
+	send(2100 * sim.Nanosecond) // link back up; arrives ~2755, drain active: switch drop
+	send(3500 * sim.Nanosecond) // both clear by arrival: delivered
+	s.Run()
+	if len(hosts[1].frames) != 2 {
+		t.Fatalf("delivered %d, want 2", len(hosts[1].frames))
+	}
+	if links[0].Dropped(0) != 2 {
+		t.Fatalf("link dropped %d, want 2", links[0].Dropped(0))
+	}
+	if sw.Dropped != 1 {
+		t.Fatalf("switch dropped %d, want 1", sw.Dropped)
+	}
+}
+
+// TestFaultsOnZeroTrafficLink: a fault schedule against a link that
+// never carries a frame must run to completion without counting
+// anything — purge on an empty backlog is a no-op, sided and unsided
+// alike.
+func TestFaultsOnZeroTrafficLink(t *testing.T) {
+	s, l, _, b := linkPair(t, Net100G)
+	ScheduleLinkFaults(s, l, Flap(1*sim.Microsecond, 2*sim.Microsecond, 1*sim.Microsecond, 3))
+	ScheduleLinkFaultsSided(l, Flap(500*sim.Nanosecond, 1*sim.Microsecond, 1*sim.Microsecond, 2))
+	s.Run()
+	if len(b.frames) != 0 || l.DroppedTotal() != 0 || l.MarkedTotal() != 0 {
+		t.Fatalf("zero-traffic link recorded frames=%d drops=%d marks=%d",
+			len(b.frames), l.DroppedTotal(), l.MarkedTotal())
+	}
+	if !l.Up() {
+		t.Fatal("schedules end up; link must have carrier")
+	}
+	if got, _ := l.Stats(0); got != 0 {
+		t.Fatalf("zero-traffic link counted %d frames", got)
+	}
+}
+
 // TestSwitchFloodNeverEchoesIngress is the regression test the issue
 // asks for: on an FDB miss the flood must not echo the frame back out
 // the ingress port, whether or not the source was already learned, and

@@ -5,6 +5,7 @@ import (
 
 	"lauberhorn/internal/sim"
 	"lauberhorn/internal/sim/shard"
+	"lauberhorn/internal/wire"
 )
 
 // NetParams describes an Ethernet link between two hosts (through one
@@ -22,6 +23,12 @@ type NetParams struct {
 	// tail-dropped (counted per direction). Zero means an unbounded
 	// queue, the pre-contention behavior every existing experiment keeps.
 	QueueLimit sim.Time
+	// ECNThreshold is the transmit-backlog depth (as queueing delay)
+	// beyond which an accepted frame is CE-marked in its IP header —
+	// the switch-egress marking half of a DCTCP-style loop. Zero
+	// disables marking, the behavior every pre-transport experiment
+	// keeps. Marks are counted per direction beside drops.
+	ECNThreshold sim.Time
 }
 
 // Net100G is a 100 Gb/s link through a single cut-through switch, typical
@@ -58,10 +65,15 @@ type FramePort interface {
 
 // delivery is one in-flight frame: the frame bytes plus the deliver
 // function bound to the peer port at send time (so ReplacePort never
-// redirects frames already on the wire).
+// redirects frames already on the wire). txStart and ev exist for the
+// carrier-cut purge on unkeyed directions: txStart says whether the
+// frame's serialization had begun when the carrier dropped, and ev is
+// the scheduled delivery event to cancel when it had not.
 type delivery struct {
 	deliver func([]byte)
 	frame   []byte
+	txStart sim.Time
+	ev      *sim.Event
 }
 
 // Link is a full-duplex point-to-point Ethernet link between two ports.
@@ -115,10 +127,17 @@ type Link struct {
 	// xchan[i] carries direction i->other across a shard boundary; nil on
 	// unsplit links.
 	xchan [2]*shard.Channel
+	// tap[i] is the transport-layer transmit tap for side i: Send offers
+	// every frame to it first, and a false return means the transport
+	// consumed (or replaced) the frame — nothing reaches the wire.
+	// Transports re-enter via Inject, which skips the tap. Func-typed on
+	// purpose: the hot path calls it without interface dispatch.
+	tap [2]func([]byte) bool
 	// counters
 	frames  [2]uint64
 	bytes   [2]uint64
 	dropped [2]uint64
+	marked  [2]uint64
 	// peakBacklog[i] is the worst transmit-queue depth (in serialization
 	// time) direction i has seen, the congestion signal incast and ECMP
 	// imbalance leave behind.
@@ -215,13 +234,40 @@ func (l *Link) ReplacePort(side int, p FramePort) {
 // The frame is delivered to the peer port after serialization, propagation
 // and switching delays; back-to-back sends queue behind each other. A
 // frame offered while the link is down, or while the transmit backlog
-// exceeds QueueLimit, is dropped and counted.
+// exceeds QueueLimit, is dropped and counted. When a transmit tap is
+// installed on the sending side (SetTap), the frame is offered to it
+// before any link processing — including the carrier check, so a
+// transport observes its own sends even into a downed link.
 //
 //lhlint:hotpath
 func (l *Link) Send(from int, frame []byte) {
 	if from != 0 && from != 1 {
 		panicBadSide(from)
 	}
+	if t := l.tap[from]; t != nil && !t(frame) {
+		return // consumed by the transport
+	}
+	l.send(from, frame)
+}
+
+// Inject transmits a frame from the given side without offering it to the
+// transmit tap — the re-entry point for transports, whose own frames
+// (retransmits, grants, frames released from a credit queue) must not
+// loop back through the tap. Carrier, queue-limit, and ECN processing
+// apply exactly as in Send.
+//
+//lhlint:hotpath
+func (l *Link) Inject(from int, frame []byte) {
+	if from != 0 && from != 1 {
+		panicBadSide(from)
+	}
+	l.send(from, frame)
+}
+
+// send is the shared post-tap transmit path of Send and Inject.
+//
+//lhlint:hotpath
+func (l *Link) send(from int, frame []byte) {
 	if l.ports[1-from] == nil {
 		panic("fabric: link not attached")
 	}
@@ -238,6 +284,9 @@ func (l *Link) Send(from int, frame []byte) {
 		l.dropped[from]++ // tail drop: the queue is QueueLimit deep
 		return
 	}
+	if th := l.params.ECNThreshold; th > 0 && start-now > th && wire.MarkCE(frame) {
+		l.marked[from]++
+	}
 	ser := sim.PerByte(len(frame), l.params.Bandwidth)
 	txEnd := start + ser
 	l.txIdle[from] = txEnd
@@ -253,13 +302,14 @@ func (l *Link) Send(from int, frame []byte) {
 		c.Send(arrive, frame)
 		return
 	}
-	l.inflight[from] = append(l.inflight[from], delivery{deliver: l.deliverTo[1-from], frame: frame})
 	if k := l.chanKey[from]; k != 0 {
+		l.inflight[from] = append(l.inflight[from], delivery{deliver: l.deliverTo[1-from], frame: frame, txStart: start})
 		l.sims[from].AtKeyed(arrive, k|l.chanSeq[from], "link-deliver", l.deliverFn[from])
 		l.chanSeq[from]++
 		return
 	}
-	l.sims[from].At(arrive, "link-deliver", l.deliverFn[from])
+	ev := l.sims[from].At(arrive, "link-deliver", l.deliverFn[from])
+	l.inflight[from] = append(l.inflight[from], delivery{deliver: l.deliverTo[1-from], frame: frame, txStart: start, ev: ev})
 }
 
 // deliverHead hands the oldest in-flight frame of one direction to the
@@ -296,24 +346,71 @@ func (l *Link) Stats(from int) (frames, bytes uint64) {
 }
 
 // SetUp flips the link's carrier state on both sides (fault injection).
-// Taking a link down does not cancel deliveries already serialized onto
-// the wire. Only valid on unsplit links, where both replicas live on one
-// Sim; split links use SetUpSide from each shard.
+// Taking a link down does not cancel deliveries whose bits already left
+// the sender, but it does purge a still-queued transmit backlog on
+// unkeyed directions (see purgeQueued). Only valid on unsplit links,
+// where both replicas live on one Sim; split links use SetUpSide from
+// each shard.
 func (l *Link) SetUp(up bool) {
 	if l.IsSplit() {
 		panic("fabric: SetUp on a split link; use SetUpSide per shard")
 	}
-	l.down[0], l.down[1] = !up, !up
+	l.SetUpSide(0, up)
+	l.SetUpSide(1, up)
 }
 
 // SetUpSide flips one side's carrier replica. Split links schedule this
 // on each side's own Sim at the same instant, keeping the replicas
-// observationally identical without a cross-shard read.
+// observationally identical without a cross-shard read. An up→down
+// transition purges the side's queued-but-unserialized backlog on
+// unkeyed directions.
 func (l *Link) SetUpSide(side int, up bool) {
 	if side != 0 && side != 1 {
 		panicBadSide(side)
 	}
+	wasDown := l.down[side]
 	l.down[side] = !up
+	if !up && !wasDown {
+		l.purgeQueued(side)
+	}
+}
+
+// purgeQueued drops the transmit backlog of one direction at a carrier
+// cut: every frame whose serialization had not yet started loses its
+// delivery event and counts as Dropped, and the transmitter rewinds to
+// the earliest purged start so the direction is free once carrier
+// returns. Frames mid-serialization (txStart <= now) survive — their
+// bits are leaving the sender.
+//
+// Only unkeyed directions purge. Keyed inter-switch directions commit a
+// frame's (key, counter) delivery order at enqueue — the invariant that
+// makes serial and sharded runs byte-identical — and a split direction's
+// frames are already inside a shard.Channel, so both keep the legacy
+// bits-committed-at-enqueue semantics.
+func (l *Link) purgeQueued(from int) {
+	if l.chanKey[from] != 0 || l.xchan[from] != nil {
+		return
+	}
+	q := l.inflight[from]
+	now := l.sims[from].Now()
+	end := len(q)
+	for end > l.inHead[from] && q[end-1].txStart > now {
+		end--
+		d := q[end]
+		q[end] = delivery{}
+		l.sims[from].Cancel(d.ev)
+		l.dropped[from]++
+		l.txIdle[from] = d.txStart
+	}
+	if end == len(q) {
+		return
+	}
+	if end == l.inHead[from] {
+		l.inflight[from] = q[:0]
+		l.inHead[from] = 0
+		return
+	}
+	l.inflight[from] = q[:end]
 }
 
 // Up reports whether the link currently has carrier. On a split link this
@@ -327,7 +424,8 @@ func (l *Link) Up() bool { return !l.down[0] && !l.down[1] }
 func (l *Link) UpSide(side int) bool { return !l.down[side] }
 
 // Dropped reports frames dropped on the given side — offered while the
-// link was down or while the transmit queue was full.
+// link was down, offered while the transmit queue was full, or purged
+// from the queue by a carrier cut.
 func (l *Link) Dropped(from int) uint64 { return l.dropped[from] }
 
 // DroppedTotal sums drops over both sides.
@@ -336,3 +434,21 @@ func (l *Link) DroppedTotal() uint64 { return l.dropped[0] + l.dropped[1] }
 // PeakBacklog reports the worst transmit-queue depth (as serialization
 // time) the given side has seen.
 func (l *Link) PeakBacklog(from int) sim.Time { return l.peakBacklog[from] }
+
+// Marked reports frames CE-marked on the given side by the ECNThreshold
+// backlog check.
+func (l *Link) Marked(from int) uint64 { return l.marked[from] }
+
+// MarkedTotal sums CE marks over both sides.
+func (l *Link) MarkedTotal() uint64 { return l.marked[0] + l.marked[1] }
+
+// SetTap installs (or, with nil, removes) the transmit tap for one side.
+// Send offers every frame to the tap before any link processing; a false
+// return means the tap consumed the frame. Taps belong to the transport
+// layer — see internal/transport — and must live on the side's Sim.
+func (l *Link) SetTap(side int, tap func([]byte) bool) {
+	if side != 0 && side != 1 {
+		panicBadSide(side)
+	}
+	l.tap[side] = tap
+}

@@ -428,30 +428,35 @@ func (t *Topology) Pods() int {
 	return len(t.Spines) / t.Spec.Spines
 }
 
+// visitLinks calls fn on every instantiated inter-switch link: uplinks,
+// core links, and ring segments.
+func (t *Topology) visitLinks(fn func(*Link)) {
+	for _, row := range t.uplinks {
+		for _, l := range row {
+			fn(l)
+		}
+	}
+	for _, row := range t.coreLinks {
+		for _, l := range row {
+			fn(l)
+		}
+	}
+	for _, l := range t.ringLinks {
+		fn(l)
+	}
+}
+
 // LookaheadBound returns the minimum lookahead (propagation + switching
 // delay) across every instantiated inter-switch link — the conservative
 // window width sharded execution may safely use. It returns sim.Never if
 // no inter-switch link exists yet.
 func (t *Topology) LookaheadBound() sim.Time {
 	bound := sim.Never
-	visit := func(l *Link) {
+	t.visitLinks(func(l *Link) {
 		if la := l.params.Lookahead(); la < bound {
 			bound = la
 		}
-	}
-	for _, row := range t.uplinks {
-		for _, l := range row {
-			visit(l)
-		}
-	}
-	for _, row := range t.coreLinks {
-		for _, l := range row {
-			visit(l)
-		}
-	}
-	for _, l := range t.ringLinks {
-		visit(l)
-	}
+	})
 	return bound
 }
 
@@ -483,20 +488,32 @@ func (t *Topology) Dropped() uint64 {
 	for _, sw := range t.Cores {
 		n += sw.Dropped
 	}
-	for _, row := range t.uplinks {
-		for _, l := range row {
-			n += l.DroppedTotal()
-		}
-	}
-	for _, row := range t.coreLinks {
-		for _, l := range row {
-			n += l.DroppedTotal()
-		}
-	}
-	for _, l := range t.ringLinks {
-		n += l.DroppedTotal()
-	}
+	t.visitLinks(func(l *Link) { n += l.DroppedTotal() })
 	return n
+}
+
+// Marked sums CE marks set on inter-switch links by their ECNThreshold —
+// the fabric's half of the congestion signal an ECN transport closes the
+// loop on. Access-link marks are the attached machine's to report.
+func (t *Topology) Marked() uint64 {
+	var n uint64
+	t.visitLinks(func(l *Link) { n += l.MarkedTotal() })
+	return n
+}
+
+// PeakBacklog reports the worst transmit backlog (as serialization time)
+// any inter-switch link direction has seen — the congestion high-water
+// mark experiments surface next to drop counts.
+func (t *Topology) PeakBacklog() sim.Time {
+	var peak sim.Time
+	t.visitLinks(func(l *Link) {
+		for side := 0; side < 2; side++ {
+			if b := l.PeakBacklog(side); b > peak {
+				peak = b
+			}
+		}
+	})
+	return peak
 }
 
 // UplinkFrames reports, per spine, the frames leaf->spine plus

@@ -16,6 +16,7 @@ var detPackages = map[string]bool{
 	"lauberhorn/internal/cluster":     true,
 	"lauberhorn/internal/stats":       true,
 	"lauberhorn/internal/check":       true,
+	"lauberhorn/internal/transport":   true,
 }
 
 // DetMap flags `range` over a map in determinism-critical packages. Map

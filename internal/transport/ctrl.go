@@ -1,0 +1,41 @@
+package transport
+
+import "encoding/binary"
+
+// Credit control frames travel as ordinary UDP datagrams addressed to
+// CtrlPort, below every simulated service and generator port range, so
+// a transport's receive interposer can absorb them before the NIC
+// demultiplexes. The payload is fixed-width: magic, kind, and one
+// cumulative sequence counter.
+const (
+	// CtrlPort is the reserved UDP port transports source and sink
+	// control traffic on.
+	CtrlPort = 19
+
+	ctrlMagic      = 0x4c484352 // "LHCR"
+	ctrlRTS   byte = 1          // sender → receiver: want = frames enqueued
+	ctrlGrant byte = 2          // receiver → sender: granted = frames credited
+
+	ctrlPayloadLen = 13
+)
+
+// putCtrl encodes a control payload into p, which must hold
+// ctrlPayloadLen bytes.
+//
+//lhlint:hotpath
+func putCtrl(p []byte, kind byte, seq uint64) {
+	binary.BigEndian.PutUint32(p[0:4], ctrlMagic)
+	p[4] = kind
+	binary.BigEndian.PutUint64(p[5:13], seq)
+}
+
+// parseCtrl decodes a control payload; ok is false for anything that is
+// not a well-formed control frame.
+//
+//lhlint:hotpath
+func parseCtrl(p []byte) (kind byte, seq uint64, ok bool) {
+	if len(p) < ctrlPayloadLen || binary.BigEndian.Uint32(p[0:4]) != ctrlMagic {
+		return 0, 0, false
+	}
+	return p[4], binary.BigEndian.Uint64(p[5:13]), true
+}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMarkCEPatchesChecksum(t *testing.T) {
+	payload := []byte("congested payload")
+	f, err := BuildUDP(srcEP, dstEP, 9, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MarkCE(f) {
+		t.Fatal("MarkCE refused a valid IPv4 frame")
+	}
+	d, err := ParseUDP(f)
+	if err != nil {
+		t.Fatalf("parse after MarkCE: %v", err)
+	}
+	if !IsCE(d.IP.TOS) {
+		t.Fatalf("TOS %#02x not CE after MarkCE", d.IP.TOS)
+	}
+	if IsEchoCE(d.IP.TOS) {
+		t.Fatalf("TOS %#02x carries echo bit MarkCE must not set", d.IP.TOS)
+	}
+	if !bytes.Equal(d.Payload, payload) {
+		t.Fatalf("payload changed: %q", d.Payload)
+	}
+	// Marking again is a no-op that still reports success.
+	before := append([]byte(nil), f...)
+	if !MarkCE(f) {
+		t.Fatal("second MarkCE failed")
+	}
+	if !bytes.Equal(f, before) {
+		t.Fatal("second MarkCE changed the frame")
+	}
+}
+
+func TestMarkEchoCEPatchesChecksum(t *testing.T) {
+	f, err := BuildUDP(dstEP, srcEP, 10, []byte("response"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MarkEchoCE(f) {
+		t.Fatal("MarkEchoCE refused a valid IPv4 frame")
+	}
+	d, err := ParseUDP(f)
+	if err != nil {
+		t.Fatalf("parse after MarkEchoCE: %v", err)
+	}
+	if !IsEchoCE(d.IP.TOS) {
+		t.Fatalf("TOS %#02x not echo after MarkEchoCE", d.IP.TOS)
+	}
+	if IsCE(d.IP.TOS) {
+		t.Fatalf("TOS %#02x carries CE bits MarkEchoCE must not set", d.IP.TOS)
+	}
+	// Both signals compose on one frame.
+	if !MarkCE(f) {
+		t.Fatal("MarkCE after MarkEchoCE failed")
+	}
+	d2, err := ParseUDP(f)
+	if err != nil {
+		t.Fatalf("parse after both marks: %v", err)
+	}
+	if !IsCE(d2.IP.TOS) || !IsEchoCE(d2.IP.TOS) {
+		t.Fatalf("TOS %#02x missing a composed signal", d2.IP.TOS)
+	}
+}
+
+func TestMarkCEChecksumMatchesRecompute(t *testing.T) {
+	// The incremental RFC 1624 patch must land on the same checksum a
+	// from-scratch header sum would produce, across many header words.
+	for id := uint16(0); id < 300; id++ {
+		f, err := BuildUDP(srcEP, dstEP, id, []byte{byte(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		MarkCE(f)
+		ip := f[EthernetHeaderLen:]
+		if cs := Checksum(ip[:IPv4HeaderLen]); cs != 0 {
+			t.Fatalf("id %d: header checksum residue %#04x after MarkCE", id, cs)
+		}
+	}
+}
+
+func TestMarkCERejectsNonIPv4(t *testing.T) {
+	if MarkCE(nil) {
+		t.Error("MarkCE accepted nil")
+	}
+	if MarkCE(make([]byte, 10)) {
+		t.Error("MarkCE accepted a truncated frame")
+	}
+	arp := make([]byte, MinFrameLen)
+	arp[12], arp[13] = 0x08, 0x06 // EtherType ARP
+	if MarkCE(arp) {
+		t.Error("MarkCE accepted a non-IPv4 EtherType")
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+func TestBurstArrivalShape(t *testing.T) {
+	b := &Burst{B: 4, Period: 250 * sim.Microsecond}
+	r := sim.NewRNG(1)
+	var at sim.Time
+	var times []sim.Time
+	for i := 0; i < 12; i++ {
+		at += b.Next(r)
+		times = append(times, at)
+	}
+	// Three bursts of four: arrivals 1ns apart inside a burst, bursts
+	// anchored one Period apart.
+	for burst := 0; burst < 3; burst++ {
+		base := times[burst*4]
+		for j := 1; j < 4; j++ {
+			if got := times[burst*4+j] - base; got != sim.Time(j)*sim.Nanosecond {
+				t.Fatalf("burst %d arrival %d at +%v, want +%dns", burst, j, got, j)
+			}
+		}
+		if burst > 0 {
+			if got := base - times[(burst-1)*4]; got != 250*sim.Microsecond {
+				t.Fatalf("burst %d anchored %v after previous, want one Period", burst, got)
+			}
+		}
+	}
+	// Mean rate: B per Period.
+	if b.String() != "burst(4x every 250us)" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestBurstDegenerateSingle(t *testing.T) {
+	b := &Burst{B: 1, Period: 10 * sim.Microsecond}
+	r := sim.NewRNG(1)
+	if got := b.Next(r); got != sim.Nanosecond {
+		t.Fatalf("leading gap = %v, want 1ns anchor", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := b.Next(r); got != 10*sim.Microsecond {
+			t.Fatalf("B=1 gap = %v, want the full Period", got)
+		}
+	}
+}

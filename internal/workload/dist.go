@@ -208,6 +208,57 @@ func (m *MMPP) String() string {
 	return fmt.Sprintf("mmpp(calm=%v,hot=%v)", m.CalmMean, m.HotMean)
 }
 
+// Burst emits B near-simultaneous arrivals every Period — the
+// synchronized fan-in shape incast experiments drive, where many
+// clients fire at once and collide in a receiver's queue. Within a
+// burst arrivals are spaced Gap apart (zero = 1ns, back-to-back at
+// simulator resolution); the remainder of the Period follows the last
+// arrival of the burst. Stateful: do not share one Burst between
+// clients or Specs.
+type Burst struct {
+	B      int
+	Period sim.Time
+	// Gap spaces arrivals inside a burst (0 = 1ns).
+	Gap sim.Time
+
+	started bool
+	left    int
+}
+
+// Next returns the gap to the next arrival, advancing the burst state:
+// the first burst is anchored one intra-burst gap after Start, each
+// later burst exactly one Period after the previous anchor.
+func (b *Burst) Next(*sim.RNG) sim.Time {
+	n := b.B
+	if n < 1 {
+		n = 1
+	}
+	gap := b.Gap
+	if gap <= 0 {
+		gap = sim.Nanosecond
+	}
+	if !b.started {
+		b.started = true
+		b.left = n - 1
+		return gap
+	}
+	if b.left > 0 {
+		b.left--
+		return gap
+	}
+	b.left = n - 1
+	rest := b.Period - sim.Time(n-1)*gap
+	if rest < sim.Nanosecond {
+		rest = sim.Nanosecond
+	}
+	return rest
+}
+
+// String describes the process.
+func (b *Burst) String() string {
+	return fmt.Sprintf("burst(%dx every %v)", b.B, b.Period)
+}
+
 // RatePerSec converts requests/second into a Poisson process.
 func RatePerSec(rps float64) Poisson {
 	if rps <= 0 {
