@@ -13,15 +13,18 @@ import (
 
 // clusterOpts carries the lhsim flags the -hosts mode honours.
 type clusterOpts struct {
-	kind        cluster.Stack
-	transport   cluster.Transport
-	hosts       int // server count (= client count)
-	spines      int
-	shards      int // shard simulators (0 = serial)
-	cores       int
-	services    int // services per server
-	seed        uint64
-	rate        float64
+	kind      cluster.Stack
+	transport cluster.Transport
+	hosts     int // server count (= client count)
+	spines    int
+	shards    int // shard simulators (0 = serial)
+	cores     int
+	services  int // services per server
+	seed      uint64
+	rate      float64
+	// arrivals builds a fresh arrival-process instance per client (MMPP
+	// and Diurnal carry modulating state that must not be shared).
+	arrivals    func() workload.ArrivalDist
 	serviceTime sim.Time
 	size        workload.SizeDist
 	zipf        float64
@@ -60,7 +63,7 @@ func runCluster(o clusterOpts) {
 		sp.Clients = append(sp.Clients, cluster.ClientSpec{
 			Name:       fmt.Sprintf("cli%d", i),
 			Size:       o.size,
-			Arrivals:   workload.RatePerSec(o.rate),
+			Arrivals:   o.arrivals(),
 			Popularity: pop,
 		})
 	}
@@ -86,8 +89,8 @@ func runCluster(o clusterOpts) {
 	wall := time.Since(wallStart)
 
 	lat := u.MergedLatency()
-	fmt.Printf("stack: %s   fabric: %v   rate: %.0f rps x %d clients   window: %v\n",
-		u.Hosts[0].Label, u.Topo, o.rate, o.hosts, o.dur)
+	fmt.Printf("stack: %s   fabric: %v   arrivals: %s @ %.0f rps x %d clients   window: %v\n",
+		u.Hosts[0].Label, u.Topo, o.arrivals(), o.rate, o.hosts, o.dur)
 	if u.Sharded() {
 		fmt.Printf("shards: %d simulators + hub, conservative time windows (results identical to serial)\n",
 			len(u.Sims)-1)

@@ -83,6 +83,34 @@ func resolveStack(name string) (cluster.Stack, bool) {
 	return 0, false
 }
 
+// arrivalsMaker maps an -arrivals name to a factory for fresh
+// arrival-process instances at the given mean rate. A factory, because
+// MMPP and Diurnal carry modulating state and must not be shared
+// between clients. The bursty processes keep the requested mean: both
+// alternate 1/3x and 5/3x phases of equal expected length.
+func arrivalsMaker(name string, rate float64) (func() workload.ArrivalDist, bool) {
+	gap := func(r float64) sim.Time { return sim.Time(float64(sim.Second) / r) }
+	switch name {
+	case "poisson":
+		return func() workload.ArrivalDist { return workload.RatePerSec(rate) }, true
+	case "mmpp":
+		return func() workload.ArrivalDist {
+			return &workload.MMPP{
+				CalmMean: gap(rate / 3), HotMean: gap(rate * 5 / 3),
+				CalmPeriod: 200 * sim.Microsecond, HotPeriod: 200 * sim.Microsecond,
+			}
+		}, true
+	case "diurnal":
+		return func() workload.ArrivalDist {
+			return &workload.Diurnal{Mean: gap(rate), Phases: []workload.RatePhase{
+				{Dur: sim.Millisecond, Mult: 1.0 / 3},
+				{Dur: sim.Millisecond, Mult: 5.0 / 3},
+			}}
+		}, true
+	}
+	return nil, false
+}
+
 func main() {
 	stack := flag.String("stack", "lauberhorn",
 		"stack: "+strings.Join(stackNames(), " | ")+" (or enzian)")
@@ -101,6 +129,8 @@ func main() {
 	spines := flag.Int("spines", 2, "spine switches of the -hosts cluster fabric")
 	shards := flag.Int("shards", 0,
 		"partition the -hosts cluster into N shard simulators under conservative time windows (0 = serial; results are byte-identical)")
+	arrivals := flag.String("arrivals", "poisson",
+		"arrival process at the -rate mean: poisson | mmpp (burst states at 1/3x and 5/3x) | diurnal (1ms rate curve at 1/3x and 5/3x)")
 	flap := flag.Bool("flap", false, "flap uplink leaf0:spine0 during the -hosts cluster window")
 	transportName := flag.String("transport", "raw",
 		"transport scheme on every endpoint of the -hosts cluster: "+strings.Join(transportNames(), " | "))
@@ -114,7 +144,11 @@ func main() {
 	if *zipf > 0 {
 		pop = workload.NewZipf(*services, *zipf)
 	}
-	arr := workload.RatePerSec(*rate)
+	mkArr, arrOK := arrivalsMaker(*arrivals, *rate)
+	if !arrOK {
+		fmt.Fprintf(os.Stderr, "lhsim: unknown arrival process %q (known: poisson, mmpp, diurnal)\n", *arrivals)
+		os.Exit(1)
+	}
 	st := sim.Time(service.Nanoseconds()) * sim.Nanosecond
 
 	kind, ok := resolveStack(*stack)
@@ -142,14 +176,15 @@ func main() {
 			kind: kind, transport: tr.Kind,
 			hosts: *hosts, spines: *spines, shards: *shards, cores: *cores,
 			services: *services, seed: *seed, rate: *rate, serviceTime: st,
-			size: sz, zipf: *zipf, flap: *flap, telemetry: *telemetry,
+			arrivals: mkArr,
+			size:     sz, zipf: *zipf, flap: *flap, telemetry: *telemetry,
 			churn: sim.Time(churn.Nanoseconds()) * sim.Nanosecond,
 			warm:  sim.Time(warm.Nanoseconds()) * sim.Nanosecond,
 			dur:   sim.Time(dur.Nanoseconds()) * sim.Nanosecond,
 		})
 		return
 	}
-	rig := experiments.StackRig(kind, *seed, *cores, *services, st, sz, arr, pop)
+	rig := experiments.StackRig(kind, *seed, *cores, *services, st, sz, mkArr(), pop)
 
 	if *churn > 0 {
 		rig.Gen.SetChurn(sim.Time(churn.Nanoseconds()) * sim.Nanosecond)

@@ -279,6 +279,13 @@ type Spec struct {
 	// Transport selects the transport scheme instantiated per machine
 	// endpoint (zero = transport.Raw, no transport).
 	Transport Transport
+	// DAG optionally declares a service dependency graph: the builder
+	// replaces each interior node's echo handler with a suspending
+	// handler that issues nested calls to the node's children (in edge
+	// order) before responding, and aggregates per-edge round-trip
+	// histograms and budget violations (Universe.DAGEdges). Nodes must
+	// place services that exist on Lauberhorn-family hosts.
+	DAG *workload.DAG
 	// Direct wires the (single) client straight to the (single) host over
 	// one point-to-point link with no switch — the original rig topology.
 	// It requires exactly one host and one client.
@@ -515,7 +522,7 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("cluster: client %q has no size distribution", c.Name)
 		}
 	}
-	return nil
+	return sp.validateDAG()
 }
 
 // validateFabric checks the FabricSpec against the machine population.
@@ -763,6 +770,10 @@ func BuildE(sp Spec) (*Universe, error) {
 	for _, h := range u.Hosts {
 		h.start(u)
 	}
+
+	// Phase 4b: the service dependency DAG, once every service handler
+	// exists to be replaced.
+	u.wireDAG()
 
 	// Phase 5: fault schedules, in spec order — deterministic input like
 	// everything else.

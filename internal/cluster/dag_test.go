@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/workload"
+)
+
+// dagSpec builds a valid three-tier call-tree spec (client -> front ->
+// {mid} -> back) that the error cases below then break one field at a
+// time.
+func dagSpec() Spec {
+	return Spec{
+		Seed: 7,
+		Hosts: []HostSpec{
+			{Name: "front", Stack: Lauberhorn, Cores: 1,
+				Services: []ServiceSpec{{ID: 1, Port: 9000, Time: 500 * sim.Nanosecond}}},
+			{Name: "mid", Stack: Lauberhorn, Cores: 1,
+				Services: []ServiceSpec{{ID: 2, Port: 9001, Time: sim.Microsecond}}},
+			{Name: "back", Stack: Lauberhorn, Cores: 1,
+				Services: []ServiceSpec{{ID: 3, Port: 9002, Time: 2 * sim.Microsecond}}},
+		},
+		Clients: []ClientSpec{{
+			Name: "cli", Size: workload.FixedSize{N: 64},
+			Arrivals: workload.RatePerSec(20_000),
+			Targets:  []TargetSpec{{Host: "front", Service: 1}},
+		}},
+		DAG: &workload.DAG{Nodes: []workload.DAGNode{
+			{Name: "front", Host: "front", Service: 1,
+				Edges: []workload.DAGEdge{{To: 1, Budget: 100 * sim.Microsecond}}},
+			{Name: "mid", Host: "mid", Service: 2,
+				Edges: []workload.DAGEdge{{To: 2, Budget: 100 * sim.Microsecond}}},
+			{Name: "back", Host: "back", Service: 3},
+		}},
+	}
+}
+
+// TestDAGValidation pins the exact error message for each way a service
+// dependency graph can be wrong — the same style as the bypass
+// steering-collision test, so error-text drift is caught.
+func TestDAGValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		mut  func(*Spec)
+	}{
+		{"empty dag", `cluster: invalid dag: workload: dag has no nodes`,
+			func(sp *Spec) { sp.DAG = &workload.DAG{} }},
+		{"unnamed node", `cluster: invalid dag: workload: dag node 1 has no name`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Name = "" }},
+		{"duplicate names", `cluster: invalid dag: workload: dag nodes 0 and 1 share name "front"`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Name = "front" }},
+		{"edge out of range", `cluster: invalid dag: workload: dag node 1 ("mid") edge 0 targets node 9 of 3`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Edges[0].To = 9 }},
+		{"self edge", `cluster: invalid dag: workload: dag node 1 ("mid") calls itself`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Edges[0].To = 1 }},
+		{"negative budget", `cluster: invalid dag: workload: dag node 0 ("front") edge to node 1 has negative budget -1us`,
+			func(sp *Spec) { sp.DAG.Nodes[0].Edges[0].Budget = -sim.Microsecond }},
+		{"cycle", `cluster: invalid dag: workload: dag cycle through node 0 ("front")`,
+			func(sp *Spec) {
+				sp.DAG.Nodes[2].Edges = []workload.DAGEdge{{To: 0}}
+			}},
+		{"unknown host", `cluster: dag node 1 ("mid") runs on unknown host "ghost"`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Host = "ghost" }},
+		{"missing service", `cluster: dag node 2 ("back") needs service 9, which host "back" does not export`,
+			func(sp *Spec) { sp.DAG.Nodes[2].Service = 9 }},
+		{"nested calls off a bypass stack", `cluster: dag node 0 ("front") issues nested calls, which stack "Kernel bypass" on host "front" does not support`,
+			func(sp *Spec) { sp.Hosts[0].Stack = Bypass }},
+		{"budget overflow", `cluster: dag edge "mid"->"back" budget 1us cannot cover service time 2us of service 3 on host "back"`,
+			func(sp *Spec) { sp.DAG.Nodes[1].Edges[0].Budget = sim.Microsecond }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := dagSpec()
+			tc.mut(&sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted the broken spec")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Validate error:\n got %q\nwant %q", err.Error(), tc.want)
+			}
+			if _, berr := BuildE(sp); berr == nil || berr.Error() != err.Error() {
+				t.Fatalf("BuildE error %v does not match Validate error %v", berr, err)
+			}
+		})
+	}
+
+	// The unbroken spec must pass.
+	sp := dagSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid dag spec rejected: %v", err)
+	}
+}
+
+// TestDAGNestedCallsRun builds the three-tier chain, runs it, and checks
+// the DAG actually executes: clients complete root calls, every edge
+// records child round trips, the chain RTT dominates a direct call, and
+// generous budgets see no violations while an impossible-to-meet one
+// trips on every call.
+func TestDAGNestedCallsRun(t *testing.T) {
+	u := Build(dagSpec())
+	u.RunMeasured(sim.Millisecond, 10*sim.Millisecond)
+
+	lat := u.MergedLatency()
+	if lat.Count() == 0 {
+		t.Fatalf("no root calls completed")
+	}
+	if len(u.DAGEdges) != 2 {
+		t.Fatalf("DAGEdges = %d, want 2", len(u.DAGEdges))
+	}
+	for _, e := range u.DAGEdges {
+		if e.Lat.Count() == 0 {
+			t.Fatalf("edge %s recorded no nested calls", e.Label)
+		}
+		if e.Violations != 0 {
+			t.Fatalf("edge %s has %d violations under a 100us budget", e.Label, e.Violations)
+		}
+	}
+	// front->mid includes mid's own nested call to back, so its round
+	// trips must dominate mid->back's.
+	if u.DAGEdges[0].Lat.Mean() <= u.DAGEdges[1].Lat.Mean() {
+		t.Fatalf("front->mid mean %.0f <= mid->back mean %.0f",
+			u.DAGEdges[0].Lat.Mean(), u.DAGEdges[1].Lat.Mean())
+	}
+
+	// A 3us budget on front->mid is below any possible chain round trip
+	// (mid runs 1us of CPU and then waits on back's 2us), so every call
+	// violates it.
+	sp := dagSpec()
+	sp.DAG.Nodes[0].Edges[0].Budget = 3 * sim.Microsecond
+	u2 := Build(sp)
+	u2.RunMeasured(sim.Millisecond, 10*sim.Millisecond)
+	tight := u2.DAGEdges[0]
+	if tight.Violations == 0 || tight.Violations != tight.Lat.Count() {
+		t.Fatalf("tight budget: %d violations of %d calls, want all", tight.Violations, tight.Lat.Count())
+	}
+	if u2.DAGViolations() != tight.Violations {
+		t.Fatalf("DAGViolations %d != edge violations %d", u2.DAGViolations(), tight.Violations)
+	}
+}
+
+// TestDAGDeterministic pins byte-level determinism of the DAG execution
+// path: two identically specced universes produce identical edge
+// histograms and violation counts.
+func TestDAGDeterministic(t *testing.T) {
+	run := func() []string {
+		u := Build(dagSpec())
+		u.RunMeasured(sim.Millisecond, 5*sim.Millisecond)
+		var out []string
+		for _, e := range u.DAGEdges {
+			out = append(out, e.Label, e.Lat.Summary(1, "ps"))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("DAG runs diverge:\n%v\n%v", a, b)
+	}
+}

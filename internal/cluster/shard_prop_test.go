@@ -55,7 +55,7 @@ func propSpec(rng *sim.RNG) Spec {
 		sp.Clients = append(sp.Clients, ClientSpec{
 			Name:     fmt.Sprint("c", i),
 			Size:     workload.FixedSize{N: 16 + rng.Intn(497)},
-			Arrivals: workload.RatePerSec(float64(10_000 + rng.Intn(30_000))),
+			Arrivals: propArrivals(rng),
 			Targets:  []TargetSpec{{Host: fmt.Sprint("h", target), Service: uint32(target*10 + 1)}},
 		})
 	}
@@ -85,6 +85,32 @@ func propSpec(rng *sim.RNG) Spec {
 		}
 	}
 	return sp
+}
+
+// propArrivals draws one arrival process: the closed-form RatePerSec
+// plus the three open-loop processes (Poisson, bursty MMPP, piecewise
+// Diurnal). MMPP and Diurnal carry modulating state, which is why the
+// property test rebuilds the spec from its seed for every run instead
+// of reusing one Spec value.
+func propArrivals(rng *sim.RNG) workload.ArrivalDist {
+	mean := sim.Time(25+rng.Intn(75)) * sim.Microsecond // 13k-40k rps
+	switch rng.Intn(4) {
+	case 0:
+		return workload.RatePerSec(float64(sim.Second / mean))
+	case 1:
+		return workload.Poisson{Mean: mean}
+	case 2:
+		return &workload.MMPP{
+			CalmMean: 2 * mean, HotMean: mean / 2,
+			CalmPeriod: sim.Time(100+rng.Intn(200)) * sim.Microsecond,
+			HotPeriod:  sim.Time(50+rng.Intn(100)) * sim.Microsecond,
+		}
+	default:
+		return &workload.Diurnal{Mean: mean, Phases: []workload.RatePhase{
+			{Dur: sim.Time(200+rng.Intn(300)) * sim.Microsecond, Mult: 0.5},
+			{Dur: sim.Time(200+rng.Intn(300)) * sim.Microsecond, Mult: 2},
+		}}
+	}
 }
 
 // propFingerprint runs one spec over a short window and reduces it to
@@ -127,14 +153,17 @@ func TestShardPropertyRandom(t *testing.T) {
 	shardCounts := []int{2, 4, 8}
 	active := 0
 	for i := 0; i < n; i++ {
-		sp := propSpec(rng)
+		// MMPP/Diurnal arrivals carry state, so each run rebuilds the
+		// spec from the scenario seed rather than reusing one Spec value.
+		scenarioSeed := rng.Uint64()
+		mkSpec := func() Spec { return propSpec(sim.NewRNG(scenarioSeed)) }
 		shards := shardCounts[i%len(shardCounts)]
-		serial, completed := propFingerprint(sp)
-		sharded := sp
+		serial, completed := propFingerprint(mkSpec())
+		sharded := mkSpec()
 		sharded.Shards = shards
 		if got, _ := propFingerprint(sharded); got != serial {
-			t.Fatalf("scenario %d (shards=%d) diverges from serial:\nspec: %+v\nserial:\n%s\nsharded:\n%s",
-				i, shards, sp, serial, got)
+			t.Fatalf("scenario %d (seed=%#x, shards=%d) diverges from serial:\nserial:\n%s\nsharded:\n%s",
+				i, scenarioSeed, shards, serial, got)
 		}
 		if completed {
 			active++

@@ -40,6 +40,9 @@ type Universe struct {
 	Topo    *fabric.Topology
 	Hosts   []*Host
 	Clients []*Client
+	// DAGEdges aggregates Spec.DAG's nested calls, one entry per edge in
+	// node-declaration order (nil without a DAG).
+	DAGEdges []*DAGEdgeStat
 
 	shardSims []*sim.Sim
 	exec      *shard.Executor
@@ -630,6 +633,10 @@ func (u *Universe) RunMeasured(warm, measure sim.Time) {
 		for _, hist := range c.Gen.PerTarget {
 			hist.Reset()
 		}
+	}
+	for _, e := range u.DAGEdges {
+		e.Lat.Reset()
+		e.Violations = 0
 	}
 	u.RunUntil(warm + measure)
 	for _, c := range u.Clients {

@@ -163,17 +163,18 @@ func TestE20Claims(t *testing.T) {
 }
 
 // TestShardedExperimentsStdoutIdentical is the -shards half of the
-// determinism acceptance gate: rendering the fabric and transport
-// experiments with the global shard override at 2 and 4 must reproduce
-// the serial tables byte for byte (CI repeats the same diff over the
-// full suite via lhbench -shards; non-fabric experiments never consult
-// the override, and e22's spine-leaf transport universes must shard as
-// cleanly as raw e19's).
+// determinism acceptance gate: rendering the fabric, transport, and
+// open-loop workload experiments with the global shard override at 2
+// and 4 must reproduce the serial tables byte for byte (CI repeats the
+// same diff over the full suite via lhbench -shards; non-fabric
+// experiments never consult the override, e22's spine-leaf transport
+// universes must shard as cleanly as raw e19's, and e23/e24 prove the
+// stateful arrival processes and DAG execution survive sharding).
 func TestShardedExperimentsStdoutIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	exps, err := Select("e18,e19,e20,e21,e22")
+	exps, err := Select("e18,e19,e20,e21,e22,e23,e24")
 	if err != nil {
 		t.Fatal(err)
 	}

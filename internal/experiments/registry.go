@@ -84,6 +84,10 @@ func All() []Experiment {
 			Run: one(E21Transport)},
 		{ID: "e22", Title: "Transports under link-flap partition, blackholed work", Source: "transport layer; §1 heavy traffic",
 			Run: one(E22TransportFaults)},
+		{ID: "e23", Title: "Open-loop arrival processes: Poisson knee, MMPP and diurnal bursts", Source: "workload layer; §1 heavy traffic",
+			Run: one(E23OpenLoop)},
+		{ID: "e24", Title: "Service dependency DAGs: call-graph shape vs root tail", Source: "workload layer; §6 nested RPC",
+			Run: one(E24DAG)},
 	}
 }
 

@@ -1,0 +1,228 @@
+package fabric
+
+import (
+	"testing"
+
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// flowRecorder terminates both transfer representations in tests.
+type flowRecorder struct {
+	s      *sim.Sim
+	bytes  int64
+	frames int
+	flows  int
+	lastAt sim.Time
+}
+
+func (r *flowRecorder) DeliverFrame(frame []byte) {
+	r.frames++
+	r.bytes += int64(len(frame))
+	r.lastAt = r.s.Now()
+}
+
+func (r *flowRecorder) DeliverFlow(payload int64) {
+	r.flows++
+	r.bytes += payload
+	r.lastAt = r.s.Now()
+}
+
+// flowRig is one link with a recorder on side 1.
+func flowRig(t *testing.T, params NetParams) (*sim.Sim, *Link, *flowRecorder) {
+	t.Helper()
+	s := sim.New(1)
+	l := NewLink(s, params)
+	r := &flowRecorder{s: s}
+	l.Attach(r, r)
+	return s, l, r
+}
+
+// TestFlowMatchesPacketTiming sends the same wire bytes once as
+// back-to-back frames and once as a single fluid flow: the payload and
+// the last-delivery instant must agree exactly (Net100G serialization is
+// picosecond-exact per frame, so the per-frame rounding sums to the
+// fluid total).
+func TestFlowMatchesPacketTiming(t *testing.T) {
+	const mtu, overhead = 1460, 42
+	for _, payload := range []int{1, mtu, mtu + 1, 100 * mtu, 1 << 20} {
+		frames := (payload + mtu - 1) / mtu
+		wireBytes := int64(payload) + int64(frames*overhead)
+
+		sp, lp, rp := flowRig(t, Net100G)
+		rem := payload
+		for rem > 0 {
+			chunk := mtu
+			if rem < chunk {
+				chunk = rem
+			}
+			lp.Send(0, make([]byte, chunk+overhead))
+			rem -= chunk
+		}
+		sp.Run()
+
+		sf, lf, rf := flowRig(t, Net100G)
+		lf.SendFlow(0, wireBytes, int64(payload), rf)
+		sf.Run()
+
+		if got := rp.bytes - int64(frames*overhead); got != rf.bytes {
+			t.Fatalf("payload %d: packet path delivered %d payload bytes, fluid %d", payload, got, rf.bytes)
+		}
+		if rp.lastAt != rf.lastAt {
+			t.Fatalf("payload %d: packet path finished at %v, fluid at %v", payload, rp.lastAt, rf.lastAt)
+		}
+		if rf.flows != 1 || rp.frames != frames {
+			t.Fatalf("payload %d: %d flows / %d frames delivered", payload, rf.flows, rp.frames)
+		}
+		if ev := sf.Fired(); ev > 3 {
+			t.Fatalf("payload %d: fluid transfer cost %d events", payload, ev)
+		}
+	}
+}
+
+// TestFlowEqualSharing starts two equal flows together: each drains at
+// half rate, so both complete after twice their solo serialization, in
+// a constant number of events.
+func TestFlowEqualSharing(t *testing.T) {
+	s, l, r := flowRig(t, Net100G)
+	const n = 1 << 20
+	l.SendFlow(0, n, n, r)
+	l.SendFlow(0, n, n, r)
+	s.Run()
+
+	want := 2*sim.PerByte(n, Net100G.Bandwidth) + Net100G.Lookahead()
+	if r.lastAt != want {
+		t.Fatalf("shared flows finished at %v, want %v", r.lastAt, want)
+	}
+	if r.flows != 2 || r.bytes != 2*n {
+		t.Fatalf("delivered %d flows / %d bytes", r.flows, r.bytes)
+	}
+	started, completed, in, out := l.FlowStats(0)
+	if started != 2 || completed != 2 || in != 2*n || out != 2*n {
+		t.Fatalf("FlowStats = %d/%d %d/%d", started, completed, in, out)
+	}
+}
+
+// TestFlowLateJoinerShares checks the settle-on-change math: a second
+// flow arriving halfway through the first slows both to half rate from
+// that instant on.
+func TestFlowLateJoinerShares(t *testing.T) {
+	s, l, r := flowRig(t, Net100G)
+	const n = 1 << 20
+	solo := sim.PerByte(n, Net100G.Bandwidth)
+	l.SendFlow(0, n, n, r)
+	s.At(solo/2, "join", func() { l.SendFlow(0, n, n, r) })
+	s.Run()
+
+	// Flow 1: half done at solo/2, rest at half rate -> solo/2 + solo.
+	// Flow 2: at flow 1's finish it has drained solo/2 worth (half
+	// rate), then finishes alone -> 2*solo total.
+	want := 2*solo + Net100G.Lookahead()
+	if r.lastAt != want {
+		t.Fatalf("late joiner finished at %v, want %v", r.lastAt, want)
+	}
+	if r.bytes != 2*n {
+		t.Fatalf("delivered %d bytes, want %d", r.bytes, 2*n)
+	}
+}
+
+// TestFlowConservationUnderFlap cuts the carrier mid-transfer: the flow
+// pauses with its remainder intact and completes exactly the down time
+// later — flow bytes in equal bytes re-materialized out.
+func TestFlowConservationUnderFlap(t *testing.T) {
+	s, l, r := flowRig(t, Net100G)
+	const n = 1 << 20
+	ser := sim.PerByte(n, Net100G.Bandwidth)
+	down := ser / 3
+	const downtime = 50 * sim.Microsecond
+	l.SendFlow(0, n, n, r)
+	s.At(down, "cut", func() { l.SetUp(false) })
+	s.At(down+downtime, "restore", func() { l.SetUp(true) })
+	s.Run()
+
+	want := ser + downtime + Net100G.Lookahead()
+	if r.lastAt != want {
+		t.Fatalf("flapped flow finished at %v, want %v", r.lastAt, want)
+	}
+	_, completed, in, out := func() (uint64, uint64, int64, int64) { return l.FlowStats(0) }()
+	if completed != 1 || in != out || out != n {
+		t.Fatalf("conservation broken: completed=%d in=%d out=%d", completed, in, out)
+	}
+	if r.bytes != n {
+		t.Fatalf("delivered %d bytes, want %d", r.bytes, n)
+	}
+}
+
+// TestFlowStartsWhileDown offers a flow into a downed link: unlike a
+// frame (dropped), it starts paused and drains once carrier returns.
+func TestFlowStartsWhileDown(t *testing.T) {
+	s, l, r := flowRig(t, Net100G)
+	const n = 64 << 10
+	l.SetUp(false)
+	l.SendFlow(0, n, n, r)
+	s.At(sim.Millisecond, "restore", func() { l.SetUp(true) })
+	s.Run()
+
+	want := sim.Millisecond + sim.PerByte(n, Net100G.Bandwidth) + Net100G.Lookahead()
+	if r.lastAt != want || r.bytes != n {
+		t.Fatalf("paused-start flow: %d bytes at %v, want %d at %v", r.bytes, r.lastAt, n, want)
+	}
+	if l.Dropped(0) != 0 {
+		t.Fatalf("flow counted as a drop")
+	}
+}
+
+// TestFlowBacklogFeedsECN: a frame sent while fluid bytes are queued
+// sees their drain time added to its ECN backlog and gets CE-marked
+// even though the packet queue itself is empty.
+func TestFlowBacklogFeedsECN(t *testing.T) {
+	params := Net100G
+	params.ECNThreshold = 10 * sim.Microsecond
+	s, l, r := flowRig(t, params)
+
+	const n = 1 << 20 // 83.9us of wire at 100G: well past the threshold
+	l.SendFlow(0, n, n, r)
+	if bl := l.FlowBacklog(0); bl != sim.PerByte(n, params.Bandwidth) {
+		t.Fatalf("FlowBacklog = %v, want %v", bl, sim.PerByte(n, params.Bandwidth))
+	}
+
+	src := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 1}, IP: wire.IP{10, 0, 0, 1}, Port: 1}
+	dst := wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 0, 2}, IP: wire.IP{10, 0, 0, 2}, Port: 2}
+	frame, err := wire.BuildUDP(src, dst, 1, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Send(0, frame)
+	if l.Marked(0) != 1 {
+		t.Fatalf("frame over fluid backlog not CE-marked (marked=%d)", l.Marked(0))
+	}
+	s.Run()
+
+	// Without the flow the same frame stays unmarked.
+	s2, l2, _ := flowRig(t, params)
+	frame2, _ := wire.BuildUDP(src, dst, 1, make([]byte, 64))
+	l2.Send(0, frame2)
+	if l2.Marked(0) != 0 {
+		t.Fatalf("frame marked with no backlog")
+	}
+	s2.Run()
+}
+
+// TestFlowDeterministic pins that two identical flow schedules produce
+// identical delivery times and event counts.
+func TestFlowDeterministic(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		s, l, r := flowRig(t, Net100G)
+		l.SendFlow(0, 1<<20, 1<<20, r)
+		s.At(20*sim.Microsecond, "join", func() { l.SendFlow(0, 1<<19, 1<<19, r) })
+		s.At(30*sim.Microsecond, "cut", func() { l.SetUp(false) })
+		s.At(70*sim.Microsecond, "restore", func() { l.SetUp(true) })
+		s.Run()
+		return r.lastAt, s.Fired()
+	}
+	at1, ev1 := run()
+	at2, ev2 := run()
+	if at1 != at2 || ev1 != ev2 {
+		t.Fatalf("flow runs diverge: (%v,%d) vs (%v,%d)", at1, ev1, at2, ev2)
+	}
+}

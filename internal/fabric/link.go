@@ -133,6 +133,10 @@ type Link struct {
 	// Transports re-enter via Inject, which skips the tap. Func-typed on
 	// purpose: the hot path calls it without interface dispatch.
 	tap [2]func([]byte) bool
+	// flows[i] is direction i's fluid-flow scheduler, allocated on the
+	// first SendFlow so packet-only links pay a nil check at most; see
+	// flow.go.
+	flows [2]*flowState
 	// counters
 	frames  [2]uint64
 	bytes   [2]uint64
@@ -284,8 +288,17 @@ func (l *Link) send(from int, frame []byte) {
 		l.dropped[from]++ // tail drop: the queue is QueueLimit deep
 		return
 	}
-	if th := l.params.ECNThreshold; th > 0 && start-now > th && wire.MarkCE(frame) {
-		l.marked[from]++
+	if th := l.params.ECNThreshold; th > 0 {
+		backlog := start - now
+		if fs := l.flows[from]; fs != nil {
+			// Fluid flows never delay a frame (packets keep strict
+			// priority) but their queued bytes are congestion all the
+			// same, so they count toward the marking decision.
+			backlog += fs.backlog(now)
+		}
+		if backlog > th && wire.MarkCE(frame) {
+			l.marked[from]++
+		}
 	}
 	ser := sim.PerByte(len(frame), l.params.Bandwidth)
 	txEnd := start + ser
@@ -369,9 +382,18 @@ func (l *Link) SetUpSide(side int, up bool) {
 		panicBadSide(side)
 	}
 	wasDown := l.down[side]
+	if fs := l.flows[side]; fs != nil && !up && !wasDown {
+		// Settle fluid progress up to the cut while the carrier replica
+		// still reads up; the remainders pause intact (the bits never
+		// left the sender), so flow bytes are conserved across faults.
+		fs.carrierDown()
+	}
 	l.down[side] = !up
 	if !up && !wasDown {
 		l.purgeQueued(side)
+	}
+	if fs := l.flows[side]; fs != nil && up && wasDown {
+		fs.carrierUp()
 	}
 }
 

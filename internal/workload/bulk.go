@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+	"lauberhorn/internal/wire"
+)
+
+// Bulk background traffic: long transfers whose per-packet simulation
+// would dominate the event queue. A BulkSource samples transfer sizes
+// and start times from seeded distributions and pushes each transfer
+// over one side of a fabric.Link — as individual frames below the
+// aggregation threshold, as one fluid flow (fabric.Link.SendFlow) at or
+// above it. This is the Hybrid stack's 4 KiB representation switch
+// applied one level up: the delivered bytes are identical either way,
+// only the event count changes.
+
+const (
+	// DefaultBulkMTU is the per-packet payload of a bulk transfer.
+	DefaultBulkMTU = 1460
+	// DefaultBulkOverhead is the per-packet wire overhead (Ethernet +
+	// IPv4 + UDP headers) a bulk frame carries around its payload.
+	DefaultBulkOverhead = wire.HeadersLen
+)
+
+// BulkConfig parameterizes a background bulk-transfer source.
+type BulkConfig struct {
+	// Size draws transfer payload sizes (may exceed one frame).
+	Size SizeDist
+	// Arrivals draws gaps between transfer starts.
+	Arrivals ArrivalDist
+	// Threshold is the payload size at which a transfer switches from
+	// per-packet frames to one fluid flow; transfers strictly below it
+	// always go as frames. Only meaningful with Fluid set.
+	Threshold int
+	// Fluid arms the fluid fast path for transfers at or above
+	// Threshold.
+	Fluid bool
+	// MTU is the per-packet payload (0 = DefaultBulkMTU).
+	MTU int
+	// Overhead is the per-packet wire overhead (0 = DefaultBulkOverhead).
+	// Fluid transfers account the same overhead into their wire bytes,
+	// so both representations occupy the wire equally long.
+	Overhead int
+	// Seed selects the source's private RNG stream; zero splits a stream
+	// off the simulator's RNG (construction-order dependent, like an
+	// InheritRNG client).
+	Seed uint64
+}
+
+// BulkSource drives bulk transfers over one side of a link.
+type BulkSource struct {
+	s    *sim.Sim
+	cfg  BulkConfig
+	link *fabric.Link
+	side int
+	sink fabric.FlowPort
+	rng  *sim.RNG
+	stop sim.Time
+	fire func()
+
+	// Transfers counts started transfers; FluidTransfers the subset that
+	// took the fluid path.
+	Transfers      uint64
+	FluidTransfers uint64
+	// Frames counts packet-path frames sent.
+	Frames uint64
+	// BytesOffered sums the payload bytes of every started transfer.
+	BytesOffered int64
+}
+
+// NewBulkSource builds a source sending from the given link side. The
+// sink receives fluid completions (packet-path frames arrive at
+// whatever FramePort is attached to the far side — normally the same
+// BulkSink).
+func NewBulkSource(s *sim.Sim, cfg BulkConfig, link *fabric.Link, side int, sink fabric.FlowPort) *BulkSource {
+	if cfg.Size == nil || cfg.Arrivals == nil {
+		panic("workload: bulk source needs Size and Arrivals")
+	}
+	if cfg.Fluid && cfg.Threshold <= 0 {
+		panic("workload: fluid bulk source needs Threshold > 0")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultBulkMTU
+	}
+	if cfg.Overhead == 0 {
+		cfg.Overhead = DefaultBulkOverhead
+	}
+	if cfg.MTU <= 0 || cfg.Overhead < 0 {
+		panic(fmt.Sprintf("workload: bad bulk framing (MTU %d, overhead %d)", cfg.MTU, cfg.Overhead))
+	}
+	b := &BulkSource{s: s, cfg: cfg, link: link, side: side, sink: sink}
+	if cfg.Seed != 0 {
+		b.rng = sim.NewRNG(cfg.Seed)
+	} else {
+		b.rng = s.Rand().Split()
+	}
+	b.fire = func() {
+		b.SendOne()
+		gap := b.cfg.Arrivals.Next(b.rng)
+		if b.s.Now()+gap < b.stop {
+			b.s.After(gap, "bulk-arrival", b.fire)
+		}
+	}
+	return b
+}
+
+// Start schedules transfer arrivals until the given instant.
+func (b *BulkSource) Start(until sim.Time) {
+	b.stop = until
+	gap := b.cfg.Arrivals.Next(b.rng)
+	if gap < until {
+		b.s.After(gap, "bulk-first", b.fire)
+	}
+}
+
+// SendOne starts one transfer now: sampled payload, chunked into frames
+// or handed to the link as a fluid flow per the threshold.
+func (b *BulkSource) SendOne() {
+	n := b.cfg.Size.Sample(b.rng)
+	if n < 1 {
+		n = 1
+	}
+	b.Transfers++
+	b.BytesOffered += int64(n)
+	frames := (n + b.cfg.MTU - 1) / b.cfg.MTU
+	if b.cfg.Fluid && n >= b.cfg.Threshold {
+		b.FluidTransfers++
+		wireBytes := int64(n) + int64(frames)*int64(b.cfg.Overhead)
+		b.link.SendFlow(b.side, wireBytes, int64(n), b.sink)
+		return
+	}
+	for rem := n; rem > 0; rem -= b.cfg.MTU {
+		chunk := b.cfg.MTU
+		if rem < chunk {
+			chunk = rem
+		}
+		b.Frames++
+		b.link.Send(b.side, make([]byte, chunk+b.cfg.Overhead))
+	}
+}
+
+// BulkSink terminates bulk transfers: it counts payload bytes arriving
+// on either representation, implementing both fabric.FramePort (packet
+// path — per-frame payload is the frame minus Overhead) and
+// fabric.FlowPort (fluid path). Attach it as the far side's frame port
+// and pass it to NewBulkSource as the flow sink.
+type BulkSink struct {
+	// S, when set, timestamps LastAt on every delivery.
+	S *sim.Sim
+	// Overhead is subtracted from each delivered frame to recover its
+	// payload; it must match the source's.
+	Overhead int
+
+	// Bytes sums delivered payload bytes over both paths.
+	Bytes int64
+	// Frames and Flows count deliveries per path.
+	Frames, Flows uint64
+	// LastAt is the instant of the latest delivery (needs S).
+	LastAt sim.Time
+}
+
+// DeliverFrame accepts one packet-path frame.
+func (k *BulkSink) DeliverFrame(frame []byte) {
+	k.Frames++
+	k.Bytes += int64(len(frame) - k.Overhead)
+	if k.S != nil {
+		k.LastAt = k.S.Now()
+	}
+}
+
+// DeliverFlow accepts one completed fluid transfer.
+func (k *BulkSink) DeliverFlow(payload int64) {
+	k.Flows++
+	k.Bytes += payload
+	if k.S != nil {
+		k.LastAt = k.S.Now()
+	}
+}

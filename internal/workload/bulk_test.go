@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"lauberhorn/internal/fabric"
+	"lauberhorn/internal/sim"
+)
+
+// bulkRig wires one bulk source over a 100G link into a counting sink.
+func bulkRig(cfg BulkConfig) (*sim.Sim, *BulkSource, *BulkSink) {
+	s := sim.New(3)
+	link := fabric.NewLink(s, fabric.Net100G)
+	sink := &BulkSink{S: s, Overhead: cfg.Overhead}
+	if sink.Overhead == 0 {
+		sink.Overhead = DefaultBulkOverhead
+	}
+	link.Attach(sink, sink)
+	src := NewBulkSource(s, cfg, link, 0, sink)
+	return s, src, sink
+}
+
+// oneTransfer pushes a single transfer of n payload bytes through a rig
+// in the given mode and reports delivered bytes and the last delivery
+// instant.
+func oneTransfer(n, threshold int, fluid bool) (int64, sim.Time, *BulkSink) {
+	_, src, sink := bulkRig(BulkConfig{
+		Size:      FixedSize{N: n},
+		Arrivals:  FixedRate{Interval: sim.Second},
+		Threshold: threshold,
+		Fluid:     fluid,
+		Seed:      9,
+	})
+	src.SendOne()
+	src.s.Run()
+	return sink.Bytes, sink.LastAt, sink
+}
+
+// TestBulkCrossoverAtThreshold is the fluid/packet crossover regression:
+// transfers exactly at, one byte below, and one byte above the
+// aggregation threshold deliver identical payload bytes at identical
+// completion instants in both modes, and the representation switches
+// exactly at the threshold.
+func TestBulkCrossoverAtThreshold(t *testing.T) {
+	const threshold = 64 << 10
+	for _, n := range []int{threshold - 1, threshold, threshold + 1} {
+		pktBytes, pktAt, pktSink := oneTransfer(n, threshold, false)
+		fluBytes, fluAt, fluSink := oneTransfer(n, threshold, true)
+
+		if pktBytes != int64(n) || fluBytes != int64(n) {
+			t.Fatalf("n=%d: delivered %d (packet) / %d (fluid), want %d", n, pktBytes, fluBytes, n)
+		}
+		if pktAt != fluAt {
+			t.Fatalf("n=%d: completion %v (packet) vs %v (fluid)", n, pktAt, fluAt)
+		}
+		wantFluid := n >= threshold
+		if gotFluid := fluSink.Flows == 1; gotFluid != wantFluid {
+			t.Fatalf("n=%d: fluid mode used %d flows / %d frames, want fluid=%v",
+				n, fluSink.Flows, fluSink.Frames, wantFluid)
+		}
+		if pktSink.Flows != 0 {
+			t.Fatalf("n=%d: packet mode delivered a flow", n)
+		}
+
+		// Deterministic completion: a rerun reproduces both instants.
+		_, pktAt2, _ := oneTransfer(n, threshold, false)
+		_, fluAt2, _ := oneTransfer(n, threshold, true)
+		if pktAt2 != pktAt || fluAt2 != fluAt {
+			t.Fatalf("n=%d: completion instants not deterministic", n)
+		}
+	}
+}
+
+// TestBulkFluidCutsEvents pins the representation switch's point: a
+// stream of multi-MB transfers costs at least 5x fewer events as fluid
+// flows than as per-packet frames, for identical delivered bytes.
+func TestBulkFluidCutsEvents(t *testing.T) {
+	run := func(fluid bool) (uint64, int64) {
+		s, src, sink := bulkRig(BulkConfig{
+			Size:      FixedSize{N: 4 << 20},
+			Arrivals:  Poisson{Mean: 500 * sim.Microsecond},
+			Threshold: 64 << 10,
+			Fluid:     fluid,
+			Seed:      11,
+		})
+		src.Start(10 * sim.Millisecond)
+		s.Run()
+		return s.Fired(), sink.Bytes
+	}
+	pktEvents, pktBytes := run(false)
+	fluEvents, fluBytes := run(true)
+	if pktBytes != fluBytes || pktBytes == 0 {
+		t.Fatalf("delivered bytes differ: %d (packet) vs %d (fluid)", pktBytes, fluBytes)
+	}
+	if fluEvents*5 > pktEvents {
+		t.Fatalf("fluid mode fired %d events vs %d per-packet — less than the 5x cut", fluEvents, pktEvents)
+	}
+}
+
+// TestBulkConservationUnderFlap flaps the link mid-transfer in fluid
+// mode: offered payload still equals delivered payload, just later.
+func TestBulkConservationUnderFlap(t *testing.T) {
+	s, src, sink := bulkRig(BulkConfig{
+		Size:      FixedSize{N: 1 << 20},
+		Arrivals:  FixedRate{Interval: 200 * sim.Microsecond},
+		Threshold: 4 << 10,
+		Fluid:     true,
+		Seed:      13,
+	})
+	s.At(150*sim.Microsecond, "cut", func() { src.link.SetUp(false) })
+	s.At(400*sim.Microsecond, "restore", func() { src.link.SetUp(true) })
+	src.Start(sim.Millisecond)
+	s.Run()
+
+	if src.Transfers == 0 || sink.Bytes != src.BytesOffered {
+		t.Fatalf("conservation broken: offered %d bytes over %d transfers, delivered %d",
+			src.BytesOffered, src.Transfers, sink.Bytes)
+	}
+	if src.FluidTransfers != src.Transfers {
+		t.Fatalf("%d of %d transfers took the fluid path, want all", src.FluidTransfers, src.Transfers)
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+
+	"lauberhorn/internal/sim"
+)
+
+// DAG declares a service dependency graph — the fan-out generalization
+// of a nested RPC. Each node names a service placement (a host and a
+// service ID the cluster spec must export there); each edge is a nested
+// call the parent's handler issues to the child before responding, with
+// an optional per-edge latency budget. Node 0 is the tree root clients
+// call into. A handler thread can stall on only one reply line at a
+// time, so a node's child calls are issued sequentially in edge order —
+// fan-out widens the critical path as a sum of child round trips, which
+// is exactly the tail-amplification effect e24 measures.
+type DAG struct {
+	Nodes []DAGNode
+}
+
+// DAGNode is one service in the call tree.
+type DAGNode struct {
+	// Name labels the node in tables and error messages.
+	Name string
+	// Host names the cluster host the service runs on.
+	Host string
+	// Service is the service ID the host exports for this node.
+	Service uint32
+	// Edges lists the nested calls this node's handler issues, in order.
+	Edges []DAGEdge
+}
+
+// DAGEdge is one nested call from a parent node to a child node.
+type DAGEdge struct {
+	// To indexes the child node in DAG.Nodes.
+	To int
+	// Budget is the per-call latency budget: a nested call whose round
+	// trip exceeds it counts as a violation (0 = unbudgeted).
+	Budget sim.Time
+}
+
+// Validate checks the graph's structure: nodes are named and unique,
+// edges stay in range with non-negative budgets, and the edge relation
+// is acyclic. Placement checks (host exists, service exported, stack
+// supports nested calls) belong to cluster.Spec.Validate, which calls
+// this first.
+func (d *DAG) Validate() error {
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("workload: dag has no nodes")
+	}
+	names := make(map[string]int, len(d.Nodes))
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("workload: dag node %d has no name", i)
+		}
+		if prev, dup := names[n.Name]; dup {
+			return fmt.Errorf("workload: dag nodes %d and %d share name %q", prev, i, n.Name)
+		}
+		names[n.Name] = i
+		for j, e := range n.Edges {
+			if e.To < 0 || e.To >= len(d.Nodes) {
+				return fmt.Errorf("workload: dag node %d (%q) edge %d targets node %d of %d",
+					i, n.Name, j, e.To, len(d.Nodes))
+			}
+			if e.To == i {
+				return fmt.Errorf("workload: dag node %d (%q) calls itself", i, n.Name)
+			}
+			if e.Budget < 0 {
+				return fmt.Errorf("workload: dag node %d (%q) edge to node %d has negative budget %v",
+					i, n.Name, e.To, e.Budget)
+			}
+		}
+	}
+	// Three-color depth-first search: a back edge to an in-progress node
+	// is a cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(d.Nodes))
+	var visit func(i int) error
+	visit = func(i int) error {
+		color[i] = gray
+		for _, e := range d.Nodes[i].Edges {
+			switch color[e.To] {
+			case gray:
+				return fmt.Errorf("workload: dag cycle through node %d (%q)", e.To, d.Nodes[e.To].Name)
+			case white:
+				if err := visit(e.To); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range d.Nodes {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EdgeCount returns the total number of edges in the graph.
+func (d *DAG) EdgeCount() int {
+	n := 0
+	for i := range d.Nodes {
+		n += len(d.Nodes[i].Edges)
+	}
+	return n
+}

@@ -1,10 +1,13 @@
 // Package workload generates RPC load for the experiments: arrival
-// processes (Poisson, fixed-rate, bursty MMPP), message-size distributions
-// including a cloud-RPC mixture modelled on the characterization the paper
-// cites [23] ("the great majority of RPC requests and responses are
-// small"), Zipf service popularity, and open- and closed-loop client
-// generators that drive a server over a fabric.Link and collect latency
-// histograms.
+// processes (Poisson, fixed-rate, bursty MMPP, piecewise diurnal rate
+// curves), message-size distributions including a cloud-RPC mixture
+// modelled on the characterization the paper cites [23] ("the great
+// majority of RPC requests and responses are small"), Zipf service
+// popularity, open- and closed-loop client generators that drive a
+// server over a fabric.Link and collect latency histograms, service
+// dependency DAG specs (DAG) the cluster builder lowers onto hosts, and
+// bulk background-transfer sources (BulkSource) that switch from
+// per-packet to fluid-flow transmission above a size threshold.
 //
 // Determinism invariants: all randomness comes from seeded sim.RNG
 // streams. A generator with Config.Seed set draws a private stream that
@@ -172,7 +175,13 @@ func (p Poisson) Next(r *sim.RNG) sim.Time {
 func (p Poisson) String() string { return fmt.Sprintf("poisson(mean=%v)", p.Mean) }
 
 // MMPP is a two-state Markov-modulated Poisson process: a bursty arrival
-// stream alternating between a calm and a hot state.
+// stream alternating between a calm and a hot state. State holding
+// times are exponentially distributed with means CalmPeriod/HotPeriod —
+// a true modulating Markov chain (memoryless dwell), which is what the
+// goodness-of-fit suite verifies. A state change takes effect on the
+// first arrival after the drawn dwell elapses, so observed dwell times
+// overshoot the drawn ones by one partial gap. Stateful: do not share
+// one MMPP between clients or Specs.
 type MMPP struct {
 	CalmMean, HotMean     sim.Time
 	CalmPeriod, HotPeriod sim.Time
@@ -185,10 +194,13 @@ type MMPP struct {
 func (m *MMPP) Next(r *sim.RNG) sim.Time {
 	if m.stateLeft <= 0 {
 		m.inHot = !m.inHot
+		period := m.CalmPeriod
 		if m.inHot {
-			m.stateLeft = m.HotPeriod
-		} else {
-			m.stateLeft = m.CalmPeriod
+			period = m.HotPeriod
+		}
+		m.stateLeft = r.ExpTime(period)
+		if m.stateLeft < sim.Nanosecond {
+			m.stateLeft = sim.Nanosecond
 		}
 	}
 	mean := m.CalmMean
@@ -202,6 +214,10 @@ func (m *MMPP) Next(r *sim.RNG) sim.Time {
 	m.stateLeft -= gap
 	return gap
 }
+
+// Hot reports whether the modulating chain is currently in the hot
+// state (for dwell-time goodness-of-fit tests).
+func (m *MMPP) Hot() bool { return m.inHot }
 
 // String describes the process.
 func (m *MMPP) String() string {

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"lauberhorn/internal/sim"
+)
+
+// Statistical goodness-of-fit suite for the arrival processes — the
+// distribution-test pattern the RNG's Lemire Intn checks established,
+// extended to Kolmogorov-Smirnov and chi-squared form. Seeds are fixed,
+// so every run scores the same stream: thresholds sit at the 0.1%
+// significance level and a failure means the sampler regressed, not
+// that the dice came up wrong.
+
+// ksCoeff999 approximates the a=0.001 Kolmogorov-Smirnov critical value
+// as ksCoeff999/sqrt(n) for large n.
+const ksCoeff999 = 1.95
+
+// chi2Crit15 is the 0.999 quantile of chi-squared with 15 degrees of
+// freedom (16 equal-probability bins).
+const chi2Crit15 = 37.70
+
+// ksExponential returns the KS statistic of the samples against
+// Exp(mean). Sample counts are capped at 20k (a deterministic prefix):
+// the 1ns clamp on drawn gaps is an intended truncation of the
+// exponential law, and an unbounded n would eventually resolve it.
+func ksExponential(samples []float64, mean float64) float64 {
+	if len(samples) > 20_000 {
+		samples = samples[:20_000]
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var d float64
+	for i, x := range xs {
+		f := 1 - math.Exp(-x/mean)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// ksCheck fails the test if the samples reject Exp(mean) at the 0.1%
+// level.
+func ksCheck(t *testing.T, name string, samples []float64, mean float64) {
+	t.Helper()
+	n := float64(len(samples))
+	if n > 20_000 {
+		n = 20_000
+	}
+	if d, crit := ksExponential(samples, mean), ksCoeff999/math.Sqrt(n); d > crit {
+		t.Fatalf("%s KS statistic %.4f exceeds %.4f (n=%d)", name, d, crit, len(samples))
+	}
+}
+
+// chi2Exponential bins the samples into 16 equal-probability bins of
+// Exp(mean) and returns the chi-squared statistic.
+func chi2Exponential(samples []float64, mean float64) float64 {
+	const k = 16
+	bounds := make([]float64, k-1)
+	for j := 1; j < k; j++ {
+		bounds[j-1] = -mean * math.Log(1-float64(j)/k)
+	}
+	var obs [k]float64
+	for _, x := range samples {
+		i := sort.SearchFloat64s(bounds, x)
+		obs[i]++
+	}
+	exp := float64(len(samples)) / k
+	var stat float64
+	for _, o := range obs {
+		stat += (o - exp) * (o - exp) / exp
+	}
+	return stat
+}
+
+// meanAndCV returns the sample mean and coefficient of variation.
+func meanAndCV(xs []float64) (mean, cv float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	return mean, math.Sqrt(v) / mean
+}
+
+// TestPoissonGoF checks that Poisson interarrivals match the target
+// rate in distribution, not just in mean: KS and chi-squared against
+// the exponential law at the 0.1% level.
+func TestPoissonGoF(t *testing.T) {
+	const n = 20_000
+	mean := 10 * sim.Microsecond
+	p := Poisson{Mean: mean}
+	r := sim.NewRNG(42)
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(p.Next(r))
+	}
+	m, _ := meanAndCV(samples)
+	if ratio := m / float64(mean); ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("Poisson mean off target: %.0f vs %d (ratio %.3f)", m, mean, ratio)
+	}
+	ksCheck(t, "Poisson gaps", samples, float64(mean))
+	if stat := chi2Exponential(samples, float64(mean)); stat > chi2Crit15 {
+		t.Fatalf("Poisson chi-squared %.1f exceeds %.1f", stat, chi2Crit15)
+	}
+}
+
+// TestMMPPGoF checks both halves of the Markov-modulated process: the
+// state-conditional gaps match their per-state rates, and the state
+// dwell times match the modulating chain — exponential with the
+// configured means (observed dwells overshoot the drawn ones by one
+// partial gap, so the expected dwell is Period + state gap mean).
+func TestMMPPGoF(t *testing.T) {
+	calmMean, hotMean := 2*sim.Microsecond, 200*sim.Nanosecond
+	calmPeriod, hotPeriod := 100*sim.Microsecond, 50*sim.Microsecond
+	m := &MMPP{CalmMean: calmMean, HotMean: hotMean, CalmPeriod: calmPeriod, HotPeriod: hotPeriod}
+	r := sim.NewRNG(7)
+
+	var calmGaps, hotGaps, calmDwells, hotDwells []float64
+	var dwell float64
+	var cur, have bool
+	for i := 0; i < 600_000; i++ {
+		gap := float64(m.Next(r))
+		// A pending state flip lands at the top of Next, so the state
+		// after the call is the one the gap was drawn in.
+		hot := m.Hot()
+		if hot {
+			hotGaps = append(hotGaps, gap)
+		} else {
+			calmGaps = append(calmGaps, gap)
+		}
+		switch {
+		case !have:
+			cur, have, dwell = hot, true, gap
+		case hot == cur:
+			dwell += gap
+		default:
+			if cur {
+				hotDwells = append(hotDwells, dwell)
+			} else {
+				calmDwells = append(calmDwells, dwell)
+			}
+			cur, dwell = hot, gap
+		}
+	}
+
+	checkGaps := func(name string, gaps []float64, want sim.Time) {
+		mean, _ := meanAndCV(gaps)
+		if ratio := mean / float64(want); ratio < 0.97 || ratio > 1.03 {
+			t.Fatalf("%s gap mean %.0f vs %d (ratio %.3f, n=%d)", name, mean, want, ratio, len(gaps))
+		}
+		ksCheck(t, name+" gaps", gaps, float64(want))
+	}
+	checkGaps("calm", calmGaps, calmMean)
+	checkGaps("hot", hotGaps, hotMean)
+
+	checkDwells := func(name string, dwells []float64, period, gapMean sim.Time) {
+		if len(dwells) < 500 {
+			t.Fatalf("%s: only %d dwell samples", name, len(dwells))
+		}
+		mean, cv := meanAndCV(dwells)
+		want := float64(period + gapMean)
+		if ratio := mean / want; ratio < 0.93 || ratio > 1.07 {
+			t.Fatalf("%s dwell mean %.0f vs %.0f (ratio %.3f, n=%d)", name, mean, want, ratio, len(dwells))
+		}
+		// Exponential dwell has CV 1; the old deterministic dwell had
+		// CV ~0 — this is the line that catches that regression.
+		if cv < 0.9 || cv > 1.1 {
+			t.Fatalf("%s dwell CV %.3f, want ~1 (exponential holding times)", name, cv)
+		}
+		ksCheck(t, name+" dwells", dwells, mean)
+	}
+	checkDwells("calm", calmDwells, calmPeriod, calmMean)
+	checkDwells("hot", hotDwells, hotPeriod, hotMean)
+}
+
+// TestDiurnalGoF checks the piecewise rate curve: gaps drawn within
+// each phase are exponential at the phase's scaled rate, and the
+// per-phase empirical rates differ by the configured multiplier ratio.
+func TestDiurnalGoF(t *testing.T) {
+	mean := 10 * sim.Microsecond
+	d := &Diurnal{Mean: mean, Phases: []RatePhase{
+		{Dur: sim.Millisecond, Mult: 0.5},
+		{Dur: sim.Millisecond, Mult: 2.0},
+	}}
+	r := sim.NewRNG(19)
+
+	gaps := [2][]float64{}
+	var time [2]float64
+	for i := 0; i < 200_000; i++ {
+		p := d.Phase() // the phase the coming gap is drawn in
+		g := float64(d.Next(r))
+		gaps[p] = append(gaps[p], g)
+		time[p] += g
+	}
+	for p, want := range []sim.Time{2 * mean, mean / 2} {
+		m, _ := meanAndCV(gaps[p])
+		if ratio := m / float64(want); ratio < 0.97 || ratio > 1.03 {
+			t.Fatalf("phase %d gap mean %.0f vs %d (ratio %.3f, n=%d)", p, m, want, ratio, len(gaps[p]))
+		}
+		ksCheck(t, fmt.Sprintf("phase %d gaps", p), gaps[p], float64(want))
+	}
+	rate0 := float64(len(gaps[0])) / time[0]
+	rate1 := float64(len(gaps[1])) / time[1]
+	if ratio := rate1 / rate0; ratio < 3.8 || ratio > 4.2 {
+		t.Fatalf("hot/calm phase rate ratio %.2f, want ~4 (mult 2.0 vs 0.5)", ratio)
+	}
+}

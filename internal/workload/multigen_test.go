@@ -113,6 +113,118 @@ func TestSeededGeneratorsDeterministicAndNonInterfering(t *testing.T) {
 	}
 }
 
+// openLoopGen attaches a generator driven by the given arrival process
+// to a fresh link whose far side records every emitted frame. Arrival
+// processes with internal state (MMPP, Diurnal) are constructed fresh
+// per call, so each generator owns its modulating chain.
+func openLoopGen(s *sim.Sim, seed uint64, n byte, arrivals ArrivalDist) (*Generator, *frameLog) {
+	lg := &frameLog{s: s}
+	link := fabric.NewLink(s, fabric.Net100G)
+	g := NewGenerator(s, Config{
+		Client:   wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 9, n}, IP: wire.IP{10, 9, 0, n}},
+		Server:   wire.Endpoint{MAC: wire.MAC{2, 0, 0, 0, 8, 1}, IP: wire.IP{10, 8, 0, 1}},
+		Targets:  []Target{{Port: 9000, Service: 1, Method: 1, Size: CloudRPC()}},
+		Arrivals: arrivals,
+		Seed:     seed,
+	}, link, 0)
+	link.Attach(g, lg)
+	return g, lg
+}
+
+// openLoopTrio builds one MMPP, one Diurnal, and one Poisson generator
+// with distinct seeds on the shared sim — the mixed open-loop population
+// the non-interference test perturbs.
+func openLoopTrio(s *sim.Sim) []*frameLog {
+	mk := func(seed uint64, n byte, a ArrivalDist) *frameLog {
+		g, lg := openLoopGen(s, seed, n, a)
+		g.Start(0)
+		return lg
+	}
+	return []*frameLog{
+		mk(301, 1, &MMPP{
+			CalmMean: 100 * sim.Microsecond, HotMean: 10 * sim.Microsecond,
+			CalmPeriod: 300 * sim.Microsecond, HotPeriod: 150 * sim.Microsecond,
+		}),
+		mk(302, 2, &Diurnal{Mean: 50 * sim.Microsecond, Phases: []RatePhase{
+			{Dur: 400 * sim.Microsecond, Mult: 0.5},
+			{Dur: 400 * sim.Microsecond, Mult: 2.0},
+		}}),
+		mk(303, 3, Poisson{Mean: 50 * sim.Microsecond}),
+	}
+}
+
+// TestOpenLoopArrivalsNonInterfering extends the seeded-generator
+// contract to the stateful arrival processes: an MMPP and a Diurnal
+// generator replay byte-identical streams across reruns, and adding or
+// removing a client never perturbs the others' modulating chains.
+func TestOpenLoopArrivalsNonInterfering(t *testing.T) {
+	const horizon = 5 * sim.Millisecond
+	run := func(build func(s *sim.Sim) []*frameLog) []string {
+		s := sim.New(1)
+		logs := build(s)
+		s.RunUntil(horizon)
+		keys := make([]string, len(logs))
+		for i, lg := range logs {
+			keys[i] = lg.key()
+		}
+		return keys
+	}
+
+	base := run(openLoopTrio)
+	for i, k := range base {
+		if k == "" {
+			t.Fatalf("open-loop generator %d emitted nothing", i)
+		}
+	}
+
+	// Fresh process instances with the same seeds replay byte-identically.
+	again := run(openLoopTrio)
+	for i := range base {
+		if again[i] != base[i] {
+			t.Fatalf("open-loop generator %d not deterministic across reruns", i)
+		}
+	}
+
+	// Adding a fourth client leaves every existing stream untouched.
+	added := run(func(s *sim.Sim) []*frameLog {
+		logs := openLoopTrio(s)
+		g, lg := openLoopGen(s, 304, 4, &MMPP{
+			CalmMean: 20 * sim.Microsecond, HotMean: 2 * sim.Microsecond,
+			CalmPeriod: 100 * sim.Microsecond, HotPeriod: 100 * sim.Microsecond,
+		})
+		g.Start(0)
+		return append(logs, lg)
+	})
+	for i := range base {
+		if added[i] != base[i] {
+			t.Fatalf("adding a client changed open-loop generator %d", i)
+		}
+	}
+	if added[3] == "" {
+		t.Fatal("added client emitted nothing")
+	}
+
+	// Removing a client likewise: the survivors replay exactly.
+	removed := run(func(s *sim.Sim) []*frameLog {
+		mmpp, lgA := openLoopGen(s, 301, 1, &MMPP{
+			CalmMean: 100 * sim.Microsecond, HotMean: 10 * sim.Microsecond,
+			CalmPeriod: 300 * sim.Microsecond, HotPeriod: 150 * sim.Microsecond,
+		})
+		diurnal, lgB := openLoopGen(s, 302, 2, &Diurnal{Mean: 50 * sim.Microsecond, Phases: []RatePhase{
+			{Dur: 400 * sim.Microsecond, Mult: 0.5},
+			{Dur: 400 * sim.Microsecond, Mult: 2.0},
+		}})
+		mmpp.Start(0)
+		diurnal.Start(0)
+		return []*frameLog{lgA, lgB}
+	})
+	for i := range removed {
+		if removed[i] != base[i] {
+			t.Fatalf("removing a client changed open-loop generator %d", i)
+		}
+	}
+}
+
 // TestUnseededGeneratorsSplitInOrder pins the legacy contract the
 // point-to-point rigs rely on: with Seed zero the generator splits the
 // sim RNG at construction, so the stream depends on construction order —
